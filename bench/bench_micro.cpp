@@ -1,0 +1,168 @@
+// Microbenchmarks (google-benchmark) for the computational claims of paper
+// Section 3.4:
+//   * BM_BackpropFull vs BM_BackpropTruncated across T — the truncated
+//     backward pass is O(Nx^2) regardless of T while full BPTT is O(T Nx^2),
+//     i.e. the ~1/T compute reduction the paper states;
+//   * forward / DPRR / mask / ridge kernels for profiling context.
+#include <benchmark/benchmark.h>
+
+#include "data/synth.hpp"
+#include "dfr/backprop.hpp"
+#include "dfr/output.hpp"
+#include "dfr/ridge.hpp"
+#include "linalg/cholesky.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dfr;
+
+Matrix random_series(std::size_t t_len, std::size_t channels, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix series(t_len, channels);
+  for (std::size_t t = 0; t < t_len; ++t) {
+    for (std::size_t v = 0; v < channels; ++v) series(t, v) = rng.normal();
+  }
+  return series;
+}
+
+struct Fixture {
+  std::size_t nx = 30;
+  ModularReservoir reservoir{30, Nonlinearity{}};
+  Mask mask;
+  DfrParams params{0.2, 0.3};
+  Matrix series;
+  OutputLayer output{3, dprr_dim(30)};
+
+  explicit Fixture(std::size_t t_len) : mask(Matrix(1, 1)), series(1, 1) {
+    Rng rng(7);
+    mask = Mask(nx, 4, MaskKind::kBinary, rng);
+    series = random_series(t_len, 4, 11);
+    for (std::size_t c = 0; c < output.weights().rows(); ++c) {
+      for (std::size_t f = 0; f < output.weights().cols(); ++f) {
+        output.mutable_weights()(c, f) = 0.01 * rng.normal();
+      }
+    }
+  }
+};
+
+void BM_ForwardFull(benchmark::State& state) {
+  const Fixture fx(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto fwd = run_forward_full(fx.reservoir, fx.params, fx.mask, fx.series);
+    benchmark::DoNotOptimize(fwd.dprr.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ForwardFull)->RangeMultiplier(4)->Range(64, 1024)->Complexity();
+
+void BM_ForwardTruncated(benchmark::State& state) {
+  const Fixture fx(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto fwd =
+        run_forward_truncated(fx.reservoir, fx.params, fx.mask, fx.series, 1);
+    benchmark::DoNotOptimize(fwd.dprr.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ForwardTruncated)->RangeMultiplier(4)->Range(64, 1024)->Complexity();
+
+void BM_BackpropFull(benchmark::State& state) {
+  const Fixture fx(static_cast<std::size_t>(state.range(0)));
+  const auto fwd = run_forward_full(fx.reservoir, fx.params, fx.mask, fx.series);
+  const auto out = fx.output.backward(fwd.dprr, 1);
+  for (auto _ : state) {
+    auto grads = backprop_full(fx.reservoir, fx.params, fwd.states, fwd.j,
+                               out.dfeatures);
+    benchmark::DoNotOptimize(grads);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BackpropFull)->RangeMultiplier(4)->Range(64, 1024)->Complexity();
+
+void BM_BackpropTruncated(benchmark::State& state) {
+  // The truncated backward pass touches only the last step — its time must
+  // be flat in T (compare against BM_BackpropFull: the paper's ~1/T claim).
+  const Fixture fx(static_cast<std::size_t>(state.range(0)));
+  const auto fwd =
+      run_forward_truncated(fx.reservoir, fx.params, fx.mask, fx.series, 1);
+  const auto out = fx.output.backward(fwd.dprr, 1);
+  for (auto _ : state) {
+    auto grads = backprop_through_dprr(fx.reservoir, fx.params, fwd.tail_states,
+                                       fwd.tail_j, out.dfeatures, 1);
+    benchmark::DoNotOptimize(grads);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BackpropTruncated)->RangeMultiplier(4)->Range(64, 1024)->Complexity();
+
+void BM_DprrAccumulate(benchmark::State& state) {
+  const auto nx = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  Vector x(nx), x_prev(nx);
+  for (std::size_t n = 0; n < nx; ++n) {
+    x[n] = rng.normal();
+    x_prev[n] = rng.normal();
+  }
+  DprrAccumulator acc(nx);
+  for (auto _ : state) {
+    acc.add(x, x_prev);
+    benchmark::DoNotOptimize(acc.features().data());
+  }
+}
+BENCHMARK(BM_DprrAccumulate)->Arg(10)->Arg(30)->Arg(100);
+
+void BM_MaskApply(benchmark::State& state) {
+  Rng rng(5);
+  const Mask mask(30, static_cast<std::size_t>(state.range(0)),
+                  MaskKind::kBinary, rng);
+  Vector input(static_cast<std::size_t>(state.range(0)));
+  for (double& v : input) v = rng.normal();
+  for (auto _ : state) {
+    auto j = mask.apply(input);
+    benchmark::DoNotOptimize(j.data());
+  }
+}
+BENCHMARK(BM_MaskApply)->Arg(2)->Arg(13)->Arg(62);
+
+void BM_RidgePrimalVsDual(benchmark::State& state) {
+  // range(0): sample count. Below the feature dimension (931) the dual path
+  // engages; above it the primal.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  FeatureMatrix fm;
+  fm.features.resize(n, dprr_dim(30));
+  fm.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t f = 0; f < fm.features.cols(); ++f) {
+      fm.features(i, f) = rng.normal();
+    }
+    fm.labels[i] = static_cast<int>(i % 3);
+  }
+  for (auto _ : state) {
+    auto layer = fit_ridge(fm, 3, 1e-4);
+    benchmark::DoNotOptimize(layer.weights().data());
+  }
+}
+BENCHMARK(BM_RidgePrimalVsDual)->Arg(100)->Arg(400)->Arg(1200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CholeskyFactor(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(13);
+  Matrix base(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) base(r, c) = rng.normal();
+  }
+  const Matrix spd = gram_at_a(base, 1.0);
+  for (auto _ : state) {
+    auto l = cholesky_factor(spd);
+    benchmark::DoNotOptimize(l->data());
+  }
+}
+BENCHMARK(BM_CholeskyFactor)->Arg(64)->Arg(256)->Arg(931)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

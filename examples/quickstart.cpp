@@ -1,0 +1,57 @@
+// Quickstart: train a modular DFR with backprop on a small synthetic
+// classification task and report test accuracy.
+//
+//   ./examples/quickstart [--seed N]
+//
+// This is the five-minute tour of the library:
+//   1. make (or load) a dataset;
+//   2. standardize it;
+//   3. Trainer::fit runs the paper's protocol (25 SGD epochs on A, B, W, b
+//      with truncated backprop, then a ridge refit of the readout);
+//   4. evaluate_accuracy scores the held-out split.
+#include <iostream>
+
+#include "data/preprocess.hpp"
+#include "data/synth.hpp"
+#include "dfr/trainer.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  dfr::CliParser cli("quickstart", "train a DFR with backprop on a toy task");
+  cli.add_option("seed", "RNG seed", "42");
+  try {
+    cli.parse(argc, argv);
+  } catch (const dfr::CliError& e) {
+    std::cerr << e.what() << "\n" << cli.help_text();
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  const auto seed = cli.get_u64("seed");
+
+  // A 4-class, 3-channel task, 40 train / 40 test samples of length 60.
+  dfr::DatasetPair data = dfr::generate_toy_task(
+      /*num_classes=*/4, /*channels=*/3, /*length=*/60,
+      /*train_per_class=*/10, /*test_per_class=*/10, /*difficulty=*/0.8, seed);
+  dfr::standardize_pair(data);
+
+  dfr::TrainerConfig config;
+  config.seed = seed;
+  dfr::Trainer trainer(config);
+
+  std::cout << "training DFR (Nx=" << config.nodes << ", "
+            << config.epochs << " epochs, truncated backprop)...\n";
+  const dfr::TrainResult model = trainer.fit(data.train);
+
+  std::cout << "  optimized A=" << model.params.a << "  B=" << model.params.b
+            << "  beta=" << model.chosen_beta << '\n';
+  std::cout << "  SGD phase: " << model.sgd_seconds << " s, ridge refit: "
+            << model.ridge_seconds << " s\n";
+  std::cout << "  train accuracy: " << dfr::evaluate_accuracy(model, data.train)
+            << '\n';
+  std::cout << "  test accuracy:  " << dfr::evaluate_accuracy(model, data.test)
+            << '\n';
+  return 0;
+}

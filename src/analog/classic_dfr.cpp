@@ -1,0 +1,42 @@
+#include "analog/classic_dfr.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dfr {
+
+ClassicDfr::ClassicDfr(std::size_t nodes, ClassicDfrParams params)
+    : nodes_(nodes), params_(params) {
+  DFR_CHECK(nodes_ > 0);
+  DFR_CHECK_MSG(params_.theta > 0.0, "virtual-node spacing must be positive");
+  DFR_CHECK_MSG(params_.p >= 1.0, "Mackey-Glass exponent must be >= 1");
+}
+
+Matrix ClassicDfr::run(const Matrix& j) const {
+  DFR_CHECK_MSG(j.cols() == nodes_, "masked input width != node count");
+  const double decay = std::exp(-params_.theta);
+  const double gain = params_.eta * (1.0 - decay);
+  const std::size_t t_len = j.rows();
+
+  Matrix states(t_len + 1, nodes_);
+  for (std::size_t k = 0; k < t_len; ++k) {
+    const auto x_prev = states.row(k);
+    auto x_out = states.row(k + 1);
+    double prev_node = x_prev[nodes_ - 1];
+    for (std::size_t n = 0; n < nodes_; ++n) {
+      const double s = x_prev[n] + params_.gamma * j(k, n);
+      const double f_mg = s / (1.0 + std::pow(std::fabs(s), params_.p));
+      prev_node = decay * prev_node + gain * f_mg;
+      x_out[n] = prev_node;
+    }
+  }
+  return states;
+}
+
+std::pair<double, double> ClassicDfr::equivalent_modular_params() const noexcept {
+  const double decay = std::exp(-params_.theta);
+  return {params_.eta * (1.0 - decay), decay};
+}
+
+}  // namespace dfr

@@ -1,0 +1,56 @@
+#pragma once
+// Classic digital DFR of Appeltant et al. (Nature Comm. 2011) — the substrate
+// the modular DFR abstracts.
+//
+// The analog reservoir is the Mackey–Glass delay differential equation
+// (paper Eqs. 2-3):
+//
+//     dx/dt = -x(t) + eta * f_MG( x(t - tau) + gamma * j(t) ),
+//     f_MG(s) = s / (1 + s^p)
+//
+// Assuming the drive is piecewise-constant over each virtual-node interval
+// theta, the ODE integrates exactly (exponential Euler, paper Eqs. 5 and 8):
+//
+//     x(k)_n = e^{-theta} x(k)_{n-1} + eta (1 - e^{-theta}) f_MG( x(k-1)_n
+//              + gamma j(k)_n )
+//
+// with the delay-line wrap x(k)_0 = x(k-1)_{Nx} and x(0) = 0.
+//
+// Equivalence with the modular DFR (tested in tests/test_equivalence.cpp):
+// taking A = eta (1 - e^{-theta}), B = e^{-theta}, f~ = f_MG and folding
+// gamma into the mask reproduces this model exactly — which is precisely the
+// reparameterization the modular-DFR paper uses to cut the tunable parameter
+// count from 3 (eta, gamma, theta) to 2 (A, B).
+
+#include "dfr/mask.hpp"
+#include "linalg/matrix.hpp"
+
+namespace dfr {
+
+struct ClassicDfrParams {
+  double eta = 0.5;    // nonlinearity gain
+  double gamma = 0.05; // input scaling
+  double theta = 0.2;  // virtual-node spacing (tau = Nx * theta)
+  double p = 1.0;      // Mackey-Glass exponent
+};
+
+class ClassicDfr {
+ public:
+  ClassicDfr(std::size_t nodes, ClassicDfrParams params);
+
+  [[nodiscard]] std::size_t nodes() const noexcept { return nodes_; }
+  [[nodiscard]] const ClassicDfrParams& params() const noexcept { return params_; }
+
+  /// Full trajectory for a masked series J (T x Nx). Returns (T+1) x Nx
+  /// states, row 0 = x(0) = 0. Same layout as ModularReservoir::run.
+  [[nodiscard]] Matrix run(const Matrix& j) const;
+
+  /// The equivalent modular-DFR parameters (A, B).
+  [[nodiscard]] std::pair<double, double> equivalent_modular_params() const noexcept;
+
+ private:
+  std::size_t nodes_;
+  ClassicDfrParams params_;
+};
+
+}  // namespace dfr

@@ -1,0 +1,81 @@
+#include "analog/dde_sim.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dfr {
+
+DdeSimulator::DdeSimulator(DdeConfig config) : config_(config) {
+  DFR_CHECK(config_.dt > 0.0 && config_.tau > config_.dt);
+  DFR_CHECK(config_.p >= 1.0);
+  const auto slots =
+      static_cast<std::size_t>(std::ceil(config_.tau / config_.dt)) + 2;
+  history_.assign(slots, config_.initial_value);
+  head_ = 0;
+  x_ = config_.initial_value;
+}
+
+double DdeSimulator::delayed_state(double delay) const {
+  DFR_CHECK(delay >= 0.0 && delay <= config_.tau + config_.dt);
+  const double steps = delay / config_.dt;
+  const auto lo = static_cast<std::size_t>(steps);
+  const double frac = steps - static_cast<double>(lo);
+  const std::size_t n = history_.size();
+  DFR_DCHECK(lo + 1 < n);
+  const double v_lo = history_[(head_ + n - lo % n) % n];
+  const double v_hi = history_[(head_ + n - (lo + 1) % n) % n];
+  return (1.0 - frac) * v_lo + frac * v_hi;
+}
+
+double DdeSimulator::derivative(double x_now, double x_delayed,
+                                double drive_value) const {
+  const double s = x_delayed + config_.gamma * drive_value;
+  const double f_mg = s / (1.0 + std::pow(std::fabs(s), config_.p));
+  return -x_now + config_.eta * f_mg;
+}
+
+void DdeSimulator::push_history(double value) {
+  head_ = (head_ + 1) % history_.size();
+  history_[head_] = value;
+}
+
+void DdeSimulator::rk4_step(double drive_value) {
+  const double dt = config_.dt;
+  // Delayed arguments for the stage times t, t+dt/2, t+dt.
+  const double xd_0 = delayed_state(config_.tau);
+  const double xd_half = delayed_state(config_.tau - 0.5 * dt);
+  const double xd_1 = delayed_state(config_.tau - dt);
+
+  const double k1 = derivative(x_, xd_0, drive_value);
+  const double k2 = derivative(x_ + 0.5 * dt * k1, xd_half, drive_value);
+  const double k3 = derivative(x_ + 0.5 * dt * k2, xd_half, drive_value);
+  const double k4 = derivative(x_ + dt * k3, xd_1, drive_value);
+  x_ += dt / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+  t_ += dt;
+  push_history(x_);
+}
+
+void DdeSimulator::advance(double duration,
+                           const std::function<double(double)>& drive) {
+  DFR_CHECK(duration >= 0.0);
+  const auto steps =
+      static_cast<std::size_t>(std::llround(duration / config_.dt));
+  for (std::size_t i = 0; i < steps; ++i) rk4_step(drive(t_));
+}
+
+Matrix DdeSimulator::run_series(const Matrix& j, double theta) {
+  DFR_CHECK(theta > config_.dt);
+  const std::size_t nodes = j.cols();
+  Matrix states(j.rows(), nodes);
+  for (std::size_t k = 0; k < j.rows(); ++k) {
+    for (std::size_t n = 0; n < nodes; ++n) {
+      const double drive_value = j(k, n);
+      advance(theta, [drive_value](double) { return drive_value; });
+      states(k, n) = x_;
+    }
+  }
+  return states;
+}
+
+}  // namespace dfr

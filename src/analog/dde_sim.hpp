@@ -1,0 +1,59 @@
+#pragma once
+// Continuous-time delay-differential-equation simulator for the analog DFR.
+//
+// Integrates  dx/dt = -x(t) + eta * f_MG( x(t - tau) + gamma * j(t) )  with a
+// fixed-step RK4 scheme and a circular history buffer for the delayed term
+// (linear interpolation between stored samples). This is the reference the
+// exponential-Euler digital model (classic_dfr.hpp) approximates; the
+// approximation quality under sub-stepping is exercised in
+// tests/test_analog.cpp and demonstrates why fully digital DFR models are
+// preferred for trainability.
+
+#include <functional>
+
+#include "linalg/matrix.hpp"
+
+namespace dfr {
+
+struct DdeConfig {
+  double eta = 0.5;
+  double gamma = 0.05;
+  double tau = 6.0;        // total loop delay
+  double p = 1.0;          // Mackey-Glass exponent
+  double dt = 0.01;        // integration step (must divide theta cleanly)
+  double initial_value = 0.0;
+};
+
+class DdeSimulator {
+ public:
+  explicit DdeSimulator(DdeConfig config);
+
+  /// Advance the system by `duration` with a piecewise-constant drive j(t)
+  /// given by `drive` (evaluated at the start of each RK4 step).
+  void advance(double duration, const std::function<double(double)>& drive);
+
+  /// Current x(t).
+  [[nodiscard]] double state() const noexcept { return x_; }
+  /// Current simulation time.
+  [[nodiscard]] double time() const noexcept { return t_; }
+  /// Delayed state x(t - tau) by linear interpolation of the history.
+  [[nodiscard]] double delayed_state(double delay) const;
+
+  /// Sample the reservoir over a masked input series: each input step lasts
+  /// Nx * theta with the n-th node interval driven by gamma-scaled j(k)_n.
+  /// Returns states (T x Nx): x sampled at the end of each node interval.
+  [[nodiscard]] Matrix run_series(const Matrix& j, double theta);
+
+ private:
+  void rk4_step(double drive_value);
+  double derivative(double x_now, double x_delayed, double drive_value) const;
+  void push_history(double value);
+
+  DdeConfig config_;
+  double x_ = 0.0;
+  double t_ = 0.0;
+  std::vector<double> history_;  // ring buffer of past states, spacing dt
+  std::size_t head_ = 0;         // index of the most recent entry
+};
+
+}  // namespace dfr

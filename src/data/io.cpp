@@ -1,0 +1,111 @@
+#include "data/io.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "util/csv.hpp"
+
+namespace dfr {
+namespace {
+
+constexpr char kMagic[4] = {'R', 'C', 'D', 'S'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::ifstream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  DFR_CHECK_MSG(static_cast<bool>(in), "unexpected end of dataset file");
+}
+
+}  // namespace
+
+void save_dataset(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  DFR_CHECK_MSG(out.is_open(), "cannot open for writing: " + path);
+  out.write(kMagic, 4);
+  write_pod(out, kVersion);
+  const auto name_len = static_cast<std::uint32_t>(dataset.name().size());
+  write_pod(out, name_len);
+  out.write(dataset.name().data(), name_len);
+  write_pod(out, static_cast<std::int32_t>(dataset.num_classes()));
+  write_pod(out, static_cast<std::uint64_t>(dataset.length()));
+  write_pod(out, static_cast<std::uint64_t>(dataset.channels()));
+  write_pod(out, static_cast<std::uint64_t>(dataset.size()));
+  for (const auto& s : dataset.samples()) {
+    write_pod(out, static_cast<std::int32_t>(s.label));
+    out.write(reinterpret_cast<const char*>(s.series.data()),
+              static_cast<std::streamsize>(s.series.size() * sizeof(double)));
+  }
+  DFR_CHECK_MSG(static_cast<bool>(out), "write failure: " + path);
+}
+
+Dataset load_dataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DFR_CHECK_MSG(in.is_open(), "cannot open for reading: " + path);
+  char magic[4];
+  in.read(magic, 4);
+  DFR_CHECK_MSG(in && std::equal(magic, magic + 4, kMagic),
+                "not an RCDS file: " + path);
+  std::uint32_t version = 0;
+  read_pod(in, version);
+  DFR_CHECK_MSG(version == kVersion, "unsupported RCDS version");
+  std::uint32_t name_len = 0;
+  read_pod(in, name_len);
+  std::string name(name_len, '\0');
+  in.read(name.data(), name_len);
+  DFR_CHECK_MSG(static_cast<bool>(in), "unexpected end of dataset file");
+  std::int32_t num_classes = 0;
+  std::uint64_t length = 0, channels = 0, count = 0;
+  read_pod(in, num_classes);
+  read_pod(in, length);
+  read_pod(in, channels);
+  read_pod(in, count);
+  DFR_CHECK_MSG(num_classes >= 2 && length > 0 && channels > 0,
+                "malformed RCDS header");
+
+  Dataset dataset(name, num_classes, length, channels);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Sample s;
+    std::int32_t label = 0;
+    read_pod(in, label);
+    s.label = label;
+    s.series.resize(length, channels);
+    in.read(reinterpret_cast<char*>(s.series.data()),
+            static_cast<std::streamsize>(s.series.size() * sizeof(double)));
+    DFR_CHECK_MSG(static_cast<bool>(in), "truncated sample data");
+    dataset.add(std::move(s));
+  }
+  return dataset;
+}
+
+void save_pair(const DatasetPair& pair, const std::string& prefix) {
+  save_dataset(pair.train, prefix + ".train.rcds");
+  save_dataset(pair.test, prefix + ".test.rcds");
+}
+
+DatasetPair load_pair(const std::string& prefix) {
+  DatasetPair pair;
+  pair.train = load_dataset(prefix + ".train.rcds");
+  pair.test = load_dataset(prefix + ".test.rcds");
+  return pair;
+}
+
+void export_csv(const Dataset& dataset, const std::string& path) {
+  CsvWriter csv(path, {"sample", "label", "t", "channel", "value"});
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const Sample& s = dataset[i];
+    for (std::size_t t = 0; t < s.series.rows(); ++t) {
+      for (std::size_t v = 0; v < s.series.cols(); ++v) {
+        csv.add_row({std::to_string(i), std::to_string(s.label), std::to_string(t),
+                     std::to_string(v), std::to_string(s.series(t, v))});
+      }
+    }
+  }
+}
+
+}  // namespace dfr

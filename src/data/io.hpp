@@ -1,0 +1,32 @@
+#pragma once
+// Binary dataset serialization (.rcds) and CSV export.
+//
+// Format (little-endian, fixed-width):
+//   magic "RCDS" | u32 version | u32 name_len | name bytes
+//   i32 num_classes | u64 length | u64 channels | u64 num_samples
+//   per sample: i32 label | length*channels f64 (row-major)
+// The format exists so generated benchmarks are cacheable and so users can
+// feed their own recorded data to the examples without npz tooling.
+
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace dfr {
+
+/// Serialize to `path`. Throws CheckError on I/O failure.
+void save_dataset(const Dataset& dataset, const std::string& path);
+
+/// Deserialize from `path`. Throws CheckError on malformed input.
+Dataset load_dataset(const std::string& path);
+
+/// Save train+test as `<prefix>.train.rcds` / `<prefix>.test.rcds`.
+void save_pair(const DatasetPair& pair, const std::string& prefix);
+
+/// Load a pair saved by save_pair.
+DatasetPair load_pair(const std::string& prefix);
+
+/// Long-format CSV export: sample,label,t,channel,value (for plotting).
+void export_csv(const Dataset& dataset, const std::string& path);
+
+}  // namespace dfr

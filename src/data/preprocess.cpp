@@ -1,0 +1,80 @@
+#include "data/preprocess.hpp"
+
+#include <cmath>
+
+namespace dfr {
+
+ChannelStats compute_channel_stats(const Dataset& train, double epsilon) {
+  DFR_CHECK(!train.empty());
+  const std::size_t v_dim = train.channels();
+  ChannelStats stats;
+  stats.mean.assign(v_dim, 0.0);
+  stats.scale.assign(v_dim, 1.0);
+
+  Vector sum(v_dim, 0.0), sum_sq(v_dim, 0.0);
+  std::size_t count = 0;
+  for (const auto& s : train.samples()) {
+    for (std::size_t t = 0; t < s.series.rows(); ++t) {
+      for (std::size_t v = 0; v < v_dim; ++v) {
+        const double x = s.series(t, v);
+        sum[v] += x;
+        sum_sq[v] += x * x;
+      }
+    }
+    count += s.series.rows();
+  }
+  const auto n = static_cast<double>(count);
+  for (std::size_t v = 0; v < v_dim; ++v) {
+    stats.mean[v] = sum[v] / n;
+    const double var = std::max(0.0, sum_sq[v] / n - stats.mean[v] * stats.mean[v]);
+    stats.scale[v] = 1.0 / std::max(std::sqrt(var), epsilon);
+  }
+  return stats;
+}
+
+void apply_standardization(Dataset& dataset, const ChannelStats& stats) {
+  DFR_CHECK(stats.mean.size() == dataset.channels());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    Matrix& m = dataset[i].series;
+    for (std::size_t t = 0; t < m.rows(); ++t) {
+      for (std::size_t v = 0; v < m.cols(); ++v) {
+        m(t, v) = (m(t, v) - stats.mean[v]) * stats.scale[v];
+      }
+    }
+  }
+}
+
+ChannelStats standardize_pair(DatasetPair& pair) {
+  ChannelStats stats = compute_channel_stats(pair.train);
+  apply_standardization(pair.train, stats);
+  apply_standardization(pair.test, stats);
+  return stats;
+}
+
+Dataset resample_length(const Dataset& dataset, std::size_t new_length) {
+  DFR_CHECK(new_length >= 2);
+  Dataset out(dataset.name(), dataset.num_classes(), new_length, dataset.channels());
+  for (const auto& s : dataset.samples()) {
+    Sample resampled;
+    resampled.label = s.label;
+    resampled.series.resize(new_length, dataset.channels());
+    const std::size_t old_length = s.series.rows();
+    for (std::size_t t = 0; t < new_length; ++t) {
+      // Map new index into the old [0, T-1] axis.
+      const double pos = static_cast<double>(t) *
+                         static_cast<double>(old_length - 1) /
+                         static_cast<double>(new_length - 1);
+      const auto lo = static_cast<std::size_t>(pos);
+      const std::size_t hi = std::min(lo + 1, old_length - 1);
+      const double frac = pos - static_cast<double>(lo);
+      for (std::size_t v = 0; v < dataset.channels(); ++v) {
+        resampled.series(t, v) =
+            (1.0 - frac) * s.series(lo, v) + frac * s.series(hi, v);
+      }
+    }
+    out.add(std::move(resampled));
+  }
+  return out;
+}
+
+}  // namespace dfr

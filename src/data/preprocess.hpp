@@ -1,0 +1,27 @@
+#pragma once
+// Dataset preprocessing: per-channel standardization (train statistics applied
+// to both splits, as in Bianchi et al.) and simple length resampling.
+
+#include "data/dataset.hpp"
+
+namespace dfr {
+
+/// Per-channel affine normalization parameters.
+struct ChannelStats {
+  Vector mean;   // size V
+  Vector scale;  // size V; 1/std (std floored at epsilon)
+};
+
+/// Compute per-channel mean/std over all samples and time steps of `train`.
+ChannelStats compute_channel_stats(const Dataset& train, double epsilon = 1e-12);
+
+/// Apply x <- (x - mean) * scale in place.
+void apply_standardization(Dataset& dataset, const ChannelStats& stats);
+
+/// Standardize train and test using train statistics. Returns the stats used.
+ChannelStats standardize_pair(DatasetPair& pair);
+
+/// Linear-interpolation resampling of every sample to `new_length` steps.
+Dataset resample_length(const Dataset& dataset, std::size_t new_length);
+
+}  // namespace dfr

@@ -1,0 +1,268 @@
+#include "data/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace dfr {
+namespace {
+
+/// Per-(class, channel) harmonic signature.
+struct Signature {
+  std::vector<double> freq;   // cycles per series
+  std::vector<double> amp;
+  std::vector<double> phase;
+};
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::vector<std::vector<Signature>> make_signatures(const DatasetSpec& spec,
+                                                    const SynthConfig& cfg,
+                                                    Rng& rng,
+                                                    std::size_t signature_sets) {
+  std::vector<std::vector<Signature>> sig(signature_sets);
+  for (auto& per_channel : sig) {
+    per_channel.resize(spec.channels);
+    for (auto& s : per_channel) {
+      s.freq.resize(static_cast<std::size_t>(cfg.harmonics));
+      s.amp.resize(static_cast<std::size_t>(cfg.harmonics));
+      s.phase.resize(static_cast<std::size_t>(cfg.harmonics));
+      for (int h = 0; h < cfg.harmonics; ++h) {
+        s.freq[static_cast<std::size_t>(h)] = rng.uniform(cfg.min_freq, cfg.max_freq);
+        s.amp[static_cast<std::size_t>(h)] = rng.uniform(0.5, 1.5);
+        s.phase[static_cast<std::size_t>(h)] =
+            rng.uniform(0.0, 2.0 * std::numbers::pi);
+      }
+    }
+  }
+  return sig;
+}
+
+Sample draw_sample(const DatasetSpec& spec, const SynthConfig& cfg,
+                   const std::vector<std::vector<Signature>>& signatures,
+                   const std::vector<Signature>& shared, int label, Rng& rng) {
+  Sample sample;
+  sample.label = label;
+  sample.series.resize(spec.length, spec.channels);
+
+  const auto& class_sig = signatures[static_cast<std::size_t>(label)];
+  const double warp = 1.0 + rng.uniform(-cfg.warp_jitter, cfg.warp_jitter);
+  const double global_phase = rng.normal(0.0, cfg.phase_jitter);
+  // Class-informative fraction of the signal: `overlap` of the energy is a
+  // signature common to all classes (background structure), only the rest
+  // discriminates.
+  const double w_shared = std::clamp(spec.overlap, 0.0, 0.99);
+  const double w_class = 1.0 - w_shared;
+
+  for (std::size_t v = 0; v < spec.channels; ++v) {
+    const Signature& s = class_sig[v];
+    const Signature& base = shared[v];
+    const double amp_scale = 1.0 + rng.uniform(-cfg.amp_jitter, cfg.amp_jitter);
+    double noise = 0.0;  // AR(1) state
+    const double innovation_sd =
+        spec.difficulty * std::sqrt(1.0 - cfg.ar_coefficient * cfg.ar_coefficient);
+    for (std::size_t t = 0; t < spec.length; ++t) {
+      const double phase_t =
+          2.0 * std::numbers::pi * warp * static_cast<double>(t) /
+          static_cast<double>(spec.length);
+      double value = 0.0;
+      for (std::size_t h = 0; h < s.freq.size(); ++h) {
+        value +=
+            w_class * s.amp[h] *
+                std::sin(s.freq[h] * phase_t + s.phase[h] + global_phase) +
+            w_shared * base.amp[h] *
+                std::sin(base.freq[h] * phase_t + base.phase[h] + global_phase);
+      }
+      noise = cfg.ar_coefficient * noise + rng.normal(0.0, innovation_sd);
+      sample.series(t, v) = amp_scale * value + noise;
+    }
+  }
+  return sample;
+}
+
+// ---- event-order generator --------------------------------------------------
+//
+// A pool of burst prototypes (windowed sinusoids with per-channel amplitude
+// patterns) is shared by ALL classes; a class is a specific ordering of the
+// same multiset of prototypes over L slots. Marginal statistics are therefore
+// class-independent by construction — only temporal context separates
+// classes, which is exactly the regime where reservoir memory (and hence the
+// choice of A, B) matters.
+
+struct BurstPrototype {
+  double freq = 1.0;                 // cycles per slot
+  double phase = 0.0;
+  std::vector<double> channel_amp;   // per-channel signed amplitude
+};
+
+struct EventTask {
+  std::vector<BurstPrototype> prototypes;
+  std::vector<std::vector<std::size_t>> class_sequence;  // [class][slot]
+  std::size_t slots = 0;
+};
+
+EventTask make_event_task(const DatasetSpec& spec, Rng& rng) {
+  EventTask task;
+  task.slots = std::clamp<std::size_t>(spec.length / 12, 5, 16);
+  const std::size_t pool = std::min<std::size_t>(5, task.slots);
+
+  task.prototypes.resize(pool);
+  for (auto& proto : task.prototypes) {
+    proto.freq = rng.uniform(1.0, 3.0);
+    proto.phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    proto.channel_amp.resize(spec.channels);
+    for (double& amp : proto.channel_amp) {
+      amp = rng.sign() * rng.uniform(0.6, 1.4);
+    }
+  }
+
+  // Base multiset: slots cycle through the pool, then one dataset-level
+  // shuffle. Every class permutes THIS multiset, so per-prototype occupancy
+  // is identical across classes.
+  std::vector<std::size_t> base(task.slots);
+  for (std::size_t l = 0; l < task.slots; ++l) base[l] = l % pool;
+  rng.shuffle(base);
+
+  task.class_sequence.resize(static_cast<std::size_t>(spec.num_classes));
+  for (auto& seq : task.class_sequence) {
+    seq = base;
+    rng.shuffle(seq);
+  }
+  return task;
+}
+
+Sample draw_event_sample(const DatasetSpec& spec, const SynthConfig& cfg,
+                         const EventTask& task, int label, Rng& rng) {
+  Sample sample;
+  sample.label = label;
+  sample.series.resize(spec.length, spec.channels);
+
+  const auto& seq = task.class_sequence[static_cast<std::size_t>(label)];
+  const double slot_len =
+      static_cast<double>(spec.length) / static_cast<double>(task.slots);
+  const double phase_jitter = rng.normal(0.0, cfg.phase_jitter);
+  const double amp_scale = 1.0 + rng.uniform(-cfg.amp_jitter, cfg.amp_jitter);
+
+  // Deterministic per-sample slot timing jitter (up to ~20% of a slot).
+  std::vector<double> slot_start(task.slots);
+  for (std::size_t l = 0; l < task.slots; ++l) {
+    slot_start[l] = (static_cast<double>(l) +
+                     rng.uniform(-0.2, 0.2)) * slot_len;
+  }
+
+  // Render bursts.
+  for (std::size_t l = 0; l < task.slots; ++l) {
+    const BurstPrototype& proto = task.prototypes[seq[l]];
+    const auto t_begin = static_cast<std::size_t>(
+        std::max(0.0, slot_start[l]));
+    const auto t_end = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(spec.length),
+                         slot_start[l] + slot_len));
+    for (std::size_t t = t_begin; t < t_end; ++t) {
+      const double u = (static_cast<double>(t) - slot_start[l]) / slot_len;
+      const double envelope = std::sin(std::numbers::pi * u);
+      const double carrier = std::sin(2.0 * std::numbers::pi * proto.freq * u +
+                                      proto.phase + phase_jitter);
+      const double value = envelope * envelope * carrier;
+      for (std::size_t v = 0; v < spec.channels; ++v) {
+        sample.series(t, v) += amp_scale * proto.channel_amp[v] * value;
+      }
+    }
+  }
+
+  // Additive AR(1) noise, scale = difficulty.
+  const double innovation_sd =
+      spec.difficulty * std::sqrt(1.0 - cfg.ar_coefficient * cfg.ar_coefficient);
+  for (std::size_t v = 0; v < spec.channels; ++v) {
+    double noise = 0.0;
+    for (std::size_t t = 0; t < spec.length; ++t) {
+      noise = cfg.ar_coefficient * noise + rng.normal(0.0, innovation_sd);
+      sample.series(t, v) += noise;
+    }
+  }
+  return sample;
+}
+
+Dataset draw_event_split(const DatasetSpec& spec, const SynthConfig& cfg,
+                         const EventTask& task, std::size_t total, Rng& rng,
+                         const std::string& split_name) {
+  Dataset out(spec.id + "/" + split_name, spec.num_classes, spec.length,
+              spec.channels);
+  for (std::size_t i = 0; i < total; ++i) {
+    const int label =
+        static_cast<int>(i % static_cast<std::size_t>(spec.num_classes));
+    out.add(draw_event_sample(spec, cfg, task, label, rng));
+  }
+  return out;
+}
+
+Dataset draw_split(const DatasetSpec& spec, const SynthConfig& cfg,
+                   const std::vector<std::vector<Signature>>& signatures,
+                   const std::vector<Signature>& shared, std::size_t total,
+                   Rng& rng, const std::string& split_name) {
+  Dataset out(spec.id + "/" + split_name, spec.num_classes, spec.length,
+              spec.channels);
+  // Balanced round-robin labels so every class appears even in tiny splits.
+  for (std::size_t i = 0; i < total; ++i) {
+    const int label = static_cast<int>(i % static_cast<std::size_t>(spec.num_classes));
+    out.add(draw_sample(spec, cfg, signatures, shared, label, rng));
+  }
+  return out;
+}
+
+}  // namespace
+
+DatasetPair generate_synthetic(const DatasetSpec& spec, const SynthConfig& cfg) {
+  DFR_CHECK(spec.num_classes >= 2 && spec.channels > 0 && spec.length > 1);
+  Rng rng(hash_combine(cfg.seed, fnv1a(spec.id)));
+  DatasetPair pair;
+  if (spec.kind == TaskKind::kEventOrder) {
+    const EventTask task = make_event_task(spec, rng);
+    Rng rng_train = rng.fork(1);
+    Rng rng_test = rng.fork(2);
+    pair.train = draw_event_split(spec, cfg, task, spec.train_size, rng_train,
+                                  "train");
+    pair.test =
+        draw_event_split(spec, cfg, task, spec.test_size, rng_test, "test");
+    return pair;
+  }
+  const auto signatures = make_signatures(
+      spec, cfg, rng, static_cast<std::size_t>(spec.num_classes));
+  const auto shared = make_signatures(spec, cfg, rng, 1)[0];
+  Rng rng_train = rng.fork(1);
+  Rng rng_test = rng.fork(2);
+  pair.train = draw_split(spec, cfg, signatures, shared, spec.train_size,
+                          rng_train, "train");
+  pair.test =
+      draw_split(spec, cfg, signatures, shared, spec.test_size, rng_test, "test");
+  return pair;
+}
+
+DatasetPair generate_toy_task(int num_classes, std::size_t channels,
+                              std::size_t length, std::size_t train_per_class,
+                              std::size_t test_per_class, double difficulty,
+                              std::uint64_t seed) {
+  DatasetSpec spec;
+  spec.id = "TOY";
+  spec.channels = channels;
+  spec.length = length;
+  spec.num_classes = num_classes;
+  spec.train_size = train_per_class * static_cast<std::size_t>(num_classes);
+  spec.test_size = test_per_class * static_cast<std::size_t>(num_classes);
+  spec.paper_bp_accuracy = 0.0;
+  spec.difficulty = difficulty;
+  SynthConfig cfg;
+  cfg.seed = seed;
+  return generate_synthetic(spec, cfg);
+}
+
+}  // namespace dfr

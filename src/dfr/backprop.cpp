@@ -1,0 +1,156 @@
+#include "dfr/backprop.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dfr {
+
+ReservoirGradients backprop_through_dprr(const ModularReservoir& reservoir,
+                                         const DfrParams& params,
+                                         const Matrix& states, const Matrix& j,
+                                         std::span<const double> dr,
+                                         std::size_t window) {
+  const std::size_t nx = reservoir.nodes();
+  const std::size_t m = j.rows();  // steps represented in the buffers
+  DFR_CHECK_MSG(states.cols() == nx && j.cols() == nx, "node-count mismatch");
+  DFR_CHECK_MSG(states.rows() == m + 1, "states must hold one more row than j");
+  DFR_CHECK_MSG(dr.size() == dprr_dim(nx), "dr has wrong length");
+  DFR_CHECK_MSG(window >= 1 && window <= m, "window out of range");
+
+  const Nonlinearity& f = reservoir.nonlinearity();
+  const double* dr_mat = dr.data();           // Nx x Nx block, row i = dr[i*Nx + .]
+  const double* dr_sum = dr.data() + nx * nx; // the state-sum block
+
+  Vector g(nx, 0.0);        // dL/dx(k)   (being built)
+  Vector g_next(nx, 0.0);   // dL/dx(k+1) (from previous iteration)
+  Vector slope_next(nx);    // A * f~'(s(k+1)_n)
+  Vector bpv(nx);
+  Vector cross(nx);         // sum_i x(k+1)_i * dr[i*Nx + n]
+
+  ReservoirGradients grads;
+
+  // Iterate k = T, T-1, ..., T-window+1. Row of x(k) in `states` is m-step;
+  // row of j(k) in `j` is m-1-step.
+  for (std::size_t step = 0; step < window; ++step) {
+    const std::size_t xk_row = m - step;
+    const auto x_k = states.row(xk_row);
+    const auto x_km1 = states.row(xk_row - 1);
+    const auto j_k = j.row(xk_row - 1);
+    const bool has_future = step > 0;  // does x(k+1) exist in this window?
+
+    // bpv (Eq. 23 / Eq. 33): contributions of x(k)_n to the DPRR features.
+    if (has_future) {
+      const auto x_kp1 = states.row(xk_row + 1);
+      // cross[n] = sum_i x(k+1)_i * dr[i*Nx + n]
+      std::fill(cross.begin(), cross.end(), 0.0);
+      for (std::size_t i = 0; i < nx; ++i) {
+        const double xi = x_kp1[i];
+        if (xi == 0.0) continue;
+        const double* dri = dr_mat + i * nx;
+        for (std::size_t n = 0; n < nx; ++n) cross[n] += xi * dri[n];
+      }
+    }
+    for (std::size_t n = 0; n < nx; ++n) {
+      double v = dr_sum[n];
+      const double* drn = dr_mat + n * nx;
+      for (std::size_t jj = 0; jj < nx; ++jj) v += x_km1[jj] * drn[jj];
+      if (has_future) v += cross[n];
+      bpv[n] = v;
+    }
+
+    // Recursion (Eq. 30 / Eq. 34), n descending. Terms:
+    //   + B * g(k)_{n+1}                (within-step chain; for n = Nx the
+    //     chain continues into x(k+1)_1 via the delay-line wrap)
+    //   + A f~'(s(k+1)_n) * g(k+1)_n    (through-f path into the next step)
+    for (std::size_t nn = nx; nn > 0; --nn) {
+      const std::size_t n = nn - 1;
+      double v = bpv[n];
+      if (n + 1 < nx) {
+        v += params.b * g[n + 1];
+      } else if (has_future) {
+        v += params.b * g_next[0];  // x(k+1)_1 = A f~(s) + B x(k)_{Nx}
+      }
+      if (has_future) v += slope_next[n] * g_next[n];
+      g[n] = v;
+    }
+
+    // Parameter gradients (Eqs. 31-32 / 35-36) for this k.
+    double prev_node = x_km1[nx - 1];  // x(k)_0 = x(k-1)_{Nx}
+    for (std::size_t n = 0; n < nx; ++n) {
+      const double s = j_k[n] + x_km1[n];
+      grads.da += f.value(s) * g[n];
+      grads.db += prev_node * g[n];
+      prev_node = x_k[n];
+    }
+
+    // Prepare the next (older) step: g(k+1) <- g(k); slopes of s(k)_n.
+    for (std::size_t n = 0; n < nx; ++n) {
+      slope_next[n] = params.a * f.derivative(j_k[n] + x_km1[n]);
+    }
+    std::swap(g, g_next);
+  }
+  return grads;
+}
+
+ReservoirGradients backprop_full(const ModularReservoir& reservoir,
+                                 const DfrParams& params, const Matrix& states,
+                                 const Matrix& j, std::span<const double> dr) {
+  return backprop_through_dprr(reservoir, params, states, j, dr, j.rows());
+}
+
+TruncatedForward run_forward_truncated(const ModularReservoir& reservoir,
+                                       const DfrParams& params, const Mask& mask,
+                                       const Matrix& series, std::size_t window) {
+  const std::size_t nx = reservoir.nodes();
+  const std::size_t t_len = series.rows();
+  DFR_CHECK_MSG(t_len >= 1, "series must have at least one step");
+  DFR_CHECK_MSG(window >= 1, "window must be at least 1");
+  const std::size_t kept = std::min(window, t_len);
+
+  // Ring buffers: kept+1 state rows, kept masked-input rows.
+  Matrix state_ring(kept + 1, nx);  // starts as x(0)=0 in every slot
+  Matrix j_ring(kept, nx);
+  DprrAccumulator dprr(nx);
+
+  std::size_t cur = 0;  // ring slot holding x(k-1)
+  for (std::size_t k = 0; k < t_len; ++k) {
+    const std::size_t next = (cur + 1) % (kept + 1);
+    const Vector j_row = mask.apply(series.row(k));
+    reservoir.step(params, j_row, state_ring.row(cur), state_ring.row(next));
+    dprr.add(state_ring.row(next), state_ring.row(cur));
+    j_ring.set_row(k % kept, j_row);
+    cur = next;
+  }
+
+  // Unroll the rings into chronologically ordered tail matrices.
+  TruncatedForward out;
+  out.steps = t_len;
+  out.dprr = dprr.features();
+  out.tail_states.resize(kept + 1, nx);
+  out.tail_j.resize(kept, nx);
+  for (std::size_t i = 0; i <= kept; ++i) {
+    // Row i should be x(T-kept+i); slot of x(k) is k % (kept+1) offset from cur.
+    const std::size_t k = t_len - kept + i;
+    const std::size_t slot =
+        (cur + (kept + 1) - (t_len - k) % (kept + 1)) % (kept + 1);
+    out.tail_states.set_row(i, state_ring.row(slot));
+  }
+  for (std::size_t i = 0; i < kept; ++i) {
+    const std::size_t k = t_len - kept + i;  // 0-based index of j(k+1)
+    out.tail_j.set_row(i, j_ring.row(k % kept));
+  }
+  return out;
+}
+
+FullForward run_forward_full(const ModularReservoir& reservoir,
+                             const DfrParams& params, const Mask& mask,
+                             const Matrix& series) {
+  FullForward out;
+  out.j = mask.apply_series(series);
+  out.states = reservoir.run(out.j, params);
+  out.dprr = dprr_from_states(out.states);
+  return out;
+}
+
+}  // namespace dfr

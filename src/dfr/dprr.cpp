@@ -1,0 +1,37 @@
+#include "dfr/dprr.hpp"
+
+#include "util/check.hpp"
+
+namespace dfr {
+
+Vector dprr_from_states(const Matrix& states) {
+  DFR_CHECK_MSG(states.rows() >= 2, "need at least x(0) and x(1)");
+  const std::size_t nx = states.cols();
+  DprrAccumulator acc(nx);
+  for (std::size_t k = 1; k < states.rows(); ++k) {
+    acc.add(states.row(k), states.row(k - 1));
+  }
+  return acc.features();
+}
+
+DprrAccumulator::DprrAccumulator(std::size_t nx) : nx_(nx), r_(dprr_dim(nx), 0.0) {
+  DFR_CHECK(nx > 0);
+}
+
+void DprrAccumulator::add(std::span<const double> x_k, std::span<const double> x_km1) {
+  DFR_DCHECK(x_k.size() == nx_ && x_km1.size() == nx_);
+  for (std::size_t i = 0; i < nx_; ++i) {
+    const double xi = x_k[i];
+    double* row = r_.data() + i * nx_;
+    for (std::size_t j = 0; j < nx_; ++j) row[j] += xi * x_km1[j];
+    r_[nx_ * nx_ + i] += xi;
+  }
+  ++steps_;
+}
+
+void DprrAccumulator::reset() noexcept {
+  std::fill(r_.begin(), r_.end(), 0.0);
+  steps_ = 0;
+}
+
+}  // namespace dfr

@@ -1,0 +1,57 @@
+#include "dfr/features.hpp"
+
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace dfr {
+
+FeatureMatrix compute_features(const ModularReservoir& reservoir,
+                               const DfrParams& params, const Mask& mask,
+                               const Dataset& dataset,
+                               RepresentationKind representation,
+                               unsigned threads) {
+  DFR_CHECK(!dataset.empty());
+  const std::size_t n = dataset.size();
+  const std::size_t dim = representation_dim(representation, reservoir.nodes());
+
+  FeatureMatrix out;
+  out.features.resize(n, dim);
+  out.labels.resize(n);
+
+  auto process_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const Sample& sample = dataset[i];
+      const Matrix states = reservoir.run_series(mask, sample.series, params);
+      const Vector r = compute_representation(representation, states);
+      out.features.set_row(i, r);
+      out.labels[i] = sample.label;
+    }
+  };
+
+  if (threads <= 1 || n < 2 * threads) {
+    process_range(0, n);
+  } else {
+    std::vector<std::thread> pool;
+    const std::size_t chunk = (n + threads - 1) / threads;
+    for (unsigned t = 0; t < threads; ++t) {
+      const std::size_t begin = t * chunk;
+      const std::size_t end = std::min(n, begin + chunk);
+      if (begin >= end) break;
+      pool.emplace_back(process_range, begin, end);
+    }
+    for (auto& th : pool) th.join();
+  }
+  return out;
+}
+
+Matrix one_hot(const std::vector<int>& labels, int num_classes) {
+  Matrix d(labels.size(), static_cast<std::size_t>(num_classes));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    DFR_CHECK(labels[i] >= 0 && labels[i] < num_classes);
+    d(i, static_cast<std::size_t>(labels[i])) = 1.0;
+  }
+  return d;
+}
+
+}  // namespace dfr

@@ -1,0 +1,32 @@
+#pragma once
+// Batch feature extraction: run the reservoir over every sample of a dataset
+// and stack the chosen representation into an N x Nr matrix for the ridge
+// solver. This is the forward-only path used by grid search, by the final
+// readout fit, and by evaluation.
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "dfr/mask.hpp"
+#include "dfr/representation.hpp"
+#include "dfr/reservoir.hpp"
+
+namespace dfr {
+
+struct FeatureMatrix {
+  Matrix features;          // N x Nr
+  std::vector<int> labels;  // N
+};
+
+/// Features for every sample. `threads` > 1 parallelizes over samples
+/// (deterministic: each row is written independently).
+FeatureMatrix compute_features(const ModularReservoir& reservoir,
+                               const DfrParams& params, const Mask& mask,
+                               const Dataset& dataset,
+                               RepresentationKind representation,
+                               unsigned threads = 1);
+
+/// One-hot target matrix (N x Ny) from labels.
+Matrix one_hot(const std::vector<int>& labels, int num_classes);
+
+}  // namespace dfr

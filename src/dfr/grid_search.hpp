@@ -1,0 +1,97 @@
+#pragma once
+// Grid-search baseline (paper Section 4.1).
+//
+// The conventional way to tune a DFR: sweep (A, B) over a log-spaced grid —
+// A in [10^-3.75, 10^-0.25], B in [10^-2.75, 10^-0.25] — with `divs` equal
+// divisions per axis (a division contributes its midpoint, so divs=1 tests
+// the range center), fitting the ridge readout for each beta candidate at
+// every grid point. The escalation protocol increases divs from 1 until the
+// grid matches the backprop method's accuracy, which is how the paper's
+// "gs divs"/"gs time" columns are produced.
+//
+// Every candidate is scored by validation loss (same criterion as the
+// proposed method); test accuracy is recorded for reporting. Candidates whose
+// reservoir diverges (non-finite features — possible at large A, B with an
+// expansive nonlinearity) are marked invalid and never selected.
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "dfr/ridge.hpp"
+#include "dfr/reservoir.hpp"
+
+namespace dfr {
+
+struct GridSearchConfig {
+  std::size_t nodes = 30;
+  NonlinearityKind nonlinearity = NonlinearityKind::kIdentity;
+  double mg_exponent = 1.0;
+  MaskKind mask_kind = MaskKind::kBinary;
+
+  double log10_a_min = -3.75;  // paper's A range
+  double log10_a_max = -0.25;
+  double log10_b_min = -2.75;  // paper's B range
+  double log10_b_max = -0.25;
+
+  std::vector<double> betas = paper_beta_grid();
+  double validation_fraction = 0.2;
+  unsigned threads = 1;  // candidate-level parallelism (deterministic)
+  std::uint64_t seed = 42;
+};
+
+/// Midpoints of `divs` equal divisions of [lo, hi] (log10 domain here).
+std::vector<double> grid_points(double lo, double hi, std::size_t divs);
+
+struct GridCandidate {
+  double a = 0.0;
+  double b = 0.0;
+  double beta = 0.0;           // best beta at this point
+  double validation_loss = 0.0;
+  double test_accuracy = 0.0;
+  bool valid = false;          // false if the reservoir diverged
+};
+
+struct GridLevelResult {
+  std::size_t divs = 0;
+  std::vector<GridCandidate> candidates;  // row-major over (a_idx, b_idx)
+  std::size_t best_index = 0;             // by validation loss among valid
+  std::size_t best_test_index = 0;        // by test accuracy among valid
+  double seconds = 0.0;
+
+  /// Winner by validation loss (the deployable selection rule).
+  [[nodiscard]] const GridCandidate& best() const {
+    return candidates[best_index];
+  }
+  /// Winner by test accuracy — the optimistic "best the grid can offer"
+  /// reading the paper's escalation protocol uses. Using it for the
+  /// stopping rule favors grid search, making speedup ratios conservative.
+  [[nodiscard]] const GridCandidate& best_by_test() const {
+    return candidates[best_test_index];
+  }
+};
+
+/// Evaluate a full divs x divs grid.
+GridLevelResult run_grid_level(const GridSearchConfig& config,
+                               const Dataset& train, const Dataset& test,
+                               std::size_t divs);
+
+struct EscalationResult {
+  std::vector<GridLevelResult> levels;  // divs = 1, 2, ... in order
+  bool reached_target = false;
+  double total_seconds = 0.0;
+
+  /// The level that first reached the target (or the last level run).
+  [[nodiscard]] const GridLevelResult& final_level() const {
+    return levels.back();
+  }
+};
+
+/// Increase divs from 1 until best test accuracy >= target_accuracy (the
+/// paper's protocol) or divs exceeds max_divs.
+EscalationResult escalate_grid_search(const GridSearchConfig& config,
+                                      const Dataset& train, const Dataset& test,
+                                      double target_accuracy,
+                                      std::size_t max_divs);
+
+}  // namespace dfr

@@ -1,0 +1,46 @@
+#include "dfr/mask.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dfr {
+
+MaskKind parse_mask_kind(const std::string& name) {
+  if (name == "binary") return MaskKind::kBinary;
+  if (name == "uniform") return MaskKind::kUniform;
+  DFR_CHECK_MSG(false, "unknown mask kind: " + name);
+  return MaskKind::kBinary;
+}
+
+std::string mask_kind_name(MaskKind kind) {
+  switch (kind) {
+    case MaskKind::kBinary: return "binary";
+    case MaskKind::kUniform: return "uniform";
+  }
+  return "?";
+}
+
+Mask::Mask(std::size_t nodes, std::size_t channels, MaskKind kind, Rng& rng)
+    : weights_(nodes, channels) {
+  DFR_CHECK(nodes > 0 && channels > 0);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    for (std::size_t v = 0; v < channels; ++v) {
+      weights_(n, v) = (kind == MaskKind::kBinary) ? rng.sign() : rng.uniform(-1.0, 1.0);
+    }
+  }
+}
+
+Mask::Mask(Matrix weights) : weights_(std::move(weights)) {
+  DFR_CHECK(weights_.rows() > 0 && weights_.cols() > 0);
+}
+
+Vector Mask::apply(std::span<const double> input) const {
+  return matvec(weights_, input);
+}
+
+Matrix Mask::apply_series(const Matrix& series) const {
+  DFR_CHECK_MSG(series.cols() == channels(), "series channel count != mask width");
+  return matmul_a_bt(series, weights_);  // (T x V) * (V x Nx as rows) -> T x Nx
+}
+
+}  // namespace dfr

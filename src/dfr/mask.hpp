@@ -1,0 +1,51 @@
+#pragma once
+// Input masking layer.
+//
+// The DFR expands each (possibly multivariate) input sample u(k) ∈ R^V into
+// Nx virtual-node drives j(k) = M u(k). For scalar input this is the classic
+// random mask vector m of Appeltant et al.; for multivariate series M is an
+// Nx x V random matrix (the hardware-friendly DFR of Ikeda et al., TCAD'22,
+// uses binary masks). Mask entries are fixed at construction — they are NOT
+// trained; only A, B and the output layer are.
+
+#include <cstdint>
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace dfr {
+class Rng;
+
+enum class MaskKind {
+  kBinary,   // entries in {-1, +1} (hardware-friendly; default)
+  kUniform,  // entries uniform in [-1, 1]
+};
+
+MaskKind parse_mask_kind(const std::string& name);
+std::string mask_kind_name(MaskKind kind);
+
+class Mask {
+ public:
+  Mask() = default;
+
+  /// Random Nx x V mask drawn from `rng`.
+  Mask(std::size_t nodes, std::size_t channels, MaskKind kind, Rng& rng);
+
+  /// Wrap an explicit matrix (for tests / loading).
+  explicit Mask(Matrix weights);
+
+  [[nodiscard]] std::size_t nodes() const noexcept { return weights_.rows(); }
+  [[nodiscard]] std::size_t channels() const noexcept { return weights_.cols(); }
+  [[nodiscard]] const Matrix& weights() const noexcept { return weights_; }
+
+  /// j(k) = M u(k) for one time step.
+  [[nodiscard]] Vector apply(std::span<const double> input) const;
+
+  /// Apply across a whole series: (T x V) -> (T x Nx).
+  [[nodiscard]] Matrix apply_series(const Matrix& series) const;
+
+ private:
+  Matrix weights_;  // Nx x V
+};
+
+}  // namespace dfr

@@ -1,0 +1,33 @@
+#include "dfr/memory_model.hpp"
+
+#include "util/check.hpp"
+
+namespace dfr {
+namespace {
+
+std::size_t shared_representation(std::size_t nx) { return nx * (nx + 1); }
+
+std::size_t shared_weights(std::size_t nx, int ny) {
+  return static_cast<std::size_t>(ny) * (nx * (nx + 1) + 1);
+}
+
+}  // namespace
+
+MemoryBreakdown naive_memory(std::size_t t_len, std::size_t nx, int ny) {
+  DFR_CHECK(t_len > 0 && nx > 0 && ny >= 2);
+  return {(t_len + 1) * nx, shared_representation(nx), shared_weights(nx, ny)};
+}
+
+MemoryBreakdown truncated_memory(std::size_t window, std::size_t nx, int ny) {
+  DFR_CHECK(window > 0 && nx > 0 && ny >= 2);
+  return {(window + 1) * nx, shared_representation(nx), shared_weights(nx, ny)};
+}
+
+double memory_reduction(const MemoryBreakdown& naive,
+                        const MemoryBreakdown& simplified) {
+  DFR_CHECK(naive.total() > 0);
+  return static_cast<double>(naive.total() - simplified.total()) /
+         static_cast<double>(naive.total());
+}
+
+}  // namespace dfr

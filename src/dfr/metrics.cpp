@@ -1,0 +1,67 @@
+#include "dfr/metrics.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dfr {
+
+double accuracy(const std::vector<int>& predicted, const std::vector<int>& actual) {
+  DFR_CHECK(predicted.size() == actual.size() && !actual.empty());
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (predicted[i] == actual[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(actual.size());
+}
+
+Matrix confusion_matrix(const std::vector<int>& predicted,
+                        const std::vector<int>& actual, int num_classes) {
+  DFR_CHECK(predicted.size() == actual.size());
+  Matrix cm(static_cast<std::size_t>(num_classes),
+            static_cast<std::size_t>(num_classes));
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    DFR_CHECK(actual[i] >= 0 && actual[i] < num_classes && predicted[i] >= 0 &&
+              predicted[i] < num_classes);
+    cm(static_cast<std::size_t>(actual[i]), static_cast<std::size_t>(predicted[i])) +=
+        1.0;
+  }
+  return cm;
+}
+
+double macro_f1(const std::vector<int>& predicted, const std::vector<int>& actual,
+                int num_classes) {
+  const Matrix cm = confusion_matrix(predicted, actual, num_classes);
+  double f1_sum = 0.0;
+  int classes_present = 0;
+  for (std::size_t c = 0; c < cm.rows(); ++c) {
+    double tp = cm(c, c), fp = 0.0, fn = 0.0, support = 0.0;
+    for (std::size_t other = 0; other < cm.rows(); ++other) {
+      if (other != c) {
+        fp += cm(other, c);
+        fn += cm(c, other);
+      }
+      support += cm(c, other);
+    }
+    if (support == 0.0) continue;
+    ++classes_present;
+    const double denom = 2.0 * tp + fp + fn;
+    f1_sum += denom > 0.0 ? 2.0 * tp / denom : 0.0;
+  }
+  DFR_CHECK(classes_present > 0);
+  return f1_sum / classes_present;
+}
+
+double mean_cross_entropy(const Matrix& probabilities,
+                          const std::vector<int>& labels) {
+  DFR_CHECK(probabilities.rows() == labels.size() && !labels.empty());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const auto label = static_cast<std::size_t>(labels[i]);
+    DFR_CHECK(label < probabilities.cols());
+    sum += -std::log(std::max(probabilities(i, label), 1e-300));
+  }
+  return sum / static_cast<double>(labels.size());
+}
+
+}  // namespace dfr

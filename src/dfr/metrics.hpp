@@ -1,0 +1,25 @@
+#pragma once
+// Classification metrics.
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace dfr {
+
+/// Fraction of matching entries.
+double accuracy(const std::vector<int>& predicted, const std::vector<int>& actual);
+
+/// Rows = actual class, cols = predicted class.
+Matrix confusion_matrix(const std::vector<int>& predicted,
+                        const std::vector<int>& actual, int num_classes);
+
+/// Macro-averaged F1 (classes absent from `actual` are skipped).
+double macro_f1(const std::vector<int>& predicted, const std::vector<int>& actual,
+                int num_classes);
+
+/// Mean cross-entropy given per-sample probability rows and labels.
+double mean_cross_entropy(const Matrix& probabilities,
+                          const std::vector<int>& labels);
+
+}  // namespace dfr

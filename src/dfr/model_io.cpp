@@ -1,0 +1,111 @@
+#include "dfr/model_io.hpp"
+
+#include <fstream>
+
+#include "dfr/representation.hpp"
+#include "util/check.hpp"
+
+namespace dfr {
+namespace {
+
+constexpr char kMagic[4] = {'D', 'F', 'R', 'M'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::ifstream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  DFR_CHECK_MSG(static_cast<bool>(in), "unexpected end of model file");
+}
+
+void write_matrix(std::ofstream& out, const Matrix& m) {
+  write_pod(out, static_cast<std::uint64_t>(m.rows()));
+  write_pod(out, static_cast<std::uint64_t>(m.cols()));
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(double)));
+}
+
+Matrix read_matrix(std::ifstream& in) {
+  std::uint64_t rows = 0, cols = 0;
+  read_pod(in, rows);
+  read_pod(in, cols);
+  DFR_CHECK_MSG(rows > 0 && cols > 0, "malformed matrix header");
+  Matrix m(rows, cols);
+  in.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(double)));
+  DFR_CHECK_MSG(static_cast<bool>(in), "truncated matrix data");
+  return m;
+}
+
+}  // namespace
+
+void save_model(const TrainResult& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  DFR_CHECK_MSG(out.is_open(), "cannot open for writing: " + path);
+  out.write(kMagic, 4);
+  write_pod(out, kVersion);
+  write_pod(out, model.params.a);
+  write_pod(out, model.params.b);
+  write_pod(out, static_cast<std::int32_t>(model.nonlinearity.kind()));
+  write_pod(out, model.nonlinearity.mg_exponent());
+  write_pod(out, model.chosen_beta);
+  write_matrix(out, model.mask.weights());
+  write_matrix(out, model.readout.weights());
+  write_pod(out, static_cast<std::uint64_t>(model.readout.bias().size()));
+  out.write(reinterpret_cast<const char*>(model.readout.bias().data()),
+            static_cast<std::streamsize>(model.readout.bias().size() *
+                                         sizeof(double)));
+  DFR_CHECK_MSG(static_cast<bool>(out), "write failure: " + path);
+}
+
+LoadedModel load_model(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DFR_CHECK_MSG(in.is_open(), "cannot open for reading: " + path);
+  char magic[4];
+  in.read(magic, 4);
+  DFR_CHECK_MSG(in && std::equal(magic, magic + 4, kMagic),
+                "not a DFRM file: " + path);
+  std::uint32_t version = 0;
+  read_pod(in, version);
+  DFR_CHECK_MSG(version == kVersion, "unsupported DFRM version");
+
+  LoadedModel model;
+  read_pod(in, model.params.a);
+  read_pod(in, model.params.b);
+  std::int32_t kind = 0;
+  double mg_p = 1.0;
+  read_pod(in, kind);
+  read_pod(in, mg_p);
+  read_pod(in, model.chosen_beta);
+  model.nonlinearity = Nonlinearity(static_cast<NonlinearityKind>(kind), mg_p);
+  model.mask = Mask(read_matrix(in));
+  Matrix w = read_matrix(in);
+  std::uint64_t bias_len = 0;
+  read_pod(in, bias_len);
+  Vector b(bias_len);
+  in.read(reinterpret_cast<char*>(b.data()),
+          static_cast<std::streamsize>(bias_len * sizeof(double)));
+  DFR_CHECK_MSG(static_cast<bool>(in), "truncated bias data");
+  model.readout = OutputLayer(std::move(w), std::move(b));
+  return model;
+}
+
+int LoadedModel::classify(const Matrix& series) const {
+  const ModularReservoir reservoir(mask.nodes(), nonlinearity);
+  const Matrix states = reservoir.run_series(mask, series, params);
+  return readout.predict(
+      compute_representation(RepresentationKind::kDprr, states));
+}
+
+Vector LoadedModel::probabilities(const Matrix& series) const {
+  const ModularReservoir reservoir(mask.nodes(), nonlinearity);
+  const Matrix states = reservoir.run_series(mask, series, params);
+  return readout.probabilities(
+      compute_representation(RepresentationKind::kDprr, states));
+}
+
+}  // namespace dfr

@@ -1,0 +1,32 @@
+#pragma once
+// Trained-model serialization (.dfrm): reservoir parameters, mask, chosen
+// nonlinearity, and ridge readout — everything needed to deploy a trained
+// DFR for inference on-device.
+
+#include <string>
+
+#include "dfr/trainer.hpp"
+
+namespace dfr {
+
+/// Serialize a trained model. Throws CheckError on I/O failure.
+void save_model(const TrainResult& model, const std::string& path);
+
+/// Inference-only view of a deserialized model.
+struct LoadedModel {
+  DfrParams params;
+  Mask mask;
+  Nonlinearity nonlinearity{NonlinearityKind::kIdentity};
+  OutputLayer readout{2, 1};
+  double chosen_beta = 0.0;
+
+  /// Classify one series (T x V).
+  [[nodiscard]] int classify(const Matrix& series) const;
+
+  /// Class probabilities for one series.
+  [[nodiscard]] Vector probabilities(const Matrix& series) const;
+};
+
+LoadedModel load_model(const std::string& path);
+
+}  // namespace dfr

@@ -1,0 +1,86 @@
+#include "dfr/nonlinearity.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dfr {
+
+NonlinearityKind parse_nonlinearity(const std::string& name) {
+  if (name == "identity" || name == "linear") return NonlinearityKind::kIdentity;
+  if (name == "mackey-glass" || name == "mg") return NonlinearityKind::kMackeyGlass;
+  if (name == "tanh") return NonlinearityKind::kTanh;
+  if (name == "sine" || name == "sin") return NonlinearityKind::kSine;
+  if (name == "cubic") return NonlinearityKind::kCubic;
+  if (name == "saturating" || name == "sat") return NonlinearityKind::kSaturating;
+  DFR_CHECK_MSG(false, "unknown nonlinearity: " + name);
+  return NonlinearityKind::kIdentity;
+}
+
+std::string nonlinearity_name(NonlinearityKind kind) {
+  switch (kind) {
+    case NonlinearityKind::kIdentity: return "identity";
+    case NonlinearityKind::kMackeyGlass: return "mackey-glass";
+    case NonlinearityKind::kTanh: return "tanh";
+    case NonlinearityKind::kSine: return "sine";
+    case NonlinearityKind::kCubic: return "cubic";
+    case NonlinearityKind::kSaturating: return "saturating";
+  }
+  return "?";
+}
+
+Nonlinearity::Nonlinearity(NonlinearityKind kind, double p) : kind_(kind), p_(p) {
+  DFR_CHECK_MSG(p_ >= 1.0, "Mackey-Glass exponent must be >= 1");
+}
+
+double Nonlinearity::value(double s) const noexcept {
+  switch (kind_) {
+    case NonlinearityKind::kIdentity: return s;
+    case NonlinearityKind::kMackeyGlass: return s / (1.0 + std::pow(std::fabs(s), p_));
+    case NonlinearityKind::kTanh: return std::tanh(s);
+    case NonlinearityKind::kSine: return std::sin(s);
+    case NonlinearityKind::kCubic: return s - s * s * s / 3.0;
+    case NonlinearityKind::kSaturating: return s / (1.0 + std::fabs(s));
+  }
+  return s;
+}
+
+double Nonlinearity::derivative(double s) const noexcept {
+  switch (kind_) {
+    case NonlinearityKind::kIdentity: return 1.0;
+    case NonlinearityKind::kMackeyGlass: {
+      const double sp = std::pow(std::fabs(s), p_);
+      const double denom = 1.0 + sp;
+      return (1.0 + sp - p_ * sp) / (denom * denom);
+    }
+    case NonlinearityKind::kTanh: {
+      const double t = std::tanh(s);
+      return 1.0 - t * t;
+    }
+    case NonlinearityKind::kSine: return std::cos(s);
+    case NonlinearityKind::kCubic: return 1.0 - s * s;
+    case NonlinearityKind::kSaturating: {
+      const double denom = 1.0 + std::fabs(s);
+      return 1.0 / (denom * denom);
+    }
+  }
+  return 1.0;
+}
+
+Nonlinearity::ValueAndSlope Nonlinearity::value_and_slope(double s) const noexcept {
+  switch (kind_) {
+    case NonlinearityKind::kMackeyGlass: {
+      const double sp = std::pow(std::fabs(s), p_);
+      const double denom = 1.0 + sp;
+      return {s / denom, (1.0 + sp - p_ * sp) / (denom * denom)};
+    }
+    case NonlinearityKind::kTanh: {
+      const double t = std::tanh(s);
+      return {t, 1.0 - t * t};
+    }
+    default:
+      return {value(s), derivative(s)};
+  }
+}
+
+}  // namespace dfr

@@ -1,0 +1,78 @@
+#include "dfr/output.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dfr {
+
+Vector softmax(std::span<const double> logits) {
+  DFR_CHECK(!logits.empty());
+  const double zmax = *std::max_element(logits.begin(), logits.end());
+  Vector probs(logits.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    probs[i] = std::exp(logits[i] - zmax);
+    sum += probs[i];
+  }
+  for (double& p : probs) p /= sum;
+  return probs;
+}
+
+double cross_entropy(std::span<const double> probs, int label) {
+  DFR_CHECK(label >= 0 && static_cast<std::size_t>(label) < probs.size());
+  return -std::log(std::max(probs[static_cast<std::size_t>(label)], 1e-300));
+}
+
+OutputLayer::OutputLayer(int num_classes, std::size_t feature_dim)
+    : w_(static_cast<std::size_t>(num_classes), feature_dim),
+      b_(static_cast<std::size_t>(num_classes), 0.0) {
+  DFR_CHECK(num_classes >= 2 && feature_dim > 0);
+}
+
+OutputLayer::OutputLayer(Matrix weights, Vector bias)
+    : w_(std::move(weights)), b_(std::move(bias)) {
+  DFR_CHECK(w_.rows() == b_.size() && w_.rows() >= 2);
+}
+
+Vector OutputLayer::logits(std::span<const double> features) const {
+  Vector z = matvec(w_, features);
+  for (std::size_t c = 0; c < z.size(); ++c) z[c] += b_[c];
+  return z;
+}
+
+Vector OutputLayer::probabilities(std::span<const double> features) const {
+  Vector z = logits(features);
+  return softmax(z);
+}
+
+int OutputLayer::predict(std::span<const double> features) const {
+  const Vector z = logits(features);
+  return static_cast<int>(
+      std::max_element(z.begin(), z.end()) - z.begin());
+}
+
+double OutputLayer::loss(std::span<const double> features, int label) const {
+  return cross_entropy(probabilities(features), label);
+}
+
+OutputLayer::Backward OutputLayer::backward(std::span<const double> features,
+                                            int label) const {
+  Backward out;
+  out.probs = probabilities(features);
+  out.loss = cross_entropy(out.probs, label);
+  out.dlogits = out.probs;
+  out.dlogits[static_cast<std::size_t>(label)] -= 1.0;
+  out.dfeatures = matvec_t(w_, out.dlogits);
+  return out;
+}
+
+void OutputLayer::apply_gradient(const Backward& grad,
+                                 std::span<const double> features, double lr) {
+  DFR_CHECK(grad.dlogits.size() == w_.rows() && features.size() == w_.cols());
+  add_outer(w_, -lr, grad.dlogits, features);
+  axpy(-lr, grad.dlogits, b_);
+}
+
+}  // namespace dfr

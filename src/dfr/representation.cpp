@@ -1,0 +1,70 @@
+#include "dfr/representation.hpp"
+
+#include "util/check.hpp"
+
+namespace dfr {
+
+RepresentationKind parse_representation(const std::string& name) {
+  if (name == "dprr") return RepresentationKind::kDprr;
+  if (name == "last") return RepresentationKind::kLastState;
+  if (name == "mean") return RepresentationKind::kMeanState;
+  if (name == "last+mean") return RepresentationKind::kLastAndMean;
+  DFR_CHECK_MSG(false, "unknown representation: " + name);
+  return RepresentationKind::kDprr;
+}
+
+std::string representation_name(RepresentationKind kind) {
+  switch (kind) {
+    case RepresentationKind::kDprr: return "dprr";
+    case RepresentationKind::kLastState: return "last";
+    case RepresentationKind::kMeanState: return "mean";
+    case RepresentationKind::kLastAndMean: return "last+mean";
+  }
+  return "?";
+}
+
+std::size_t representation_dim(RepresentationKind kind, std::size_t nx) {
+  switch (kind) {
+    case RepresentationKind::kDprr: return dprr_dim(nx);
+    case RepresentationKind::kLastState: return nx;
+    case RepresentationKind::kMeanState: return nx;
+    case RepresentationKind::kLastAndMean: return 2 * nx;
+  }
+  return 0;
+}
+
+Vector compute_representation(RepresentationKind kind, const Matrix& states) {
+  DFR_CHECK(states.rows() >= 2);
+  const std::size_t nx = states.cols();
+  const std::size_t t_len = states.rows() - 1;
+  switch (kind) {
+    case RepresentationKind::kDprr: {
+      Vector r = dprr_from_states(states);
+      scale(r, dprr_time_scale(t_len));  // time-averaged DPRR (see dprr.hpp)
+      return r;
+    }
+    case RepresentationKind::kLastState: {
+      const auto last = states.row(t_len);
+      return Vector(last.begin(), last.end());
+    }
+    case RepresentationKind::kMeanState: {
+      Vector mean(nx, 0.0);
+      for (std::size_t k = 1; k <= t_len; ++k) axpy(1.0, states.row(k), mean);
+      scale(mean, 1.0 / static_cast<double>(t_len));
+      return mean;
+    }
+    case RepresentationKind::kLastAndMean: {
+      Vector out(2 * nx, 0.0);
+      const auto last = states.row(t_len);
+      std::copy(last.begin(), last.end(), out.begin());
+      for (std::size_t k = 1; k <= t_len; ++k) {
+        axpy(1.0, states.row(k), std::span<double>(out).subspan(nx, nx));
+      }
+      scale(std::span<double>(out).subspan(nx, nx), 1.0 / static_cast<double>(t_len));
+      return out;
+    }
+  }
+  return {};
+}
+
+}  // namespace dfr

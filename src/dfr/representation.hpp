@@ -1,0 +1,29 @@
+#pragma once
+// Reservoir representations: DPRR plus the simpler alternatives the paper
+// cites ([3-6,13]) as comparison points. All map a state trajectory to a
+// fixed-length feature vector consumed by the linear output layer.
+
+#include <string>
+
+#include "dfr/dprr.hpp"
+#include "linalg/matrix.hpp"
+
+namespace dfr {
+
+enum class RepresentationKind {
+  kDprr,        // sum_k x(k) [x(k-1), 1]^T  — Nx*(Nx+1) features (paper)
+  kLastState,   // x(T)                      — Nx features
+  kMeanState,   // (1/T) sum_k x(k)          — Nx features
+  kLastAndMean, // [x(T), mean]              — 2*Nx features
+};
+
+RepresentationKind parse_representation(const std::string& name);
+std::string representation_name(RepresentationKind kind);
+
+/// Feature dimension for a given node count.
+std::size_t representation_dim(RepresentationKind kind, std::size_t nx);
+
+/// Compute features from a full trajectory ((T+1) x Nx, row 0 = x(0)).
+Vector compute_representation(RepresentationKind kind, const Matrix& states);
+
+}  // namespace dfr

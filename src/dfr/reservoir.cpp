@@ -1,0 +1,41 @@
+#include "dfr/reservoir.hpp"
+
+#include "util/check.hpp"
+
+namespace dfr {
+
+ModularReservoir::ModularReservoir(std::size_t nodes, Nonlinearity nonlinearity)
+    : nodes_(nodes), f_(nonlinearity) {
+  DFR_CHECK_MSG(nodes_ > 0, "reservoir needs at least one virtual node");
+}
+
+void ModularReservoir::step(const DfrParams& params, std::span<const double> j_row,
+                            std::span<const double> x_prev,
+                            std::span<double> x_out) const {
+  DFR_DCHECK(j_row.size() == nodes_ && x_prev.size() == nodes_ &&
+             x_out.size() == nodes_);
+  DFR_DCHECK(x_out.data() != x_prev.data());
+  double prev_node = x_prev[nodes_ - 1];  // x(k)_0 = x(k-1)_{Nx}
+  for (std::size_t n = 0; n < nodes_; ++n) {
+    const double s = j_row[n] + x_prev[n];
+    prev_node = params.a * f_.value(s) + params.b * prev_node;
+    x_out[n] = prev_node;
+  }
+}
+
+Matrix ModularReservoir::run(const Matrix& j, const DfrParams& params) const {
+  DFR_CHECK_MSG(j.cols() == nodes_, "masked input width != node count");
+  const std::size_t t_len = j.rows();
+  Matrix states(t_len + 1, nodes_);  // row 0 = x(0) = 0
+  for (std::size_t k = 0; k < t_len; ++k) {
+    step(params, j.row(k), states.row(k), states.row(k + 1));
+  }
+  return states;
+}
+
+Matrix ModularReservoir::run_series(const Mask& mask, const Matrix& series,
+                                    const DfrParams& params) const {
+  return run(mask.apply_series(series), params);
+}
+
+}  // namespace dfr

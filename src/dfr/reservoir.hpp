@@ -1,0 +1,56 @@
+#pragma once
+// Modular delayed-feedback reservoir — forward model.
+//
+// Node update (paper Eq. 13), nodes n = 1..Nx within each time step k:
+//
+//     x(k)_n = A * f~( j(k)_n + x(k-1)_n ) + B * x(k)_{n-1}
+//
+// with the delay-line wrap x(k)_0 = x(k-1)_{Nx} and x(0) = 0. A is the outer
+// gain of the nonlinear block ("f has a constant multiplication parameter A")
+// and B the feedback attenuation; these two scalars are the reservoir
+// parameters that backpropagation optimizes. j(k) = M u(k) is the masked
+// input (mask.hpp).
+//
+// Note on the wrap term: within a time step the nodes form a chain through B;
+// the chain's head continues from the previous step's last node, which is how
+// the delay line of the analog implementation closes. The backprop engine
+// (backprop.hpp) differentiates this exact forward pass.
+
+#include "dfr/mask.hpp"
+#include "dfr/nonlinearity.hpp"
+#include "linalg/matrix.hpp"
+
+namespace dfr {
+
+/// The two trainable reservoir parameters. Paper's initial value: (0.01, 0.01).
+struct DfrParams {
+  double a = 0.01;
+  double b = 0.01;
+};
+
+class ModularReservoir {
+ public:
+  ModularReservoir(std::size_t nodes, Nonlinearity nonlinearity);
+
+  [[nodiscard]] std::size_t nodes() const noexcept { return nodes_; }
+  [[nodiscard]] const Nonlinearity& nonlinearity() const noexcept { return f_; }
+
+  /// One reservoir time step. `x_prev` is x(k-1) (size Nx), `j_row` is j(k)
+  /// (size Nx); writes x(k) into `x_out` (size Nx, must not alias x_prev).
+  void step(const DfrParams& params, std::span<const double> j_row,
+            std::span<const double> x_prev, std::span<double> x_out) const;
+
+  /// Full trajectory for a masked series J (T x Nx). Returns (T+1) x Nx
+  /// states; row 0 is the zero initial state, row k is x(k).
+  [[nodiscard]] Matrix run(const Matrix& j, const DfrParams& params) const;
+
+  /// Convenience: mask + run for a raw series (T x V).
+  [[nodiscard]] Matrix run_series(const Mask& mask, const Matrix& series,
+                                  const DfrParams& params) const;
+
+ private:
+  std::size_t nodes_;
+  Nonlinearity f_;
+};
+
+}  // namespace dfr

@@ -1,0 +1,111 @@
+#include "dfr/ridge.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "dfr/metrics.hpp"
+#include "linalg/cholesky.hpp"
+#include "util/check.hpp"
+
+namespace dfr {
+namespace {
+
+/// R with a trailing column of ones (bias feature).
+Matrix augment_bias(const Matrix& r) {
+  Matrix out(r.rows(), r.cols() + 1);
+  for (std::size_t i = 0; i < r.rows(); ++i) {
+    const auto row = r.row(i);
+    std::copy(row.begin(), row.end(), out.row(i).begin());
+    out(i, r.cols()) = 1.0;
+  }
+  return out;
+}
+
+/// Split the augmented solution X ((p+1) x Ny) into (W: Ny x p, b: Ny).
+OutputLayer layer_from_augmented(const Matrix& x_aug) {
+  const std::size_t p = x_aug.rows() - 1;
+  const std::size_t ny = x_aug.cols();
+  Matrix w(ny, p);
+  Vector b(ny, 0.0);
+  for (std::size_t c = 0; c < ny; ++c) {
+    for (std::size_t f = 0; f < p; ++f) w(c, f) = x_aug(f, c);
+    b[c] = x_aug(p, c);
+  }
+  return OutputLayer(std::move(w), std::move(b));
+}
+
+OutputLayer fit_primal(const Matrix& r_aug, const Matrix& targets, double beta) {
+  const Matrix gram = gram_at_a(r_aug, beta);      // (p+1) x (p+1)
+  const Matrix rhs = matmul_at_b(r_aug, targets);  // (p+1) x Ny
+  const Matrix x_aug = cholesky_solve_matrix(gram, rhs);
+  return layer_from_augmented(x_aug);
+}
+
+OutputLayer fit_dual(const Matrix& r_aug, const Matrix& targets, double beta) {
+  // K = R_aug R_aug^T + beta I  (N x N), alpha = K^{-1} D,
+  // W_aug^T = R_aug^T alpha.
+  Matrix kernel = matmul_a_bt(r_aug, r_aug);
+  for (std::size_t i = 0; i < kernel.rows(); ++i) kernel(i, i) += beta;
+  const Matrix alpha = cholesky_solve_matrix(kernel, targets);  // N x Ny
+  const Matrix x_aug = matmul_at_b(r_aug, alpha);               // (p+1) x Ny
+  return layer_from_augmented(x_aug);
+}
+
+}  // namespace
+
+const std::vector<double>& paper_beta_grid() {
+  static const std::vector<double> betas = {1e-6, 1e-4, 1e-2, 1.0};
+  return betas;
+}
+
+OutputLayer fit_ridge(const FeatureMatrix& train, int num_classes, double beta) {
+  DFR_CHECK_MSG(beta > 0.0, "ridge needs beta > 0");
+  DFR_CHECK_MSG(train.features.rows() == train.labels.size() &&
+                    !train.labels.empty(),
+                "feature/label mismatch");
+  const Matrix r_aug = augment_bias(train.features);
+  const Matrix targets = one_hot(train.labels, num_classes);
+  const bool use_dual = r_aug.rows() < r_aug.cols();
+  return use_dual ? fit_dual(r_aug, targets, beta)
+                  : fit_primal(r_aug, targets, beta);
+}
+
+RidgeSweep sweep_ridge(const FeatureMatrix& train, const FeatureMatrix& selection,
+                       int num_classes, const std::vector<double>& betas) {
+  DFR_CHECK(!betas.empty());
+  RidgeSweep sweep;
+  double best_loss = std::numeric_limits<double>::infinity();
+  for (double beta : betas) {
+    RidgeCandidate candidate{beta, 0.0, fit_ridge(train, num_classes, beta)};
+    candidate.selection_loss = evaluate_loss(candidate.layer, selection);
+    if (candidate.selection_loss < best_loss) {
+      best_loss = candidate.selection_loss;
+      sweep.best_index = sweep.candidates.size();
+    }
+    sweep.candidates.push_back(std::move(candidate));
+  }
+  return sweep;
+}
+
+double evaluate_loss(const OutputLayer& layer, const FeatureMatrix& data) {
+  DFR_CHECK(!data.labels.empty());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < data.labels.size(); ++i) {
+    sum += layer.loss(data.features.row(i), data.labels[i]);
+  }
+  return sum / static_cast<double>(data.labels.size());
+}
+
+double evaluate_accuracy(const OutputLayer& layer, const FeatureMatrix& data) {
+  return accuracy(predict_all(layer, data), data.labels);
+}
+
+std::vector<int> predict_all(const OutputLayer& layer, const FeatureMatrix& data) {
+  std::vector<int> out(data.labels.size());
+  for (std::size_t i = 0; i < data.labels.size(); ++i) {
+    out[i] = layer.predict(data.features.row(i));
+  }
+  return out;
+}
+
+}  // namespace dfr

@@ -1,0 +1,156 @@
+#pragma once
+// The proposed optimization method (paper Section 4 protocol):
+//
+//  1. Per-sample SGD over 25 epochs jointly updates the reservoir parameters
+//     (A, B) — via backprop through DPRR and the reservoir — and the softmax
+//     output layer (W, b). Initial [A, B] = [0.01, 0.01]; W, b zero-init.
+//     Learning rates start at 1 and decay x0.1 at epochs {5,10,15,20} for the
+//     reservoir group and {10,15,20} for the output group.
+//  2. With (A, B) frozen, the output layer is refit by ridge regression,
+//     trying beta in {1e-6, 1e-4, 1e-2, 1} and keeping the beta with the
+//     smallest loss L (measured on a held-out validation split; see
+//     DESIGN.md §3.2), then refitting on the full training set.
+//
+// The default truncation_window = 1 is the paper's truncated backprop; 0
+// selects full BPTT (for the ablation and for gradient-exactness tests).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "dfr/backprop.hpp"
+#include "dfr/output.hpp"
+#include "dfr/representation.hpp"
+#include "dfr/ridge.hpp"
+#include "opt/optimizer.hpp"
+
+namespace dfr {
+
+struct TrainerConfig {
+  // Model shape.
+  std::size_t nodes = 30;  // Nx, the paper's evaluation setting
+  NonlinearityKind nonlinearity = NonlinearityKind::kIdentity;
+  double mg_exponent = 1.0;
+  MaskKind mask_kind = MaskKind::kBinary;
+
+  // Optimization protocol (paper defaults).
+  int epochs = 25;
+  DfrParams init{0.01, 0.01};
+  double base_lr_reservoir = 1.0;
+  double base_lr_output = 1.0;
+  std::vector<int> reservoir_milestones{5, 10, 15, 20};
+  std::vector<int> output_milestones{10, 15, 20};
+  double lr_decay = 0.1;
+  OptimizerKind optimizer = OptimizerKind::kSgd;
+
+  // Truncated backprop window; 0 = full BPTT.
+  std::size_t truncation_window = 1;
+
+  // Readout refit.
+  std::vector<double> betas = paper_beta_grid();
+  double validation_fraction = 0.2;
+
+  // Robustness guards. The paper reports plain SGD sufficing on its datasets;
+  // on general data the coupled (W, A) dynamics can step A into the unstable
+  // reservoir region (features then overflow within one sample), so by
+  // default we (a) clip the reservoir-parameter gradients and (b) project
+  // (A, B) onto a box covering the paper's entire grid-search range
+  // [10^-3.75, 10^-0.25] x [10^-2.75, 10^-0.25] plus its sign-symmetric
+  // counterpart. Set to 0 to disable either guard.
+  double grad_clip = 0.05;    // clip |dA|, |dB| per sample (0 = off)
+  double param_box = 0.5623;  // project A, B into [-box, box] (0 = off);
+                              // default = 10^-0.25, the grid-search range
+                              // edge, so bp and gs explore the same region
+  // Normalized reservoir steps: update (A, B) by step_scale * lr * g/|g|
+  // instead of lr * g. The raw (dA, dB) magnitude varies by orders of
+  // magnitude across operating points (features scale like A^2 and the
+  // backprop chain like 1/(1-B)), so constant-lr SGD either explodes or,
+  // when clipped, degenerates into a sign random walk. Direction-preserving
+  // unit steps with the paper's decay schedule traverse the whole search box
+  // in a few epochs and settle as the lr decays. Set to 0 to recover plain
+  // (clipped) SGD.
+  double normalized_step_scale = 0.05;
+  // Accumulate (dA, dB) across the whole epoch and take ONE normalized step
+  // per epoch (batch gradient descent on the reservoir pair) instead of a
+  // step per sample. The per-sample (A, B) gradient direction is noise-
+  // dominated (every sample pulls differently), so per-sample stepping
+  // diffuses instead of climbing; the epoch average restores a reliable
+  // direction while the output layer still trains per-sample.
+  bool reservoir_epoch_update = true;
+  // Normalized-LMS scaling of the output-layer step: the effective rate is
+  // lr / (1 + ||r||^2). Per-sample SGD on W at a fixed lr is only stable for
+  // feature norms below ~sqrt(2/lr); since the DPRR norm grows like A^2, a
+  // fixed lr = 1 destabilizes W exactly in the useful (A, B) region, and the
+  // coupled dynamics then reduce the loss by shrinking A toward 0 — an
+  // induced feature-norm regularizer that pins training at the cold-start
+  // point. NLMS is the textbook cure and keeps the paper's lr schedule
+  // meaningful at every operating point. Set false for plain SGD.
+  bool nlms_output = true;
+
+  std::uint64_t seed = 42;
+};
+
+struct EpochRecord {
+  int epoch = 0;
+  double mean_loss = 0.0;
+  double a = 0.0;
+  double b = 0.0;
+  double lr_reservoir = 0.0;
+  double lr_output = 0.0;
+};
+
+struct TrainResult {
+  DfrParams params;
+  Mask mask;
+  Nonlinearity nonlinearity;
+  OutputLayer readout{2, 1};  // final ridge-fit output layer
+  double chosen_beta = 0.0;
+  double validation_loss = 0.0;  // selection loss of the winning beta
+  std::vector<EpochRecord> history;
+  double sgd_seconds = 0.0;    // phase 1 wall time
+  double ridge_seconds = 0.0;  // phase 2 wall time
+  std::size_t skipped_updates = 0;  // non-finite gradients encountered
+
+  // Memory accounting for Table 2: reservoir-state values held live during
+  // one training step.
+  std::size_t stored_state_values = 0;
+
+  [[nodiscard]] double total_seconds() const noexcept {
+    return sgd_seconds + ridge_seconds;
+  }
+};
+
+class Trainer {
+ public:
+  explicit Trainer(TrainerConfig config);
+
+  /// Run the two-phase protocol on `train`.
+  [[nodiscard]] TrainResult fit(const Dataset& train) const;
+
+  /// Multi-start variant: run fit() once per initial (A, B) and keep the
+  /// run with the smallest validation loss. The SGD landscape has a flat
+  /// basin around (0, 0) and task-dependent local optima; a handful of
+  /// restarts recovers grid-search-level accuracy at a small constant-factor
+  /// cost (the paper notes "attempting different initial values" as the
+  /// natural extension of its protocol). Reported times are the *sum* over
+  /// restarts, so speedup comparisons stay honest.
+  [[nodiscard]] TrainResult fit_multistart(
+      const Dataset& train, std::span<const DfrParams> initial_points) const;
+
+  /// The restart set used by the benchmark harnesses.
+  static std::vector<DfrParams> default_restarts();
+
+  [[nodiscard]] const TrainerConfig& config() const noexcept { return config_; }
+
+ private:
+  TrainerConfig config_;
+};
+
+/// Accuracy of a trained model on a dataset (DPRR representation).
+double evaluate_accuracy(const TrainResult& model, const Dataset& dataset);
+
+/// Predictions of a trained model.
+std::vector<int> predict(const TrainResult& model, const Dataset& dataset);
+
+}  // namespace dfr

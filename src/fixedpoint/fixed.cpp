@@ -1,0 +1,45 @@
+#include "fixedpoint/fixed.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dfr {
+
+FixedPointFormat::FixedPointFormat(int int_bits, int frac_bits)
+    : int_bits_(int_bits), frac_bits_(frac_bits) {
+  DFR_CHECK_MSG(int_bits >= 0 && frac_bits >= 0 && int_bits + frac_bits >= 1,
+                "fixed-point format needs at least one magnitude bit");
+  DFR_CHECK_MSG(int_bits + frac_bits <= 62, "format too wide");
+  resolution_ = std::ldexp(1.0, -frac_bits);
+  // Largest representable value: 2^int_bits - 1 ulp.
+  max_value_ = std::ldexp(1.0, int_bits) - resolution_;
+}
+
+double FixedPointFormat::quantize(double value) const noexcept {
+  if (std::isnan(value)) return 0.0;
+  const double scaled = std::nearbyint(value / resolution_);
+  const double q = scaled * resolution_;
+  if (q > max_value_) return max_value_;
+  if (q < -max_value_ - resolution_) return -max_value_ - resolution_;  // two's complement min
+  return q;
+}
+
+void FixedPointFormat::quantize(Vector& values) const noexcept {
+  for (double& v : values) v = quantize(v);
+}
+
+void FixedPointFormat::quantize(Matrix& values) const noexcept {
+  for (std::size_t r = 0; r < values.rows(); ++r) {
+    for (std::size_t c = 0; c < values.cols(); ++c) {
+      values(r, c) = quantize(values(r, c));
+    }
+  }
+}
+
+std::string FixedPointFormat::to_string() const {
+  return "Q" + std::to_string(int_bits_) + "." + std::to_string(frac_bits_) +
+         " (" + std::to_string(word_length()) + "b)";
+}
+
+}  // namespace dfr

@@ -1,0 +1,117 @@
+#include "fixedpoint/quantized_dfr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dfr/dprr.hpp"
+#include "dfr/metrics.hpp"
+#include "util/check.hpp"
+
+namespace dfr {
+namespace {
+
+/// Smallest power of two s with max_abs / s <= limit (s >= 1 only scales
+/// down; values already in range keep s = 1).
+double pow2_prescaler(double max_abs, double limit) {
+  if (!(max_abs > limit) || limit <= 0.0) return 1.0;
+  return std::exp2(std::ceil(std::log2(max_abs / limit)));
+}
+
+}  // namespace
+
+QuantizedDfr::QuantizedDfr(const LoadedModel& model,
+                           QuantizedInferenceConfig config)
+    : model_(model), quant_readout_(model.readout), config_(config) {
+  requantize_readout();
+}
+
+void QuantizedDfr::requantize_readout() {
+  quant_readout_ = model_.readout;
+  Matrix& w = quant_readout_.mutable_weights();
+  Vector& b = quant_readout_.mutable_bias();
+  // Weights divided by the weight prescaler; bias additionally by the total
+  // feature scaling so logits stay proportional to the float logits:
+  //   logits' = (W/s_w) (r/s_f) + b/(s_w s_f) = logits / (s_w s_f).
+  const double s_f = scales_.state * scales_.state * scales_.feature;
+  w *= 1.0 / scales_.weight;
+  for (double& v : b) v /= scales_.weight * s_f;
+  config_.weight_format.quantize(w);
+  config_.weight_format.quantize(b);
+}
+
+void QuantizedDfr::calibrate(const Dataset& data, std::size_t max_samples) {
+  DFR_CHECK(!data.empty());
+  const std::size_t count = std::min(max_samples, data.size());
+  const std::size_t nx = model_.mask.nodes();
+  const ModularReservoir reservoir(nx, model_.nonlinearity);
+
+  // Float-pipeline dynamic ranges.
+  double max_state = 0.0;
+  double max_feature = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Matrix j = model_.mask.apply_series(data[i].series);
+    max_state = std::max(max_state, j.max_abs());
+    const Matrix states = reservoir.run(j, model_.params);
+    max_state = std::max(max_state, states.max_abs());
+    Vector r = dprr_from_states(states);
+    scale(r, dprr_time_scale(data[i].series.rows()));
+    max_feature = std::max(max_feature, max_abs(r));
+  }
+
+  scales_.state = pow2_prescaler(max_state, config_.state_format.max_value());
+  // Features of the scaled pipeline are r / state^2; the residual prescaler
+  // covers what remains outside the feature format.
+  const double scaled_feature_range =
+      max_feature / (scales_.state * scales_.state);
+  scales_.feature =
+      pow2_prescaler(scaled_feature_range, config_.feature_format.max_value());
+  scales_.weight = pow2_prescaler(model_.readout.weights().max_abs(),
+                                  config_.weight_format.max_value());
+  requantize_readout();
+}
+
+Vector QuantizedDfr::features(const Matrix& series) const {
+  const std::size_t nx = model_.mask.nodes();
+  const Nonlinearity& f = model_.nonlinearity;
+  const FixedPointFormat& state_fmt = config_.state_format;
+  const double inv_state = 1.0 / scales_.state;
+
+  Vector x_prev(nx, 0.0), x_cur(nx, 0.0);
+  DprrAccumulator dprr(nx);
+  for (std::size_t k = 0; k < series.rows(); ++k) {
+    Vector j = model_.mask.apply(series.row(k));
+    for (double& v : j) v = state_fmt.quantize(v * inv_state);
+    double prev_node = x_prev[nx - 1];
+    for (std::size_t n = 0; n < nx; ++n) {
+      const double s = state_fmt.quantize(j[n] + x_prev[n]);
+      const double value =
+          model_.params.a * f.value(s) + model_.params.b * prev_node;
+      prev_node = state_fmt.quantize(value);
+      x_cur[n] = prev_node;
+    }
+    dprr.add(x_cur, x_prev);
+    std::swap(x_prev, x_cur);
+  }
+  Vector r = dprr.features();
+  // Time-average (matches the trained readout) plus residual prescale.
+  scale(r, dprr_time_scale(series.rows()) / scales_.feature);
+  config_.feature_format.quantize(r);
+  return r;
+}
+
+int QuantizedDfr::classify(const Matrix& series) const {
+  return quant_readout_.predict(features(series));
+}
+
+double quantized_accuracy(const QuantizedDfr& dfr, const Dataset& dataset) {
+  DFR_CHECK(!dataset.empty());
+  std::vector<int> predicted(dataset.size());
+  std::vector<int> actual(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    predicted[i] = dfr.classify(dataset[i].series);
+    actual[i] = dataset[i].label;
+  }
+  return accuracy(predicted, actual);
+}
+
+}  // namespace dfr

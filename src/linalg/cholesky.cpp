@@ -1,0 +1,99 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+namespace dfr {
+
+std::optional<Matrix> cholesky_factor(const Matrix& a) {
+  DFR_CHECK_MSG(a.rows() == a.cols(), "cholesky needs a square matrix");
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) return std::nullopt;
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      const double* li = l.data() + i * n;
+      const double* lj = l.data() + j * n;
+      for (std::size_t k = 0; k < j; ++k) sum -= li[k] * lj[k];
+      l(i, j) = sum / ljj;
+    }
+  }
+  return l;
+}
+
+Vector forward_substitute(const Matrix& l, std::span<const double> b) {
+  const std::size_t n = l.rows();
+  DFR_CHECK(l.cols() == n && b.size() == n);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    const double* li = l.data() + i * n;
+    for (std::size_t k = 0; k < i; ++k) sum -= li[k] * y[k];
+    y[i] = sum / li[i];
+  }
+  return y;
+}
+
+Vector backward_substitute(const Matrix& l, std::span<const double> y) {
+  const std::size_t n = l.rows();
+  DFR_CHECK(l.cols() == n && y.size() == n);
+  Vector x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= l(k, i) * x[k];
+    x[i] = sum / l(i, i);
+  }
+  return x;
+}
+
+Vector cholesky_solve(const Matrix& a, std::span<const double> b) {
+  auto l = cholesky_factor(a);
+  DFR_CHECK_MSG(l.has_value(), "matrix is not positive definite");
+  return backward_substitute(*l, forward_substitute(*l, b));
+}
+
+Matrix cholesky_solve_matrix(const Matrix& a, const Matrix& b) {
+  CholeskySolver solver(a);
+  DFR_CHECK_MSG(solver.ok(), "matrix is not positive definite");
+  return solver.solve(b);
+}
+
+CholeskySolver::CholeskySolver(const Matrix& a) {
+  auto l = cholesky_factor(a);
+  if (l) {
+    l_ = std::move(*l);
+    ok_ = true;
+  }
+}
+
+Vector CholeskySolver::solve(std::span<const double> b) const {
+  DFR_CHECK_MSG(ok_, "solver not factorized");
+  return backward_substitute(l_, forward_substitute(l_, b));
+}
+
+Matrix CholeskySolver::solve(const Matrix& b) const {
+  DFR_CHECK_MSG(ok_, "solver not factorized");
+  DFR_CHECK(b.rows() == l_.rows());
+  Matrix x(b.rows(), b.cols());
+  Vector column(b.rows());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < b.rows(); ++r) column[r] = b(r, c);
+    Vector xc = solve(column);
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = xc[r];
+  }
+  return x;
+}
+
+double CholeskySolver::log_det() const {
+  DFR_CHECK_MSG(ok_, "solver not factorized");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < l_.rows(); ++i) sum += std::log(l_(i, i));
+  return 2.0 * sum;
+}
+
+}  // namespace dfr

@@ -1,0 +1,54 @@
+#pragma once
+// Cholesky factorization and SPD linear solves.
+//
+// The ridge-regression readout solves (R^T R + beta I) W^T = R^T D, whose
+// left-hand side is symmetric positive definite for beta > 0. Cholesky is the
+// right tool: half the flops of LU, no pivoting, and failure (non-SPD input)
+// is detected exactly where regularization was forgotten.
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace dfr {
+
+/// Lower-triangular Cholesky factor L with A = L L^T.
+/// Returns std::nullopt if A is not (numerically) positive definite.
+std::optional<Matrix> cholesky_factor(const Matrix& a);
+
+/// Solve L y = b (forward substitution), L lower-triangular.
+Vector forward_substitute(const Matrix& l, std::span<const double> b);
+
+/// Solve L^T x = y (backward substitution using the lower factor).
+Vector backward_substitute(const Matrix& l, std::span<const double> y);
+
+/// Solve A x = b for SPD A via Cholesky. Throws CheckError if not SPD.
+Vector cholesky_solve(const Matrix& a, std::span<const double> b);
+
+/// Solve A X = B column-wise for SPD A (factorizes once).
+Matrix cholesky_solve_matrix(const Matrix& a, const Matrix& b);
+
+/// Reusable factorization: factor once, solve many right-hand sides.
+class CholeskySolver {
+ public:
+  /// Factorizes a copy of `a`. ok() reports success.
+  explicit CholeskySolver(const Matrix& a);
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] const Matrix& factor() const noexcept { return l_; }
+
+  /// Solve A x = b. Requires ok().
+  [[nodiscard]] Vector solve(std::span<const double> b) const;
+
+  /// Solve A X = B. Requires ok().
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
+
+  /// log(det(A)) = 2 * sum(log(diag(L))). Requires ok().
+  [[nodiscard]] double log_det() const;
+
+ private:
+  Matrix l_;
+  bool ok_ = false;
+};
+
+}  // namespace dfr

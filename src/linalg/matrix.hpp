@@ -1,0 +1,151 @@
+#pragma once
+// Dense row-major double matrix / vector types used across dfrlib.
+//
+// Scope: the library needs exactly the operations that reservoir computing
+// with a ridge-regression readout requires — GEMM/GEMV, transpose products,
+// symmetric rank-k updates, and an SPD solver. A hand-rolled implementation
+// keeps the build dependency-free and deterministic; kernels are written as
+// straightforward cache-friendly triple loops (ikj order) which is plenty for
+// the ~1000-dimensional systems involved (Nx=30 → N_r=931).
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace dfr {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// rows x cols filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Construct from nested braces: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    DFR_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    DFR_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw storage (row-major).
+  [[nodiscard]] double* data() noexcept { return data_.data(); }
+  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+
+  /// View of row r.
+  [[nodiscard]] std::span<double> row(std::size_t r) noexcept {
+    DFR_DCHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const noexcept {
+    DFR_DCHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Copy of column c.
+  [[nodiscard]] Vector col(std::size_t c) const;
+
+  void fill(double v) noexcept { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Resize (content is discarded, zero-filled).
+  void resize(std::size_t rows, std::size_t cols);
+
+  /// Set row r from a span (length must equal cols()).
+  void set_row(std::size_t r, std::span<const double> values);
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius_norm() const noexcept;
+
+  /// Max |a_ij|.
+  [[nodiscard]] double max_abs() const noexcept;
+
+  /// True if all entries are finite.
+  [[nodiscard]] bool all_finite() const noexcept;
+
+  /// Identity of size n.
+  static Matrix identity(std::size_t n);
+
+  /// Element-wise in-place operations.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar) noexcept;
+
+  /// Human-readable (small matrices; tests / debugging).
+  [[nodiscard]] std::string to_string(int precision = 4) const;
+
+  friend bool operator==(const Matrix& a, const Matrix& b) noexcept {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// ---- free-function algebra ------------------------------------------------
+
+Matrix operator+(Matrix a, const Matrix& b);
+Matrix operator-(Matrix a, const Matrix& b);
+Matrix operator*(Matrix a, double s) noexcept;
+Matrix operator*(double s, Matrix a) noexcept;
+
+/// C = A * B.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B  (computed without forming A^T).
+Matrix matmul_at_b(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T  (computed without forming B^T).
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
+
+/// y = A * x.
+Vector matvec(const Matrix& a, std::span<const double> x);
+
+/// y = A^T * x.
+Vector matvec_t(const Matrix& a, std::span<const double> x);
+
+/// G = A^T A + lambda I   (symmetric; only needs one pass over A's rows).
+Matrix gram_at_a(const Matrix& a, double lambda = 0.0);
+
+/// Rank-1 update: A += alpha * x y^T.
+void add_outer(Matrix& a, double alpha, std::span<const double> x,
+               std::span<const double> y);
+
+// ---- vector helpers --------------------------------------------------------
+
+double dot(std::span<const double> a, std::span<const double> b);
+double norm2(std::span<const double> a) noexcept;
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+void scale(std::span<double> x, double alpha) noexcept;
+double max_abs(std::span<const double> a) noexcept;
+bool all_finite(std::span<const double> a) noexcept;
+
+/// Max |a_i - b_i| (spans must have equal length).
+double max_abs_diff(std::span<const double> a, std::span<const double> b);
+
+}  // namespace dfr

@@ -1,0 +1,83 @@
+#include "linalg/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dfr {
+
+double mean(std::span<const double> values) {
+  DFR_CHECK(!values.empty());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double mu = mean(values);
+  double sum = 0.0;
+  for (double v : values) sum += (v - mu) * (v - mu);
+  return sum / static_cast<double>(values.size() - 1);
+}
+
+double stddev(std::span<const double> values) { return std::sqrt(variance(values)); }
+
+double min_value(std::span<const double> values) {
+  DFR_CHECK(!values.empty());
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(std::span<const double> values) {
+  DFR_CHECK(!values.empty());
+  return *std::max_element(values.begin(), values.end());
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  DFR_CHECK(a.size() == b.size() && a.size() >= 2);
+  const double ma = mean(a), mb = mean(b);
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma, db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  if (saa == 0.0 || sbb == 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+double nrmse(std::span<const double> prediction, std::span<const double> target) {
+  DFR_CHECK(prediction.size() == target.size() && !target.empty());
+  double se = 0.0;
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    const double e = prediction[i] - target[i];
+    se += e * e;
+  }
+  const double rms = std::sqrt(se / static_cast<double>(target.size()));
+  const double sd = stddev(target);
+  DFR_CHECK_MSG(sd > 0.0, "NRMSE undefined for constant target");
+  return rms / sd;
+}
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace dfr

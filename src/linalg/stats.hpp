@@ -1,0 +1,47 @@
+#pragma once
+// Descriptive statistics used by dataset preprocessing and metrics.
+
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace dfr {
+
+double mean(std::span<const double> values);
+
+/// Unbiased (n-1) sample variance; returns 0 for n < 2.
+double variance(std::span<const double> values);
+
+double stddev(std::span<const double> values);
+
+double min_value(std::span<const double> values);
+double max_value(std::span<const double> values);
+
+/// Pearson correlation; returns 0 if either side is constant.
+double pearson(std::span<const double> a, std::span<const double> b);
+
+/// Normalized root-mean-square error: ||y - t||_rms / std(t).
+/// The standard reservoir-computing figure of merit for prediction tasks.
+double nrmse(std::span<const double> prediction, std::span<const double> target);
+
+/// Running mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased variance; 0 for n < 2.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace dfr

@@ -1,0 +1,97 @@
+#include "opt/optimizer.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dfr {
+
+OptimizerKind parse_optimizer_kind(const std::string& name) {
+  if (name == "sgd") return OptimizerKind::kSgd;
+  if (name == "momentum") return OptimizerKind::kMomentum;
+  if (name == "nesterov") return OptimizerKind::kNesterov;
+  if (name == "adagrad") return OptimizerKind::kAdaGrad;
+  if (name == "adam") return OptimizerKind::kAdam;
+  DFR_CHECK_MSG(false, "unknown optimizer: " + name);
+  return OptimizerKind::kSgd;
+}
+
+std::string optimizer_kind_name(OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::kSgd: return "sgd";
+    case OptimizerKind::kMomentum: return "momentum";
+    case OptimizerKind::kNesterov: return "nesterov";
+    case OptimizerKind::kAdaGrad: return "adagrad";
+    case OptimizerKind::kAdam: return "adam";
+  }
+  return "?";
+}
+
+Optimizer::Optimizer(OptimizerConfig config) : config_(config) {}
+
+void Optimizer::ensure_state(std::size_t n) {
+  if (velocity_.size() != n) {
+    velocity_.assign(n, 0.0);
+    second_.assign(n, 0.0);
+    step_count_ = 0;
+  }
+}
+
+void Optimizer::reset() noexcept {
+  std::fill(velocity_.begin(), velocity_.end(), 0.0);
+  std::fill(second_.begin(), second_.end(), 0.0);
+  step_count_ = 0;
+}
+
+void Optimizer::step(std::span<double> params, std::span<const double> grads,
+                     double lr) {
+  DFR_CHECK_MSG(params.size() == grads.size(), "param/grad size mismatch");
+  ensure_state(params.size());
+  ++step_count_;
+
+  switch (config_.kind) {
+    case OptimizerKind::kSgd: {
+      for (std::size_t i = 0; i < params.size(); ++i) params[i] -= lr * grads[i];
+      break;
+    }
+    case OptimizerKind::kMomentum: {
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        velocity_[i] = config_.momentum * velocity_[i] - lr * grads[i];
+        params[i] += velocity_[i];
+      }
+      break;
+    }
+    case OptimizerKind::kNesterov: {
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        const double prev = velocity_[i];
+        velocity_[i] = config_.momentum * velocity_[i] - lr * grads[i];
+        params[i] += -config_.momentum * prev + (1.0 + config_.momentum) * velocity_[i];
+      }
+      break;
+    }
+    case OptimizerKind::kAdaGrad: {
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        second_[i] += grads[i] * grads[i];
+        params[i] -= lr * grads[i] / (std::sqrt(second_[i]) + config_.epsilon);
+      }
+      break;
+    }
+    case OptimizerKind::kAdam: {
+      const double bias1 =
+          1.0 - std::pow(config_.beta1, static_cast<double>(step_count_));
+      const double bias2 =
+          1.0 - std::pow(config_.beta2, static_cast<double>(step_count_));
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        velocity_[i] = config_.beta1 * velocity_[i] + (1.0 - config_.beta1) * grads[i];
+        second_[i] =
+            config_.beta2 * second_[i] + (1.0 - config_.beta2) * grads[i] * grads[i];
+        const double m_hat = velocity_[i] / bias1;
+        const double v_hat = second_[i] / bias2;
+        params[i] -= lr * m_hat / (std::sqrt(v_hat) + config_.epsilon);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace dfr

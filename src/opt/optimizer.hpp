@@ -1,0 +1,52 @@
+#pragma once
+// First-order optimizers over flat parameter vectors.
+//
+// The paper uses plain per-sample SGD; Momentum / Nesterov / AdaGrad / Adam
+// are included as ablation axes (bench_ablation_optimizer). An Optimizer owns
+// per-parameter state (velocity, moment estimates) sized on first use, so one
+// instance must be bound to one parameter vector for its lifetime.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dfr {
+
+enum class OptimizerKind { kSgd, kMomentum, kNesterov, kAdaGrad, kAdam };
+
+/// Parse "sgd" | "momentum" | "nesterov" | "adagrad" | "adam".
+OptimizerKind parse_optimizer_kind(const std::string& name);
+std::string optimizer_kind_name(OptimizerKind kind);
+
+struct OptimizerConfig {
+  OptimizerKind kind = OptimizerKind::kSgd;
+  double momentum = 0.9;   // Momentum / Nesterov
+  double beta1 = 0.9;      // Adam
+  double beta2 = 0.999;    // Adam
+  double epsilon = 1e-8;   // Adam / AdaGrad
+};
+
+class Optimizer {
+ public:
+  explicit Optimizer(OptimizerConfig config = {});
+
+  /// In-place update: params -= lr * direction(grads).
+  /// `params` and `grads` must keep the same size across calls.
+  void step(std::span<double> params, std::span<const double> grads, double lr);
+
+  /// Reset internal state (velocity / moments / step counter).
+  void reset() noexcept;
+
+  [[nodiscard]] const OptimizerConfig& config() const noexcept { return config_; }
+
+ private:
+  void ensure_state(std::size_t n);
+
+  OptimizerConfig config_;
+  std::vector<double> velocity_;  // momentum family / Adam m
+  std::vector<double> second_;    // Adam v / AdaGrad accumulator
+  long step_count_ = 0;
+};
+
+}  // namespace dfr

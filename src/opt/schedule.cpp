@@ -1,0 +1,49 @@
+#include "opt/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace dfr {
+
+StepSchedule::StepSchedule(double base_lr, std::vector<int> milestones, double factor)
+    : base_lr_(base_lr), milestones_(std::move(milestones)), factor_(factor) {
+  std::sort(milestones_.begin(), milestones_.end());
+}
+
+double StepSchedule::lr_at(int epoch) const {
+  double lr = base_lr_;
+  for (int m : milestones_) {
+    if (epoch >= m) lr *= factor_;
+    else break;
+  }
+  return lr;
+}
+
+double ExponentialSchedule::lr_at(int epoch) const {
+  return base_lr_ * std::pow(decay_, epoch);
+}
+
+CosineSchedule::CosineSchedule(double base_lr, double floor_lr, int total_epochs)
+    : base_lr_(base_lr), floor_lr_(floor_lr), total_epochs_(total_epochs) {
+  DFR_CHECK(total_epochs_ > 0);
+}
+
+double CosineSchedule::lr_at(int epoch) const {
+  const double progress = std::clamp(
+      static_cast<double>(epoch) / static_cast<double>(total_epochs_), 0.0, 1.0);
+  return floor_lr_ +
+         0.5 * (base_lr_ - floor_lr_) * (1.0 + std::cos(std::numbers::pi * progress));
+}
+
+std::unique_ptr<LrSchedule> paper_reservoir_schedule() {
+  return std::make_unique<StepSchedule>(1.0, std::vector<int>{5, 10, 15, 20}, 0.1);
+}
+
+std::unique_ptr<LrSchedule> paper_output_schedule() {
+  return std::make_unique<StepSchedule>(1.0, std::vector<int>{10, 15, 20}, 0.1);
+}
+
+}  // namespace dfr

@@ -1,0 +1,74 @@
+#pragma once
+// Learning-rate schedules.
+//
+// The paper's protocol is a step schedule: lr starts at 1 and is multiplied
+// by 0.1 at fixed epochs ({5,10,15,20} for the reservoir parameters,
+// {10,15,20} for the output layer). Exponential and cosine schedules are
+// provided for the ablation benches.
+
+#include <memory>
+#include <vector>
+
+namespace dfr {
+
+/// Maps a 0-based epoch index to a learning rate.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  [[nodiscard]] virtual double lr_at(int epoch) const = 0;
+};
+
+/// Constant learning rate.
+class ConstantSchedule final : public LrSchedule {
+ public:
+  explicit ConstantSchedule(double lr) : lr_(lr) {}
+  [[nodiscard]] double lr_at(int) const override { return lr_; }
+
+ private:
+  double lr_;
+};
+
+/// lr = base * factor^(number of milestones passed). An epoch e "passes" a
+/// milestone m when e >= m. Matches the paper: milestones {5,10,15,20},
+/// factor 0.1, base 1.
+class StepSchedule final : public LrSchedule {
+ public:
+  StepSchedule(double base_lr, std::vector<int> milestones, double factor);
+  [[nodiscard]] double lr_at(int epoch) const override;
+
+ private:
+  double base_lr_;
+  std::vector<int> milestones_;  // sorted ascending
+  double factor_;
+};
+
+/// lr = base * decay^epoch.
+class ExponentialSchedule final : public LrSchedule {
+ public:
+  ExponentialSchedule(double base_lr, double decay) : base_lr_(base_lr), decay_(decay) {}
+  [[nodiscard]] double lr_at(int epoch) const override;
+
+ private:
+  double base_lr_;
+  double decay_;
+};
+
+/// Cosine annealing from base to floor over `total_epochs`.
+class CosineSchedule final : public LrSchedule {
+ public:
+  CosineSchedule(double base_lr, double floor_lr, int total_epochs);
+  [[nodiscard]] double lr_at(int epoch) const override;
+
+ private:
+  double base_lr_;
+  double floor_lr_;
+  int total_epochs_;
+};
+
+/// The paper's reservoir-parameter schedule: 1.0, x0.1 at {5,10,15,20}.
+std::unique_ptr<LrSchedule> paper_reservoir_schedule();
+
+/// The paper's output-layer schedule: 1.0, x0.1 at {10,15,20}.
+std::unique_ptr<LrSchedule> paper_output_schedule();
+
+}  // namespace dfr

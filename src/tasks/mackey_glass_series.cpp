@@ -1,0 +1,63 @@
+#include "tasks/mackey_glass_series.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dfr {
+namespace {
+
+double mg_derivative(const MackeyGlassConfig& cfg, double x_now, double x_delayed) {
+  return cfg.beta * x_delayed / (1.0 + std::pow(x_delayed, cfg.n)) -
+         cfg.gamma * x_now;
+}
+
+}  // namespace
+
+Vector generate_mackey_glass(std::size_t length, const MackeyGlassConfig& cfg) {
+  DFR_CHECK(length > 0 && cfg.dt > 0.0 && cfg.tau > cfg.dt);
+  DFR_CHECK(cfg.sample_every >= cfg.dt);
+
+  const auto delay_slots =
+      static_cast<std::size_t>(std::ceil(cfg.tau / cfg.dt)) + 2;
+  std::vector<double> history(delay_slots, cfg.initial_value);
+  std::size_t head = 0;
+  double x = cfg.initial_value;
+
+  auto delayed = [&](double delay) {
+    const double steps = delay / cfg.dt;
+    const auto lo = static_cast<std::size_t>(steps);
+    const double frac = steps - static_cast<double>(lo);
+    const std::size_t n_slots = history.size();
+    const double v_lo = history[(head + n_slots - lo % n_slots) % n_slots];
+    const double v_hi = history[(head + n_slots - (lo + 1) % n_slots) % n_slots];
+    return (1.0 - frac) * v_lo + frac * v_hi;
+  };
+
+  auto step = [&]() {
+    const double xd0 = delayed(cfg.tau);
+    const double xd_half = delayed(cfg.tau - 0.5 * cfg.dt);
+    const double xd1 = delayed(cfg.tau - cfg.dt);
+    const double k1 = mg_derivative(cfg, x, xd0);
+    const double k2 = mg_derivative(cfg, x + 0.5 * cfg.dt * k1, xd_half);
+    const double k3 = mg_derivative(cfg, x + 0.5 * cfg.dt * k2, xd_half);
+    const double k4 = mg_derivative(cfg, x + cfg.dt * k3, xd1);
+    x += cfg.dt / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+    head = (head + 1) % history.size();
+    history[head] = x;
+  };
+
+  const auto steps_per_sample =
+      static_cast<std::size_t>(std::llround(cfg.sample_every / cfg.dt));
+  // Transient washout.
+  for (std::size_t i = 0; i < cfg.washout_samples * steps_per_sample; ++i) step();
+
+  Vector out(length);
+  for (std::size_t s = 0; s < length; ++s) {
+    for (std::size_t i = 0; i < steps_per_sample; ++i) step();
+    out[s] = x;
+  }
+  return out;
+}
+
+}  // namespace dfr

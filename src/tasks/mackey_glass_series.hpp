@@ -1,0 +1,26 @@
+#pragma once
+// Chaotic Mackey-Glass time series (tau = 17 is the classic chaotic regime),
+// the second canonical reservoir prediction benchmark. Integrated with RK4
+// and a linear-interpolated delay buffer, then subsampled to unit spacing.
+
+#include <cstdint>
+
+#include "linalg/matrix.hpp"
+
+namespace dfr {
+
+struct MackeyGlassConfig {
+  double beta = 0.2;
+  double gamma = 0.1;
+  double tau = 17.0;
+  double n = 10.0;          // exponent
+  double dt = 0.1;          // integration step
+  double sample_every = 1.0;  // output spacing in model time
+  double initial_value = 1.2;
+  std::size_t washout_samples = 200;  // discarded transient (in samples)
+};
+
+/// `length` samples of the Mackey-Glass attractor.
+Vector generate_mackey_glass(std::size_t length, const MackeyGlassConfig& config = {});
+
+}  // namespace dfr

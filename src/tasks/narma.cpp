@@ -1,0 +1,44 @@
+#include "tasks/narma.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dfr {
+
+NarmaSeries generate_narma(std::size_t length, int order, std::uint64_t seed) {
+  DFR_CHECK(length > static_cast<std::size_t>(order) && order >= 1);
+  const auto q = static_cast<std::size_t>(order);
+
+  for (std::uint64_t attempt = 0; attempt < 64; ++attempt) {
+    Rng rng(hash_combine(seed, attempt));
+    Vector u(length), y(length + 1, 0.0);
+    for (double& v : u) v = rng.uniform(0.0, 0.5);
+
+    bool diverged = false;
+    for (std::size_t t = 0; t + 1 <= length; ++t) {
+      double window_sum = 0.0;
+      for (std::size_t i = 0; i < q; ++i) {
+        window_sum += (t >= i) ? y[t - i] : 0.0;
+      }
+      const double u_delayed = (t >= q - 1) ? u[t - (q - 1)] : 0.0;
+      y[t + 1] = 0.3 * y[t] + 0.05 * y[t] * window_sum +
+                 1.5 * u_delayed * u[t] + 0.1;
+      if (!std::isfinite(y[t + 1]) || std::fabs(y[t + 1]) > 1.0) {
+        diverged = true;
+        break;
+      }
+    }
+    if (diverged) continue;
+
+    NarmaSeries out;
+    out.input = std::move(u);
+    out.target.assign(y.begin() + 1, y.end());
+    return out;
+  }
+  DFR_CHECK_MSG(false, "NARMA generation kept diverging");
+  return {};
+}
+
+}  // namespace dfr

@@ -1,0 +1,26 @@
+#pragma once
+// NARMA benchmark series — the canonical reservoir-computing prediction task
+// (used by the original DFR paper of Appeltant et al. and most follow-ups).
+//
+// NARMA-10:  y(t+1) = 0.3 y(t) + 0.05 y(t) sum_{i=0..9} y(t-i)
+//                     + 1.5 u(t-9) u(t) + 0.1,   u(t) ~ U[0, 0.5].
+// The order-q generalization replaces 10 by q (coefficients per Atiya &
+// Parlos). The generator rejects diverged runs (|y| > 1) by re-drawing with a
+// fresh stream, which matches common practice.
+
+#include <cstdint>
+
+#include "linalg/matrix.hpp"
+
+namespace dfr {
+
+struct NarmaSeries {
+  Vector input;   // u(t)
+  Vector target;  // y(t+1) aligned with input index t
+};
+
+/// Generate `length` steps of NARMA-`order`. Deterministic in `seed`.
+NarmaSeries generate_narma(std::size_t length, int order = 10,
+                           std::uint64_t seed = 42);
+
+}  // namespace dfr

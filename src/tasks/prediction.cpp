@@ -1,0 +1,78 @@
+#include "tasks/prediction.hpp"
+
+#include <limits>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/stats.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dfr {
+
+PredictionResult run_prediction_task(const PredictionConfig& config,
+                                     const Vector& input, const Vector& target,
+                                     std::size_t train_len) {
+  DFR_CHECK(input.size() == target.size());
+  DFR_CHECK(train_len > config.washout + 2 && train_len < input.size());
+
+  Rng rng(config.seed);
+  const Nonlinearity f(config.nonlinearity, config.mg_exponent);
+  const ModularReservoir reservoir(config.nodes, f);
+  const Mask mask(config.nodes, 1, config.mask_kind, rng);
+
+  // Single-channel series -> T x 1 matrix -> reservoir states (T+1) x Nx.
+  Matrix series(input.size(), 1);
+  for (std::size_t t = 0; t < input.size(); ++t) series(t, 0) = input[t];
+  const Matrix states = reservoir.run_series(mask, series, config.params);
+
+  // Design matrix: [x(k), 1] for k = washout+1 .. T (state row k predicts
+  // target[k-1], i.e. the target aligned with input step k-1).
+  const std::size_t nx = config.nodes;
+  auto build = [&](std::size_t begin, std::size_t end) {
+    Matrix x(end - begin, nx + 1);
+    Vector y(end - begin);
+    for (std::size_t k = begin; k < end; ++k) {
+      const auto row = states.row(k + 1);  // x(k+1) sees input[k]
+      std::copy(row.begin(), row.end(), x.row(k - begin).begin());
+      x(k - begin, nx) = 1.0;
+      y[k - begin] = target[k];
+    }
+    return std::make_pair(std::move(x), std::move(y));
+  };
+
+  auto [x_train, y_train] = build(config.washout, train_len);
+  auto [x_test, y_test] = build(train_len, input.size());
+
+  // A diverged reservoir (possible for expansive (A, B) with an unbounded
+  // nonlinearity) cannot be fit; report infinite error instead of failing
+  // inside the solver so parameter sweeps can treat it as "invalid".
+  if (!x_train.all_finite() || !x_test.all_finite()) {
+    PredictionResult out;
+    out.train_nrmse = std::numeric_limits<double>::infinity();
+    out.test_nrmse = std::numeric_limits<double>::infinity();
+    out.test_prediction.assign(y_test.size(), 0.0);
+    return out;
+  }
+
+  const Matrix gram = gram_at_a(x_train, config.ridge_beta);
+  const CholeskySolver solver(gram);
+  if (!gram.all_finite() || !solver.ok()) {
+    // Numerically degenerate (near-overflow state magnitudes): invalid fit.
+    PredictionResult out;
+    out.train_nrmse = std::numeric_limits<double>::infinity();
+    out.test_nrmse = std::numeric_limits<double>::infinity();
+    out.test_prediction.assign(y_test.size(), 0.0);
+    return out;
+  }
+  const Vector rhs = matvec_t(x_train, y_train);
+  const Vector w = solver.solve(rhs);
+
+  PredictionResult out;
+  const Vector pred_train = matvec(x_train, w);
+  out.train_nrmse = nrmse(pred_train, y_train);
+  out.test_prediction = matvec(x_test, w);
+  out.test_nrmse = nrmse(out.test_prediction, y_test);
+  return out;
+}
+
+}  // namespace dfr

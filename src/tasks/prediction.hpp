@@ -1,0 +1,36 @@
+#pragma once
+// One-step-ahead prediction with a DFR: the per-time-step readout regime
+// (reservoir state -> scalar target), as opposed to the per-sequence DPRR
+// classification regime. Used by the NARMA / Mackey-Glass extension benches.
+
+#include <cstdint>
+
+#include "dfr/mask.hpp"
+#include "dfr/reservoir.hpp"
+
+namespace dfr {
+
+struct PredictionConfig {
+  std::size_t nodes = 30;
+  NonlinearityKind nonlinearity = NonlinearityKind::kMackeyGlass;
+  double mg_exponent = 1.0;
+  DfrParams params{0.3, 0.6};
+  MaskKind mask_kind = MaskKind::kBinary;
+  std::size_t washout = 50;   // initial states excluded from the fit
+  double ridge_beta = 1e-6;
+  std::uint64_t seed = 42;
+};
+
+struct PredictionResult {
+  double train_nrmse = 0.0;
+  double test_nrmse = 0.0;
+  Vector test_prediction;  // aligned with the test targets
+};
+
+/// Fit a linear readout from reservoir states to `target` on the first
+/// `train_len` steps (after washout) and evaluate on the remainder.
+PredictionResult run_prediction_task(const PredictionConfig& config,
+                                     const Vector& input, const Vector& target,
+                                     std::size_t train_len);
+
+}  // namespace dfr

@@ -1,0 +1,44 @@
+#pragma once
+// Lightweight precondition / invariant checking.
+//
+// DFR_CHECK is always on (it guards API misuse with negligible cost relative
+// to the numerical kernels it protects); DFR_DCHECK compiles out in NDEBUG
+// builds and is used inside hot loops.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dfr {
+
+/// Error thrown on violated preconditions across the library.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "DFR_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace dfr
+
+#define DFR_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::dfr::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define DFR_CHECK_MSG(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr)) ::dfr::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#ifdef NDEBUG
+#define DFR_DCHECK(expr) ((void)0)
+#else
+#define DFR_DCHECK(expr) DFR_CHECK(expr)
+#endif

@@ -1,0 +1,114 @@
+#include "util/cli.hpp"
+
+#include <sstream>
+
+namespace dfr {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  Entry e;
+  e.is_flag = true;
+  e.help = help;
+  e.value = "false";
+  e.default_value = "false";
+  entries_[name] = std::move(e);
+}
+
+void CliParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+  Entry e;
+  e.is_flag = false;
+  e.help = help;
+  e.value = default_value;
+  e.default_value = default_value;
+  entries_[name] = std::move(e);
+}
+
+void CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string inline_value;
+    bool has_inline = false;
+    if (auto eq = body.find('='); eq != std::string::npos) {
+      inline_value = body.substr(eq + 1);
+      body = body.substr(0, eq);
+      has_inline = true;
+    }
+    auto it = entries_.find(body);
+    if (it == entries_.end()) throw CliError("unknown option: --" + body);
+    Entry& e = it->second;
+    if (e.is_flag) {
+      if (has_inline) throw CliError("flag --" + body + " does not take a value");
+      e.value = "true";
+    } else if (has_inline) {
+      e.value = inline_value;
+    } else {
+      if (i + 1 >= argc) throw CliError("option --" + body + " needs a value");
+      e.value = argv[++i];
+    }
+    e.set_by_user = true;
+  }
+}
+
+std::string CliParser::help_text() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& [name, e] : entries_) {
+    os << "  --" << name;
+    if (!e.is_flag) os << " <value>";
+    os << "\n      " << e.help;
+    if (!e.is_flag) os << " (default: " << e.default_value << ")";
+    os << '\n';
+  }
+  os << "  --help\n      show this message\n";
+  return os.str();
+}
+
+const CliParser::Entry& CliParser::find(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) throw CliError("option not declared: " + name);
+  return it->second;
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  return find(name).value == "true";
+}
+
+std::string CliParser::get(const std::string& name) const { return find(name).value; }
+
+std::int64_t CliParser::get_i64(const std::string& name) const {
+  const std::string& v = find(name).value;
+  std::size_t pos = 0;
+  const std::int64_t out = std::stoll(v, &pos);
+  if (pos != v.size()) throw CliError("not an integer: --" + name + "=" + v);
+  return out;
+}
+
+std::uint64_t CliParser::get_u64(const std::string& name) const {
+  const std::string& v = find(name).value;
+  std::size_t pos = 0;
+  const std::uint64_t out = std::stoull(v, &pos);
+  if (pos != v.size()) throw CliError("not an unsigned integer: --" + name + "=" + v);
+  return out;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string& v = find(name).value;
+  std::size_t pos = 0;
+  const double out = std::stod(v, &pos);
+  if (pos != v.size()) throw CliError("not a number: --" + name + "=" + v);
+  return out;
+}
+
+}  // namespace dfr

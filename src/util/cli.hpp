@@ -1,0 +1,70 @@
+#pragma once
+// Tiny declarative command-line parser for benches and examples.
+//
+//   CliParser cli("bench_table1", "Reproduce Table 1");
+//   cli.add_flag("full", "run at full dataset scale");
+//   cli.add_option("seed", "RNG seed", "42");
+//   cli.parse(argc, argv);            // throws CliError on bad input
+//   auto seed = cli.get_u64("seed");
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dfr {
+
+class CliError : public std::runtime_error {
+ public:
+  explicit CliError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  /// Boolean switch (`--name`), default false.
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Valued option (`--name value` or `--name=value`) with a default.
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value);
+
+  /// Parse argv. Recognizes --help (sets help_requested()). Throws CliError
+  /// on unknown options or missing values.
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool help_requested() const noexcept { return help_requested_; }
+  [[nodiscard]] std::string help_text() const;
+
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_i64(const std::string& name) const;
+  [[nodiscard]] std::uint64_t get_u64(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+
+  /// Positional arguments, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  struct Entry {
+    bool is_flag = false;
+    std::string help;
+    std::string value;     // current (default until overridden)
+    std::string default_value;
+    bool set_by_user = false;
+  };
+
+  const Entry& find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace dfr

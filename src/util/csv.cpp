@@ -1,0 +1,46 @@
+#include "util/csv.hpp"
+
+#include "util/check.hpp"
+
+namespace dfr {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : path_(path), out_(path), arity_(header.size()) {
+  DFR_CHECK_MSG(out_.is_open(), "cannot open CSV file: " + path);
+  DFR_CHECK_MSG(!header.empty(), "CSV header must be non-empty");
+  write_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  DFR_CHECK_MSG(cells.size() == arity_, "CSV row arity mismatch");
+  write_row(cells);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+CsvWriter::~CsvWriter() { close(); }
+
+}  // namespace dfr

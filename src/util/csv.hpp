@@ -1,0 +1,41 @@
+#pragma once
+// CSV emission. Every bench writes a machine-readable CSV alongside its
+// console table so results can be re-plotted (gnuplot / pandas / etc.).
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dfr {
+
+/// Quote a CSV field per RFC 4180 when needed.
+std::string csv_escape(const std::string& field);
+
+/// Streaming CSV writer.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row immediately.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Append a row; arity must match the header.
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Flush and close. Called by the destructor as well.
+  void close();
+
+  [[nodiscard]] bool is_open() const noexcept { return out_.is_open(); }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t arity_ = 0;
+};
+
+}  // namespace dfr

@@ -1,0 +1,34 @@
+#include "util/log.hpp"
+
+#include <atomic>
+
+namespace dfr {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "[debug]";
+    case LogLevel::kInfo: return "[info ]";
+    case LogLevel::kWarn: return "[warn ]";
+    case LogLevel::kError: return "[error]";
+    case LogLevel::kOff: return "[off  ]";
+  }
+  return "[?]";
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept { return static_cast<LogLevel>(g_level.load()); }
+
+void set_log_level(LogLevel level) noexcept { g_level.store(static_cast<int>(level)); }
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message) {
+  auto& stream = (level >= LogLevel::kWarn) ? std::cerr : std::cout;
+  stream << level_tag(level) << ' ' << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace dfr

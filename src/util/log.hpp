@@ -1,0 +1,46 @@
+#pragma once
+// Minimal leveled logger. Benches and examples log progress through this so
+// output can be silenced (e.g. inside unit tests) via set_log_level.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dfr {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+template <typename... Args>
+void log(LogLevel level, Args&&... args) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  detail::log_emit(level, os.str());
+}
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  log(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  log(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  log(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  log(LogLevel::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace dfr

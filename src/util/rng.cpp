@@ -1,0 +1,110 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace dfr {
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t s = a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+  return splitmix64(s);
+}
+
+void Rng::reseed(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  has_cached_normal_ = false;
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
+  if (n == 0) return 0;
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ULL - (~0ULL % n);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % n;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1ULL;
+  return lo + static_cast<std::int64_t>(uniform_index(span));
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mu, double sigma) noexcept {
+  return mu + sigma * normal();
+}
+
+double Rng::sign() noexcept { return (next_u64() & 1ULL) ? 1.0 : -1.0; }
+
+bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
+
+void Rng::shuffle(std::vector<std::size_t>& idx) noexcept {
+  for (std::size_t i = idx.size(); i > 1; --i) {
+    const std::size_t j = uniform_index(i);
+    std::swap(idx[i - 1], idx[j]);
+  }
+}
+
+Rng Rng::fork(std::uint64_t tag) noexcept {
+  return Rng(hash_combine(next_u64(), tag));
+}
+
+std::vector<std::size_t> random_permutation(std::size_t n, Rng& rng) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  rng.shuffle(idx);
+  return idx;
+}
+
+}  // namespace dfr

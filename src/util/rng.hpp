@@ -1,0 +1,82 @@
+#pragma once
+// Deterministic pseudo-random number generation for dfrlib.
+//
+// All stochastic components of the library (mask generation, synthetic data,
+// shuffling, weight jitter) draw from Rng so that a single 64-bit seed makes
+// every experiment bit-reproducible across platforms. std::mt19937 and the
+// std::*_distribution classes are deliberately avoided: their output is not
+// specified identically across standard libraries for the distributions.
+//
+// Generator: xoshiro256** (Blackman & Vigna), seeded via SplitMix64.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace dfr {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless hash.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Deterministic counter-based hash combining two 64-bit values.
+/// Useful for deriving independent stream seeds, e.g. per-sample seeds.
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// xoshiro256** PRNG with explicit, portable output semantics.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept { reseed(seed); }
+
+  /// Re-initialize the state from a 64-bit seed (SplitMix64 expansion).
+  void reseed(std::uint64_t seed) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// UniformReal in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n); n must be > 0. Unbiased (rejection sampling).
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Standard normal (Box–Muller with cached second value).
+  double normal() noexcept;
+
+  /// Normal with mean mu and standard deviation sigma.
+  double normal(double mu, double sigma) noexcept;
+
+  /// Random sign: +1.0 or -1.0 with equal probability.
+  double sign() noexcept;
+
+  /// true with probability p.
+  bool bernoulli(double p) noexcept;
+
+  /// Fisher–Yates shuffle of an index vector.
+  void shuffle(std::vector<std::size_t>& idx) noexcept;
+
+  /// Derive a child RNG with an independent stream (hash of state + tag).
+  Rng fork(std::uint64_t tag) noexcept;
+
+  // UniformRandomBitGenerator interface (so std::shuffle etc. also work).
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+  result_type operator()() noexcept { return next_u64(); }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Convenience: a shuffled identity permutation [0, n).
+std::vector<std::size_t> random_permutation(std::size_t n, Rng& rng);
+
+}  // namespace dfr

@@ -1,0 +1,121 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace dfr {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' || c == '-' ||
+          c == '+' || c == ',' || c == 'e' || c == 'E' || c == '%' || c == 'x')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ConsoleTable::ConsoleTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  DFR_CHECK_MSG(!headers_.empty(), "table needs at least one column");
+}
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+  DFR_CHECK_MSG(cells.size() == headers_.size(), "row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string ConsoleTable::str() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row, bool align_numeric) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const auto pad = width[c] - row[c].size();
+      const bool right = align_numeric && looks_numeric(row[c]);
+      os << ' ';
+      if (right) os << std::string(pad, ' ') << row[c];
+      else os << row[c] << std::string(pad, ' ');
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  auto emit_rule = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << std::string(width[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+
+  emit_rule();
+  emit_row(headers_, /*align_numeric=*/false);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row, /*align_numeric=*/true);
+  emit_rule();
+  return os.str();
+}
+
+void ConsoleTable::print() const { std::cout << str() << std::flush; }
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_seconds(double seconds) {
+  char buf[64];
+  if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
+  }
+  return buf;
+}
+
+std::string fmt_count(long long v) {
+  const bool negative = v < 0;
+  unsigned long long magnitude =
+      negative ? 0ULL - static_cast<unsigned long long>(v)
+               : static_cast<unsigned long long>(v);
+  std::string digits = std::to_string(magnitude);
+  std::string out;
+  int since_sep = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (since_sep == 3) {
+      out.push_back(',');
+      since_sep = 0;
+    }
+    out.push_back(*it);
+    ++since_sep;
+  }
+  if (negative) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string fmt_ratio(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+}  // namespace dfr

@@ -1,0 +1,44 @@
+#pragma once
+// Console table formatting for the benchmark harnesses: the Table-1/Table-2
+// reproductions print rows in the same layout as the paper.
+
+#include <string>
+#include <vector>
+
+namespace dfr {
+
+/// Column-aligned ASCII table with a header row.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment. Numeric-looking cells are right-aligned.
+  [[nodiscard]] std::string str() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision.
+std::string fmt_double(double v, int precision);
+
+/// Format seconds adaptively (ms below 1 s, 1 decimal above).
+std::string fmt_seconds(double seconds);
+
+/// Format an integer with thousands separators (e.g. 25,040).
+std::string fmt_count(long long v);
+
+/// Format a ratio like the paper's "(gs time)/(bp time)" column.
+std::string fmt_ratio(double v);
+
+}  // namespace dfr

@@ -1,0 +1,58 @@
+#pragma once
+// Wall-clock timing helpers used by the benchmark harnesses.
+
+#include <chrono>
+#include <cstdint>
+
+namespace dfr {
+
+/// Monotonic stopwatch. start() on construction; elapsed_* query without stop.
+class Timer {
+ public:
+  Timer() noexcept : start_(clock::now()) {}
+
+  void restart() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const noexcept { return elapsed_seconds() * 1e3; }
+
+  [[nodiscard]] std::uint64_t elapsed_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start_)
+            .count());
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulating timer: sums durations across multiple start/stop windows.
+class AccumTimer {
+ public:
+  void start() noexcept {
+    running_ = true;
+    t_.restart();
+  }
+  void stop() noexcept {
+    if (running_) total_ += t_.elapsed_seconds();
+    running_ = false;
+  }
+  void reset() noexcept {
+    total_ = 0.0;
+    running_ = false;
+  }
+  [[nodiscard]] double total_seconds() const noexcept {
+    return total_ + (running_ ? t_.elapsed_seconds() : 0.0);
+  }
+
+ private:
+  Timer t_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace dfr

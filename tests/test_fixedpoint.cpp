@@ -1,0 +1,186 @@
+// Unit tests for the fixed-point format and quantized DFR inference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "data/preprocess.hpp"
+#include "data/synth.hpp"
+#include "dfr/model_io.hpp"
+#include "dfr/trainer.hpp"
+#include "fixedpoint/quantized_dfr.hpp"
+
+namespace dfr {
+namespace {
+
+TEST(FixedPointFormat, ResolutionAndRange) {
+  const FixedPointFormat q4_11(4, 11);
+  EXPECT_EQ(q4_11.word_length(), 16);
+  EXPECT_DOUBLE_EQ(q4_11.resolution(), std::ldexp(1.0, -11));
+  EXPECT_DOUBLE_EQ(q4_11.max_value(), 16.0 - std::ldexp(1.0, -11));
+  EXPECT_EQ(q4_11.to_string(), "Q4.11 (16b)");
+}
+
+TEST(FixedPointFormat, QuantizeRoundsToNearest) {
+  const FixedPointFormat q(2, 2);  // resolution 0.25
+  EXPECT_DOUBLE_EQ(q.quantize(0.3), 0.25);
+  EXPECT_DOUBLE_EQ(q.quantize(0.38), 0.5);
+  EXPECT_DOUBLE_EQ(q.quantize(-0.3), -0.25);
+  EXPECT_DOUBLE_EQ(q.quantize(0.0), 0.0);
+}
+
+TEST(FixedPointFormat, SaturatesAtRangeLimits) {
+  const FixedPointFormat q(2, 2);  // max 3.75, min -4.0
+  EXPECT_DOUBLE_EQ(q.quantize(100.0), 3.75);
+  EXPECT_DOUBLE_EQ(q.quantize(-100.0), -4.0);
+}
+
+TEST(FixedPointFormat, RepresentableValuesAreFixedPoints) {
+  const FixedPointFormat q(3, 8);
+  for (double v : {0.5, -1.25, 3.9921875}) {
+    EXPECT_DOUBLE_EQ(q.quantize(v), v);  // exactly representable
+    EXPECT_DOUBLE_EQ(q.quantize(q.quantize(v)), q.quantize(v));  // idempotent
+  }
+}
+
+TEST(FixedPointFormat, NanMapsToZero) {
+  const FixedPointFormat q(3, 8);
+  EXPECT_DOUBLE_EQ(q.quantize(std::nan("")), 0.0);
+}
+
+TEST(FixedPointFormat, InvalidFormatsThrow) {
+  EXPECT_THROW(FixedPointFormat(0, 0), CheckError);
+  EXPECT_THROW(FixedPointFormat(40, 40), CheckError);
+}
+
+class QuantizedInference : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pair_ = new DatasetPair(generate_toy_task(3, 2, 40, 12, 8, 0.5, 42));
+    standardize_pair(*pair_);
+    TrainerConfig config;
+    config.nodes = 12;
+    model_ = new TrainResult(Trainer(config).fit(pair_->train));
+    const auto path =
+        (std::filesystem::temp_directory_path() / "dfr_quant_model.dfrm").string();
+    save_model(*model_, path);
+    loaded_ = new LoadedModel(load_model(path));
+    std::remove(path.c_str());
+  }
+  static void TearDownTestSuite() {
+    delete pair_;
+    delete model_;
+    delete loaded_;
+    pair_ = nullptr;
+    model_ = nullptr;
+    loaded_ = nullptr;
+  }
+  static DatasetPair* pair_;
+  static TrainResult* model_;
+  static LoadedModel* loaded_;
+};
+
+DatasetPair* QuantizedInference::pair_ = nullptr;
+TrainResult* QuantizedInference::model_ = nullptr;
+LoadedModel* QuantizedInference::loaded_ = nullptr;
+
+TEST_F(QuantizedInference, WideFormatMatchesFloatAccuracy) {
+  QuantizedInferenceConfig config{FixedPointFormat(8, 20),
+                                  FixedPointFormat(8, 20),
+                                  FixedPointFormat(8, 20)};
+  QuantizedDfr qdfr(*loaded_, config);
+  qdfr.calibrate(pair_->train);
+  const double float_acc = evaluate_accuracy(*model_, pair_->test);
+  const double quant_acc = quantized_accuracy(qdfr, pair_->test);
+  EXPECT_NEAR(quant_acc, float_acc, 0.05);
+}
+
+TEST_F(QuantizedInference, NarrowFormatDegradesGracefully) {
+  QuantizedInferenceConfig wide{FixedPointFormat(8, 20), FixedPointFormat(8, 20),
+                                FixedPointFormat(8, 20)};
+  QuantizedInferenceConfig narrow{FixedPointFormat(1, 3), FixedPointFormat(1, 3),
+                                  FixedPointFormat(1, 3)};
+  QuantizedDfr wide_dfr(*loaded_, wide);
+  wide_dfr.calibrate(pair_->train);
+  QuantizedDfr narrow_dfr(*loaded_, narrow);
+  narrow_dfr.calibrate(pair_->train);
+  const double wide_acc = quantized_accuracy(wide_dfr, pair_->test);
+  const double narrow_acc = quantized_accuracy(narrow_dfr, pair_->test);
+  EXPECT_LE(narrow_acc, wide_acc + 1e-12);
+}
+
+TEST_F(QuantizedInference, FeaturesAreQuantizedToFormatGrid) {
+  QuantizedInferenceConfig config{FixedPointFormat(4, 6), FixedPointFormat(4, 6),
+                                  FixedPointFormat(4, 6)};
+  QuantizedDfr qdfr(*loaded_, config);
+  qdfr.calibrate(pair_->train);
+  const Vector r = qdfr.features(pair_->test[0].series);
+  const double res = config.feature_format.resolution();
+  for (double v : r) {
+    const double multiple = v / res;
+    EXPECT_NEAR(multiple, std::nearbyint(multiple), 1e-9);
+  }
+}
+
+TEST_F(QuantizedInference, CalibrationChoosesPowerOfTwoDownScales) {
+  QuantizedInferenceConfig config{FixedPointFormat(2, 9), FixedPointFormat(2, 9),
+                                  FixedPointFormat(2, 9)};
+  QuantizedDfr qdfr(*loaded_, config);
+  qdfr.calibrate(pair_->train);
+  for (double s : {qdfr.scales().state, qdfr.scales().feature,
+                   qdfr.scales().weight}) {
+    EXPECT_GE(s, 1.0);
+    const double log2s = std::log2(s);
+    EXPECT_NEAR(log2s, std::round(log2s), 1e-12);  // power of two
+  }
+}
+
+TEST_F(QuantizedInference, CalibrationRescuesNarrowIntegerRange) {
+  // With only 1 integer bit, uncalibrated inference saturates; calibration
+  // must recover a clearly-above-chance accuracy.
+  QuantizedInferenceConfig config{FixedPointFormat(1, 12),
+                                  FixedPointFormat(1, 12),
+                                  FixedPointFormat(1, 12)};
+  QuantizedDfr uncalibrated(*loaded_, config);
+  QuantizedDfr calibrated(*loaded_, config);
+  calibrated.calibrate(pair_->train);
+  const double cal_acc = quantized_accuracy(calibrated, pair_->test);
+  EXPECT_GE(cal_acc, quantized_accuracy(uncalibrated, pair_->test) - 1e-12);
+  EXPECT_GT(cal_acc, 0.6);
+}
+
+// ---- model serialization ------------------------------------------------
+
+TEST_F(QuantizedInference, SavedModelReproducesPredictions) {
+  for (std::size_t i = 0; i < 5; ++i) {
+    const Matrix& series = pair_->test[i].series;
+    const ModularReservoir reservoir(model_->mask.nodes(), model_->nonlinearity);
+    const FeatureMatrix fm = compute_features(
+        reservoir, model_->params, model_->mask,
+        pair_->test.subset({i}), RepresentationKind::kDprr);
+    EXPECT_EQ(loaded_->classify(series), model_->readout.predict(fm.features.row(0)));
+  }
+}
+
+TEST_F(QuantizedInference, LoadedModelFieldsMatch) {
+  EXPECT_DOUBLE_EQ(loaded_->params.a, model_->params.a);
+  EXPECT_DOUBLE_EQ(loaded_->params.b, model_->params.b);
+  EXPECT_DOUBLE_EQ(loaded_->chosen_beta, model_->chosen_beta);
+  EXPECT_TRUE(loaded_->mask.weights() == model_->mask.weights());
+  EXPECT_TRUE(loaded_->readout.weights() == model_->readout.weights());
+}
+
+TEST(ModelIo, RejectsGarbageFile) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "dfr_bad_model.dfrm").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "garbage";
+  }
+  EXPECT_THROW(load_model(path), CheckError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dfr

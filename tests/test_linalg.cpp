@@ -1,0 +1,202 @@
+// Unit tests for the dense linear-algebra substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/stats.hpp"
+#include "util/rng.hpp"
+
+namespace dfr {
+namespace {
+
+TEST(Matrix, ConstructsZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(Matrix, InitializerListAndEquality) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+  Matrix same{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_TRUE(m == same);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), CheckError);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix mt = m.transposed();
+  EXPECT_EQ(mt.rows(), 3u);
+  EXPECT_EQ(mt(0, 1), 4.0);
+  EXPECT_TRUE(mt.transposed() == m);
+}
+
+TEST(Matrix, MatmulSmallKnown) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatmulShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(matmul(a, b), CheckError);
+}
+
+TEST(Matrix, TransposeProductsAgreeWithExplicitTranspose) {
+  Rng rng(7);
+  Matrix a(5, 3), b(5, 4);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = rng.normal();
+    for (std::size_t c = 0; c < 4; ++c) b(r, c) = rng.normal();
+  }
+  const Matrix expected = matmul(a.transposed(), b);
+  const Matrix actual = matmul_at_b(a, b);
+  EXPECT_LT((expected - actual).max_abs(), 1e-12);
+
+  Matrix c(4, 3);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t col = 0; col < 3; ++col) c(r, col) = rng.normal();
+  }
+  const Matrix expected2 = matmul(a, c.transposed());
+  const Matrix actual2 = matmul_a_bt(a, c);
+  EXPECT_LT((expected2 - actual2).max_abs(), 1e-12);
+}
+
+TEST(Matrix, GramMatchesExplicitProduct) {
+  Rng rng(11);
+  Matrix a(6, 4);
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) a(r, c) = rng.normal();
+  }
+  const double lambda = 0.5;
+  Matrix expected = matmul_at_b(a, a);
+  for (std::size_t i = 0; i < 4; ++i) expected(i, i) += lambda;
+  const Matrix actual = gram_at_a(a, lambda);
+  EXPECT_LT((expected - actual).max_abs(), 1e-12);
+}
+
+TEST(Matrix, MatvecAndTransposedMatvec) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  Vector x = {1.0, 0.5, -1.0};
+  Vector y = matvec(a, x);
+  EXPECT_DOUBLE_EQ(y[0], 1.0 + 1.0 - 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 4.0 + 2.5 - 6.0);
+
+  Vector z = {2.0, -1.0};
+  Vector w = matvec_t(a, z);
+  EXPECT_DOUBLE_EQ(w[0], 2.0 - 4.0);
+  EXPECT_DOUBLE_EQ(w[1], 4.0 - 5.0);
+  EXPECT_DOUBLE_EQ(w[2], 6.0 - 6.0);
+}
+
+TEST(Matrix, AddOuterRankOneUpdate) {
+  Matrix a(2, 3);
+  Vector x = {1.0, 2.0};
+  Vector y = {3.0, 4.0, 5.0};
+  add_outer(a, 2.0, x, y);
+  EXPECT_DOUBLE_EQ(a(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(a(1, 2), 20.0);
+}
+
+TEST(Matrix, AllFiniteDetectsNan) {
+  Matrix m(2, 2);
+  EXPECT_TRUE(m.all_finite());
+  m(1, 1) = std::nan("");
+  EXPECT_FALSE(m.all_finite());
+}
+
+TEST(Cholesky, FactorizesKnownSpdMatrix) {
+  Matrix a{{4, 2}, {2, 3}};
+  auto l = cholesky_factor(a);
+  ASSERT_TRUE(l.has_value());
+  EXPECT_DOUBLE_EQ((*l)(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ((*l)(1, 0), 1.0);
+  EXPECT_NEAR((*l)(1, 1), std::sqrt(2.0), 1e-15);
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+  Matrix a{{1, 2}, {2, 1}};  // eigenvalues 3, -1
+  EXPECT_FALSE(cholesky_factor(a).has_value());
+}
+
+TEST(Cholesky, SolveRecoversKnownSolution) {
+  Rng rng(3);
+  const std::size_t n = 20;
+  Matrix base(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) base(r, c) = rng.normal();
+  }
+  Matrix spd = gram_at_a(base, 1.0);  // base^T base + I, strictly SPD
+  Vector x_true(n);
+  for (double& v : x_true) v = rng.normal();
+  const Vector b = matvec(spd, x_true);
+  const Vector x = cholesky_solve(spd, b);
+  EXPECT_LT(max_abs_diff(x, x_true), 1e-9);
+}
+
+TEST(Cholesky, SolverReusesFactorizationForMatrixRhs) {
+  Matrix a{{5, 1, 0}, {1, 4, 1}, {0, 1, 3}};
+  Matrix b{{1, 0}, {0, 1}, {2, -1}};
+  CholeskySolver solver(a);
+  ASSERT_TRUE(solver.ok());
+  const Matrix x = solver.solve(b);
+  const Matrix residual = matmul(a, x) - b;
+  EXPECT_LT(residual.max_abs(), 1e-12);
+}
+
+TEST(Cholesky, LogDetMatchesKnownValue) {
+  Matrix a{{4, 0}, {0, 9}};
+  CholeskySolver solver(a);
+  ASSERT_TRUE(solver.ok());
+  EXPECT_NEAR(solver.log_det(), std::log(36.0), 1e-12);
+}
+
+TEST(Stats, MeanVarianceStd) {
+  const Vector v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_NEAR(variance(v), 5.0 / 3.0, 1e-15);
+  EXPECT_NEAR(stddev(v), std::sqrt(5.0 / 3.0), 1e-15);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const Vector a = {1.0, 2.0, 3.0};
+  const Vector b = {2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  const Vector c = {3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Stats, NrmseZeroForPerfectPrediction) {
+  const Vector t = {1.0, 2.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(nrmse(t, t), 0.0);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  Rng rng(5);
+  Vector v(100);
+  RunningStats rs;
+  for (double& x : v) {
+    x = rng.normal(3.0, 2.0);
+    rs.add(x);
+  }
+  EXPECT_NEAR(rs.mean(), mean(v), 1e-12);
+  EXPECT_NEAR(rs.variance(), variance(v), 1e-10);
+  EXPECT_DOUBLE_EQ(rs.min(), min_value(v));
+  EXPECT_DOUBLE_EQ(rs.max(), max_value(v));
+}
+
+}  // namespace
+}  // namespace dfr

@@ -1,0 +1,108 @@
+// Table-2 memory accounting: the analytic model must reproduce the paper's
+// published stored-value counts for all 12 datasets exactly, and must agree
+// with the live buffer sizes of the implementation.
+#include <gtest/gtest.h>
+
+#include "data/specs.hpp"
+#include "data/synth.hpp"
+#include "dfr/backprop.hpp"
+#include "dfr/memory_model.hpp"
+#include "util/rng.hpp"
+
+namespace dfr {
+namespace {
+
+struct PaperRow {
+  const char* id;
+  std::size_t naive;
+  std::size_t simplified;
+  int reduction_percent;  // paper's rounded "(a-b)/a" column
+};
+
+// Table 2 of the paper, verbatim.
+constexpr PaperRow kPaperTable2[] = {
+    {"ARAB", 13030, 10300, 21}, {"AUS", 93455, 89435, 4},
+    {"CHAR", 25700, 19610, 24}, {"CMU", 20192, 2852, 86},
+    {"ECG", 7352, 2852, 61},    {"JPVOW", 10179, 9369, 8},
+    {"KICK", 28022, 2852, 90},  {"LIB", 16245, 14955, 8},
+    {"NET", 42853, 13093, 69},  {"UWAV", 17828, 8438, 53},
+    {"WAF", 8732, 2852, 67},    {"WALK", 60332, 2852, 95},
+};
+
+constexpr std::size_t kNx = 30;  // paper's reservoir size
+
+TEST(MemoryModel, ReproducesPaperTable2Exactly) {
+  for (const PaperRow& row : kPaperTable2) {
+    const auto spec = find_spec(row.id);
+    ASSERT_TRUE(spec.has_value()) << row.id;
+    const MemoryBreakdown naive =
+        naive_memory(spec->length, kNx, spec->num_classes);
+    const MemoryBreakdown simplified =
+        truncated_memory(/*window=*/1, kNx, spec->num_classes);
+    EXPECT_EQ(naive.total(), row.naive) << row.id;
+    EXPECT_EQ(simplified.total(), row.simplified) << row.id;
+    const int reduction_percent = static_cast<int>(
+        memory_reduction(naive, simplified) * 100.0 + 0.5);
+    EXPECT_EQ(reduction_percent, row.reduction_percent) << row.id;
+  }
+}
+
+TEST(MemoryModel, BreakdownComponents) {
+  // Nx=30, Ny=2, T=500 — the scenario discussed in paper Section 3.4.
+  const MemoryBreakdown naive = naive_memory(500, 30, 2);
+  EXPECT_EQ(naive.reservoir_state, 501u * 30u);
+  EXPECT_EQ(naive.representation, 930u);
+  EXPECT_EQ(naive.output_weights, 2u * 931u);
+  const MemoryBreakdown truncated = truncated_memory(1, 30, 2);
+  EXPECT_EQ(truncated.reservoir_state, 60u);
+  // Paper: "the reduction in memory usage would be approximately 80%".
+  const double reduction = memory_reduction(naive, truncated);
+  EXPECT_GT(reduction, 0.75);
+  EXPECT_LT(reduction, 0.85);
+}
+
+TEST(MemoryModel, StateMemoryBelowTwoPercentForLongSeries) {
+  // Paper: for T > 100 the truncated state storage is < 2% of the naive one.
+  for (std::size_t t_len : {101u, 200u, 500u, 1917u}) {
+    const double ratio =
+        static_cast<double>(truncated_memory(1, 30, 2).reservoir_state) /
+        static_cast<double>(naive_memory(t_len, 30, 2).reservoir_state);
+    EXPECT_LT(ratio, 0.02) << t_len;
+  }
+}
+
+TEST(MemoryModel, LiveBuffersMatchAnalyticCounts) {
+  // Run the actual forward passes and compare the instrumented buffer sizes
+  // with the analytic reservoir-state component.
+  Rng rng(5);
+  const std::size_t nx = 7, t_len = 23;
+  const ModularReservoir reservoir(nx, Nonlinearity{});
+  const Mask mask(nx, 2, MaskKind::kBinary, rng);
+  Matrix series(t_len, 2);
+  for (std::size_t t = 0; t < t_len; ++t) {
+    series(t, 0) = rng.normal();
+    series(t, 1) = rng.normal();
+  }
+  const DfrParams params{0.1, 0.1};
+
+  const FullForward full = run_forward_full(reservoir, params, mask, series);
+  EXPECT_EQ(full.stored_state_values(),
+            naive_memory(t_len, nx, 2).reservoir_state);
+
+  for (std::size_t w : {1u, 3u, 10u}) {
+    const TruncatedForward trunc =
+        run_forward_truncated(reservoir, params, mask, series, w);
+    EXPECT_EQ(trunc.stored_state_values(),
+              truncated_memory(w, nx, 2).reservoir_state)
+        << "window " << w;
+  }
+}
+
+TEST(MemoryModel, InvalidArgumentsThrow) {
+  EXPECT_THROW(naive_memory(0, 30, 2), CheckError);
+  EXPECT_THROW(naive_memory(10, 30, 1), CheckError);
+  EXPECT_THROW(truncated_memory(0, 30, 2), CheckError);
+}
+
+}  // namespace
+}  // namespace dfr

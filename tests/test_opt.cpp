@@ -1,0 +1,134 @@
+// Unit tests for optimizers and learning-rate schedules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include "linalg/matrix.hpp"
+
+#include "opt/optimizer.hpp"
+#include "opt/schedule.hpp"
+
+namespace dfr {
+namespace {
+
+TEST(Schedule, PaperReservoirScheduleValues) {
+  const auto schedule = paper_reservoir_schedule();
+  EXPECT_DOUBLE_EQ(schedule->lr_at(0), 1.0);
+  EXPECT_DOUBLE_EQ(schedule->lr_at(4), 1.0);
+  EXPECT_DOUBLE_EQ(schedule->lr_at(5), 0.1);
+  EXPECT_DOUBLE_EQ(schedule->lr_at(9), 0.1);
+  EXPECT_DOUBLE_EQ(schedule->lr_at(10), 0.01);
+  EXPECT_DOUBLE_EQ(schedule->lr_at(15), 1e-3);
+  EXPECT_DOUBLE_EQ(schedule->lr_at(20), 1e-4);
+  EXPECT_DOUBLE_EQ(schedule->lr_at(24), 1e-4);
+}
+
+TEST(Schedule, PaperOutputScheduleValues) {
+  const auto schedule = paper_output_schedule();
+  EXPECT_DOUBLE_EQ(schedule->lr_at(9), 1.0);
+  EXPECT_DOUBLE_EQ(schedule->lr_at(10), 0.1);
+  EXPECT_DOUBLE_EQ(schedule->lr_at(15), 0.01);
+  EXPECT_DOUBLE_EQ(schedule->lr_at(20), 1e-3);
+}
+
+TEST(Schedule, StepHandlesUnsortedMilestones) {
+  const StepSchedule s(2.0, {15, 5, 10}, 0.5);
+  EXPECT_DOUBLE_EQ(s.lr_at(0), 2.0);
+  EXPECT_DOUBLE_EQ(s.lr_at(7), 1.0);
+  EXPECT_DOUBLE_EQ(s.lr_at(12), 0.5);
+  EXPECT_DOUBLE_EQ(s.lr_at(20), 0.25);
+}
+
+TEST(Schedule, ExponentialDecay) {
+  const ExponentialSchedule s(1.0, 0.9);
+  EXPECT_DOUBLE_EQ(s.lr_at(0), 1.0);
+  EXPECT_NEAR(s.lr_at(10), std::pow(0.9, 10), 1e-15);
+}
+
+TEST(Schedule, CosineEndpoints) {
+  const CosineSchedule s(1.0, 0.1, 20);
+  EXPECT_DOUBLE_EQ(s.lr_at(0), 1.0);
+  EXPECT_NEAR(s.lr_at(20), 0.1, 1e-12);
+  EXPECT_NEAR(s.lr_at(10), 0.55, 1e-12);  // halfway
+  EXPECT_NEAR(s.lr_at(100), 0.1, 1e-12);  // clamped past the horizon
+}
+
+TEST(Optimizer, SgdStepIsExactlyLrTimesGrad) {
+  Optimizer opt({OptimizerKind::kSgd});
+  Vector params = {1.0, -2.0};
+  const Vector grads = {0.5, -0.25};
+  opt.step(params, grads, 0.1);
+  EXPECT_DOUBLE_EQ(params[0], 0.95);
+  EXPECT_DOUBLE_EQ(params[1], -1.975);
+}
+
+TEST(Optimizer, MomentumAccumulatesVelocity) {
+  OptimizerConfig config{OptimizerKind::kMomentum};
+  config.momentum = 0.5;
+  Optimizer opt(config);
+  Vector params = {0.0};
+  const Vector grads = {1.0};
+  opt.step(params, grads, 1.0);  // v = -1, p = -1
+  EXPECT_DOUBLE_EQ(params[0], -1.0);
+  opt.step(params, grads, 1.0);  // v = -1.5, p = -2.5
+  EXPECT_DOUBLE_EQ(params[0], -2.5);
+}
+
+TEST(Optimizer, AdaGradShrinksEffectiveStep) {
+  Optimizer opt({OptimizerKind::kAdaGrad});
+  Vector params = {0.0};
+  const Vector grads = {2.0};
+  opt.step(params, grads, 1.0);
+  const double first_step = -params[0];
+  const double before = params[0];
+  opt.step(params, grads, 1.0);
+  const double second_step = before - params[0];
+  EXPECT_GT(first_step, second_step);
+}
+
+TEST(Optimizer, AdamFirstStepIsApproximatelyLr) {
+  // With bias correction, the first Adam step is ~lr regardless of gradient
+  // magnitude.
+  Optimizer opt({OptimizerKind::kAdam});
+  for (double g : {0.001, 1.0, 1000.0}) {
+    opt.reset();
+    Vector params = {0.0};
+    const Vector grads = {g};
+    opt.step(params, grads, 0.01);
+    EXPECT_NEAR(params[0], -0.01, 1e-4) << "grad " << g;
+  }
+}
+
+TEST(Optimizer, ConvergesOnQuadraticBowl) {
+  // f(x) = 0.5 x^2 (gradient = x); all optimizers must reach the optimum.
+  for (auto kind : {OptimizerKind::kSgd, OptimizerKind::kMomentum,
+                    OptimizerKind::kNesterov, OptimizerKind::kAdaGrad,
+                    OptimizerKind::kAdam}) {
+    Optimizer opt({kind});
+    Vector x = {5.0};
+    const double lr = (kind == OptimizerKind::kAdaGrad) ? 2.0 : 0.1;
+    for (int i = 0; i < 500; ++i) {
+      const Vector grad = {x[0]};
+      opt.step(x, grad, lr);
+    }
+    EXPECT_NEAR(x[0], 0.0, 0.05) << optimizer_kind_name(kind);
+  }
+}
+
+TEST(Optimizer, SizeMismatchThrows) {
+  Optimizer opt({OptimizerKind::kSgd});
+  Vector params = {1.0, 2.0};
+  const Vector grads = {1.0};
+  EXPECT_THROW(opt.step(params, grads, 0.1), CheckError);
+}
+
+TEST(Optimizer, ParseRoundTrip) {
+  for (auto kind : {OptimizerKind::kSgd, OptimizerKind::kMomentum,
+                    OptimizerKind::kNesterov, OptimizerKind::kAdaGrad,
+                    OptimizerKind::kAdam}) {
+    EXPECT_EQ(parse_optimizer_kind(optimizer_kind_name(kind)), kind);
+  }
+  EXPECT_THROW(parse_optimizer_kind("bogus"), CheckError);
+}
+
+}  // namespace
+}  // namespace dfr

@@ -1,0 +1,233 @@
+// Unit tests for the modular-DFR forward model, mask, and nonlinearities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dfr/mask.hpp"
+#include "dfr/nonlinearity.hpp"
+#include "dfr/reservoir.hpp"
+#include "util/rng.hpp"
+
+namespace dfr {
+namespace {
+
+// ---- Nonlinearity ----------------------------------------------------------
+
+class NonlinearityDerivative
+    : public ::testing::TestWithParam<NonlinearityKind> {};
+
+TEST_P(NonlinearityDerivative, MatchesFiniteDifferenceEverywhere) {
+  const Nonlinearity f(GetParam(), 2.0);
+  const double eps = 1e-6;
+  for (double s : {-3.0, -1.1, -0.4, -0.01, 0.02, 0.3, 0.9, 2.5}) {
+    const double fd = (f.value(s + eps) - f.value(s - eps)) / (2.0 * eps);
+    EXPECT_NEAR(f.derivative(s), fd, 1e-6 * std::max(1.0, std::fabs(fd)))
+        << nonlinearity_name(GetParam()) << " at s=" << s;
+    const auto both = f.value_and_slope(s);
+    EXPECT_DOUBLE_EQ(both.value, f.value(s));
+    EXPECT_DOUBLE_EQ(both.slope, f.derivative(s));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, NonlinearityDerivative,
+    ::testing::Values(NonlinearityKind::kIdentity, NonlinearityKind::kMackeyGlass,
+                      NonlinearityKind::kTanh, NonlinearityKind::kSine,
+                      NonlinearityKind::kCubic, NonlinearityKind::kSaturating),
+    [](const ::testing::TestParamInfo<NonlinearityKind>& param_info) {
+      std::string name = nonlinearity_name(param_info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Nonlinearity, MackeyGlassKnownValues) {
+  const Nonlinearity f(NonlinearityKind::kMackeyGlass, 1.0);
+  EXPECT_DOUBLE_EQ(f.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.value(1.0), 0.5);      // 1 / (1 + 1)
+  EXPECT_DOUBLE_EQ(f.value(-1.0), -0.5);    // odd symmetry with |s|^p
+  const Nonlinearity f2(NonlinearityKind::kMackeyGlass, 2.0);
+  EXPECT_DOUBLE_EQ(f2.value(2.0), 0.4);     // 2 / (1 + 4)
+}
+
+TEST(Nonlinearity, ParseRoundTrip) {
+  for (auto kind : {NonlinearityKind::kIdentity, NonlinearityKind::kMackeyGlass,
+                    NonlinearityKind::kTanh, NonlinearityKind::kSine,
+                    NonlinearityKind::kCubic, NonlinearityKind::kSaturating}) {
+    EXPECT_EQ(parse_nonlinearity(nonlinearity_name(kind)), kind);
+  }
+  EXPECT_THROW(parse_nonlinearity("bogus"), CheckError);
+  EXPECT_THROW(Nonlinearity(NonlinearityKind::kMackeyGlass, 0.5), CheckError);
+}
+
+// ---- Mask -------------------------------------------------------------------
+
+TEST(Mask, BinaryEntriesArePlusMinusOne) {
+  Rng rng(3);
+  const Mask mask(16, 4, MaskKind::kBinary, rng);
+  int plus = 0, minus = 0;
+  for (std::size_t n = 0; n < 16; ++n) {
+    for (std::size_t v = 0; v < 4; ++v) {
+      const double w = mask.weights()(n, v);
+      EXPECT_TRUE(w == 1.0 || w == -1.0);
+      (w > 0 ? plus : minus)++;
+    }
+  }
+  EXPECT_GT(plus, 10);   // both signs occur
+  EXPECT_GT(minus, 10);
+}
+
+TEST(Mask, UniformEntriesInRange) {
+  Rng rng(5);
+  const Mask mask(16, 4, MaskKind::kUniform, rng);
+  for (std::size_t n = 0; n < 16; ++n) {
+    for (std::size_t v = 0; v < 4; ++v) {
+      const double w = mask.weights()(n, v);
+      EXPECT_GE(w, -1.0);
+      EXPECT_LE(w, 1.0);
+    }
+  }
+}
+
+TEST(Mask, DeterministicForSameSeed) {
+  Rng a(9), b(9);
+  const Mask m1(8, 3, MaskKind::kBinary, a);
+  const Mask m2(8, 3, MaskKind::kBinary, b);
+  EXPECT_TRUE(m1.weights() == m2.weights());
+}
+
+TEST(Mask, ApplyMatchesMatrixVectorProduct) {
+  Rng rng(7);
+  const Mask mask(6, 2, MaskKind::kUniform, rng);
+  const Vector u = {0.5, -1.5};
+  const Vector j = mask.apply(u);
+  for (std::size_t n = 0; n < 6; ++n) {
+    EXPECT_NEAR(j[n], mask.weights()(n, 0) * 0.5 - mask.weights()(n, 1) * 1.5,
+                1e-15);
+  }
+}
+
+TEST(Mask, ApplySeriesMatchesPerStepApply) {
+  Rng rng(11);
+  const Mask mask(5, 3, MaskKind::kUniform, rng);
+  Matrix series(4, 3);
+  for (std::size_t t = 0; t < 4; ++t) {
+    for (std::size_t v = 0; v < 3; ++v) series(t, v) = rng.normal();
+  }
+  const Matrix j = mask.apply_series(series);
+  for (std::size_t t = 0; t < 4; ++t) {
+    const Vector expected = mask.apply(series.row(t));
+    EXPECT_LT(max_abs_diff(j.row(t), expected), 1e-15);
+  }
+}
+
+TEST(Mask, ChannelMismatchThrows) {
+  Rng rng(1);
+  const Mask mask(5, 3, MaskKind::kBinary, rng);
+  Matrix wrong(4, 2);
+  EXPECT_THROW(mask.apply_series(wrong), CheckError);
+}
+
+// ---- Reservoir forward ------------------------------------------------------
+
+TEST(Reservoir, HandComputedTwoNodeTwoStep) {
+  // Nx = 2, identity f: x(k)_n = A (j_n + x(k-1)_n) + B x(k)_{n-1},
+  // x(k)_0 = x(k-1)_2.
+  const ModularReservoir res(2, Nonlinearity{});
+  const DfrParams p{0.5, 0.25};
+  Matrix j{{1.0, 2.0}, {0.5, -1.0}};
+  const Matrix states = res.run(j, p);
+
+  // k=1: x0=0 -> s1 = 1, x(1)_1 = 0.5*1 + 0.25*0      = 0.5
+  //             s2 = 2, x(1)_2 = 0.5*2 + 0.25*0.5     = 1.125
+  EXPECT_DOUBLE_EQ(states(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(states(1, 1), 1.125);
+  // k=2: wrap x(2)_0 = x(1)_2 = 1.125
+  //   x(2)_1 = 0.5*(0.5 + 0.5)  + 0.25*1.125  = 0.78125
+  //   x(2)_2 = 0.5*(-1 + 1.125) + 0.25*0.78125 = 0.2578125
+  EXPECT_DOUBLE_EQ(states(2, 0), 0.78125);
+  EXPECT_DOUBLE_EQ(states(2, 1), 0.2578125);
+}
+
+TEST(Reservoir, InitialStateIsZeroRow) {
+  const ModularReservoir res(4, Nonlinearity{});
+  Matrix j(3, 4, 1.0);
+  const Matrix states = res.run(j, DfrParams{0.1, 0.1});
+  for (std::size_t n = 0; n < 4; ++n) EXPECT_EQ(states(0, n), 0.0);
+}
+
+TEST(Reservoir, ZeroGainGivesZeroStates) {
+  const ModularReservoir res(4, Nonlinearity{});
+  Matrix j(5, 4, 2.0);
+  const Matrix states = res.run(j, DfrParams{0.0, 0.0});
+  EXPECT_EQ(states.max_abs(), 0.0);
+}
+
+TEST(Reservoir, LinearInInputForIdentityNonlinearity) {
+  Rng rng(17);
+  const ModularReservoir res(6, Nonlinearity{});
+  const DfrParams p{0.3, 0.4};
+  Matrix j(8, 6);
+  for (std::size_t t = 0; t < 8; ++t) {
+    for (std::size_t n = 0; n < 6; ++n) j(t, n) = rng.normal();
+  }
+  const Matrix s1 = res.run(j, p);
+  Matrix j2 = j;
+  j2 *= 2.0;
+  const Matrix s2 = res.run(j2, p);
+  EXPECT_LT((s2 - (s1 * 2.0)).max_abs(), 1e-12);  // homogeneity
+}
+
+TEST(Reservoir, ContractiveForSmallParamsExpandsWithA) {
+  Rng rng(23);
+  Matrix j(20, 8);
+  for (std::size_t t = 0; t < 20; ++t) {
+    for (std::size_t n = 0; n < 8; ++n) j(t, n) = rng.normal();
+  }
+  const ModularReservoir res(8, Nonlinearity{});
+  const double small = res.run(j, DfrParams{0.01, 0.01}).max_abs();
+  const double large = res.run(j, DfrParams{0.3, 0.3}).max_abs();
+  EXPECT_LT(small, large);
+  EXPECT_TRUE(res.run(j, DfrParams{0.3, 0.3}).all_finite());
+}
+
+TEST(Reservoir, StepMatchesRun) {
+  Rng rng(29);
+  const ModularReservoir res(5, Nonlinearity(NonlinearityKind::kTanh));
+  const DfrParams p{0.2, 0.3};
+  Matrix j(6, 5);
+  for (std::size_t t = 0; t < 6; ++t) {
+    for (std::size_t n = 0; n < 5; ++n) j(t, n) = rng.normal();
+  }
+  const Matrix states = res.run(j, p);
+  Vector x_prev(5, 0.0), x_cur(5, 0.0);
+  for (std::size_t k = 0; k < 6; ++k) {
+    res.step(p, j.row(k), x_prev, x_cur);
+    EXPECT_LT(max_abs_diff(x_cur, states.row(k + 1)), 1e-15) << "step " << k;
+    std::swap(x_prev, x_cur);
+  }
+}
+
+TEST(Reservoir, WrapCouplesLastNodeIntoNextStep) {
+  // With j = 0 after the first step, the only signal path into x(2)_1 via B
+  // is the wrap from x(1)_Nx.
+  const ModularReservoir res(3, Nonlinearity{});
+  const DfrParams p{0.0, 0.5};  // A = 0: node values come only from the chain
+  Matrix j(2, 3);
+  j(0, 0) = 1.0;  // never reaches any node since A = 0
+  const Matrix states = res.run(j, p);
+  EXPECT_EQ(states.max_abs(), 0.0);
+
+  // Now with A > 0 at step 1 only, step 2 must receive B * x(1)_3 at node 1.
+  const DfrParams p2{1.0, 0.5};
+  Matrix j2(2, 3);
+  j2(0, 2) = 1.0;  // drives x(1)_3 = 1 (A=1, chain contributions zero before)
+  const Matrix s2 = res.run(j2, p2);
+  EXPECT_DOUBLE_EQ(s2(1, 2), 1.0);
+  // x(2)_1 = A*(j=0 + x(1)_1=0) + B*x(1)_3 = 0.5.
+  EXPECT_DOUBLE_EQ(s2(2, 0), 0.5);
+}
+
+}  // namespace
+}  // namespace dfr

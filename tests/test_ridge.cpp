@@ -1,0 +1,183 @@
+// Unit tests for the output layer, ridge regression (primal/dual), metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dfr/metrics.hpp"
+#include "dfr/output.hpp"
+#include "dfr/ridge.hpp"
+#include "util/rng.hpp"
+
+namespace dfr {
+namespace {
+
+FeatureMatrix make_separable(std::size_t n_per_class, int classes,
+                             std::size_t dim, double noise, std::uint64_t seed) {
+  Rng rng(seed);
+  FeatureMatrix fm;
+  fm.features.resize(n_per_class * static_cast<std::size_t>(classes), dim);
+  fm.labels.resize(fm.features.rows());
+  // Class c has mean e_c (one-hot direction) scaled by 2.
+  std::size_t row = 0;
+  for (int c = 0; c < classes; ++c) {
+    for (std::size_t i = 0; i < n_per_class; ++i, ++row) {
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double mu = (d == static_cast<std::size_t>(c)) ? 2.0 : 0.0;
+        fm.features(row, d) = mu + noise * rng.normal();
+      }
+      fm.labels[row] = c;
+    }
+  }
+  return fm;
+}
+
+TEST(Softmax, SumsToOneAndOrdersLogits) {
+  const Vector probs = softmax(Vector{1.0, 2.0, 3.0});
+  EXPECT_NEAR(probs[0] + probs[1] + probs[2], 1.0, 1e-15);
+  EXPECT_LT(probs[0], probs[1]);
+  EXPECT_LT(probs[1], probs[2]);
+}
+
+TEST(Softmax, StableForHugeLogits) {
+  const Vector probs = softmax(Vector{1000.0, 1000.0, -1000.0});
+  EXPECT_NEAR(probs[0], 0.5, 1e-12);
+  EXPECT_NEAR(probs[1], 0.5, 1e-12);
+  EXPECT_NEAR(probs[2], 0.0, 1e-12);
+}
+
+TEST(CrossEntropy, KnownValue) {
+  const Vector probs = {0.25, 0.5, 0.25};
+  EXPECT_NEAR(cross_entropy(probs, 1), -std::log(0.5), 1e-15);
+}
+
+TEST(OutputLayer, ZeroInitGivesUniformProbabilities) {
+  const OutputLayer layer(4, 10);
+  const Vector r(10, 1.0);
+  const Vector probs = layer.probabilities(r);
+  for (double p : probs) EXPECT_NEAR(p, 0.25, 1e-15);
+  EXPECT_NEAR(layer.loss(r, 2), std::log(4.0), 1e-12);
+}
+
+TEST(OutputLayer, BackwardDlogitsIsProbsMinusOneHot) {
+  OutputLayer layer(3, 4);
+  layer.mutable_weights()(0, 0) = 1.0;
+  layer.mutable_bias()[2] = -0.5;
+  const Vector r = {1.0, -1.0, 0.5, 2.0};
+  const auto grad = layer.backward(r, 1);
+  const Vector probs = layer.probabilities(r);
+  EXPECT_NEAR(grad.dlogits[0], probs[0], 1e-15);
+  EXPECT_NEAR(grad.dlogits[1], probs[1] - 1.0, 1e-15);
+  EXPECT_NEAR(grad.dlogits[2], probs[2], 1e-15);
+}
+
+TEST(OutputLayer, SgdStepReducesLossOnRepeatedSample) {
+  OutputLayer layer(3, 5);
+  const Vector r = {0.5, -0.2, 0.1, 0.9, -0.4};
+  double prev = layer.loss(r, 0);
+  for (int i = 0; i < 20; ++i) {
+    const auto grad = layer.backward(r, 0);
+    layer.apply_gradient(grad, r, 0.5);
+    const double now = layer.loss(r, 0);
+    EXPECT_LT(now, prev + 1e-12);
+    prev = now;
+  }
+  EXPECT_EQ(layer.predict(r), 0);
+}
+
+TEST(Ridge, PrimalAndDualAgree) {
+  // Wide regime (n < p) exercises the dual; force the primal by transposing
+  // the sample count. Both must produce the same predictions.
+  const FeatureMatrix tall = make_separable(50, 3, 8, 0.3, 5);   // n=150 > p=8
+  const FeatureMatrix wide = make_separable(4, 3, 40, 0.3, 7);   // n=12 < p=40
+
+  for (const auto& fm : {tall, wide}) {
+    for (double beta : {1e-4, 1e-2, 1.0}) {
+      // fit_ridge auto-selects; build both solutions explicitly by toggling
+      // shapes is not possible from outside, so instead verify the normal
+      // equations hold: (R'R + beta I) W' = R'(D - 1 b') for the augmented
+      // system — equivalently check residual optimality via gradient ~ 0.
+      const OutputLayer layer = fit_ridge(fm, 3, beta);
+      // Gradient of the ridge objective w.r.t. W_aug at the solution is
+      // 2 R_aug^T (R_aug W_aug^T - D) + 2 beta W_aug^T = 0.
+      const std::size_t n = fm.features.rows(), p = fm.features.cols();
+      Matrix r_aug(n, p + 1);
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto row = fm.features.row(i);
+        std::copy(row.begin(), row.end(), r_aug.row(i).begin());
+        r_aug(i, p) = 1.0;
+      }
+      const Matrix d = one_hot(fm.labels, 3);
+      Matrix w_aug_t(p + 1, 3);
+      for (std::size_t c = 0; c < 3; ++c) {
+        for (std::size_t f = 0; f < p; ++f) w_aug_t(f, c) = layer.weights()(c, f);
+        w_aug_t(p, c) = layer.bias()[c];
+      }
+      const Matrix residual = matmul(r_aug, w_aug_t) - d;
+      Matrix gradient = matmul_at_b(r_aug, residual);
+      gradient += w_aug_t * beta;
+      EXPECT_LT(gradient.max_abs(), 1e-8)
+          << "n=" << n << " p=" << p << " beta=" << beta;
+    }
+  }
+}
+
+TEST(Ridge, SeparableDataClassifiedPerfectly) {
+  const FeatureMatrix train = make_separable(30, 4, 6, 0.2, 11);
+  const FeatureMatrix test = make_separable(10, 4, 6, 0.2, 13);
+  const OutputLayer layer = fit_ridge(train, 4, 1e-4);
+  EXPECT_EQ(evaluate_accuracy(layer, train), 1.0);
+  EXPECT_EQ(evaluate_accuracy(layer, test), 1.0);
+}
+
+TEST(Ridge, StrongRegularizationShrinksWeights) {
+  const FeatureMatrix train = make_separable(20, 3, 5, 0.3, 17);
+  const OutputLayer weak = fit_ridge(train, 3, 1e-6);
+  const OutputLayer strong = fit_ridge(train, 3, 100.0);
+  EXPECT_LT(strong.weights().frobenius_norm(), weak.weights().frobenius_norm());
+}
+
+TEST(Ridge, SweepPicksSmallestSelectionLoss) {
+  const FeatureMatrix train = make_separable(25, 3, 6, 0.4, 19);
+  const FeatureMatrix val = make_separable(10, 3, 6, 0.4, 23);
+  const RidgeSweep sweep = sweep_ridge(train, val, 3);
+  ASSERT_EQ(sweep.candidates.size(), paper_beta_grid().size());
+  for (const auto& c : sweep.candidates) {
+    EXPECT_GE(c.selection_loss, sweep.best().selection_loss);
+  }
+  EXPECT_EQ(sweep.best().beta, sweep.candidates[sweep.best_index].beta);
+}
+
+TEST(Ridge, RejectsNonPositiveBeta) {
+  const FeatureMatrix train = make_separable(5, 2, 3, 0.1, 29);
+  EXPECT_THROW(fit_ridge(train, 2, 0.0), CheckError);
+}
+
+// ---- metrics ----------------------------------------------------------------
+
+TEST(Metrics, AccuracyCountsMatches) {
+  EXPECT_DOUBLE_EQ(accuracy({0, 1, 2, 1}, {0, 1, 1, 1}), 0.75);
+  EXPECT_DOUBLE_EQ(accuracy({1}, {1}), 1.0);
+}
+
+TEST(Metrics, ConfusionMatrixLayout) {
+  const Matrix cm = confusion_matrix({0, 1, 1, 2}, {0, 1, 2, 2}, 3);
+  EXPECT_DOUBLE_EQ(cm(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(cm(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(cm(2, 1), 1.0);  // actual 2 predicted 1
+  EXPECT_DOUBLE_EQ(cm(2, 2), 1.0);
+}
+
+TEST(Metrics, MacroF1PerfectAndDegenerate) {
+  EXPECT_DOUBLE_EQ(macro_f1({0, 1, 2}, {0, 1, 2}, 3), 1.0);
+  // All predictions wrong class: F1 = 0 for present classes.
+  EXPECT_DOUBLE_EQ(macro_f1({1, 1, 1}, {0, 0, 0}, 2), 0.0);
+}
+
+TEST(Metrics, MeanCrossEntropyMatchesManual) {
+  Matrix probs{{0.5, 0.5}, {0.9, 0.1}};
+  const double expected = (-std::log(0.5) - std::log(0.1)) / 2.0;
+  EXPECT_NEAR(mean_cross_entropy(probs, {0, 1}), expected, 1e-12);
+}
+
+}  // namespace
+}  // namespace dfr

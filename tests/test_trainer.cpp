@@ -1,0 +1,261 @@
+// Integration tests for the Trainer (the paper's optimization protocol) and
+// the grid-search baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/preprocess.hpp"
+#include "data/synth.hpp"
+#include "dfr/grid_search.hpp"
+#include "dfr/trainer.hpp"
+
+namespace dfr {
+namespace {
+
+DatasetPair easy_task(std::uint64_t seed) {
+  DatasetPair pair = generate_toy_task(/*num_classes=*/3, /*channels=*/2,
+                                       /*length=*/40, /*train_per_class=*/12,
+                                       /*test_per_class=*/8,
+                                       /*difficulty=*/0.5, seed);
+  standardize_pair(pair);
+  return pair;
+}
+
+TrainerConfig small_config() {
+  TrainerConfig config;
+  config.nodes = 12;  // smaller than the paper's 30 for test speed
+  return config;
+}
+
+TEST(Trainer, LearnsEasyTaskWellAboveChance) {
+  const DatasetPair pair = easy_task(42);
+  const Trainer trainer(small_config());
+  const TrainResult model = trainer.fit(pair.train);
+  const double test_acc = evaluate_accuracy(model, pair.test);
+  EXPECT_GT(test_acc, 0.8) << "chance level is 1/3";
+  EXPECT_EQ(model.history.size(), 25u);
+  EXPECT_EQ(model.skipped_updates, 0u);
+}
+
+TEST(Trainer, LossDecreasesOverTrainingOnBenignTask) {
+  DatasetPair pair = generate_toy_task(3, 2, 40, 12, 8, /*difficulty=*/0.3, 42);
+  standardize_pair(pair);
+  const TrainResult model = Trainer(small_config()).fit(pair.train);
+  EXPECT_LT(model.history.back().mean_loss, model.history.front().mean_loss);
+}
+
+TEST(Trainer, MultistartPicksSmallestValidationLoss) {
+  const DatasetPair pair = easy_task(33);
+  const Trainer trainer(small_config());
+  const auto restarts = Trainer::default_restarts();
+  const TrainResult multi = trainer.fit_multistart(pair.train, restarts);
+  // The winner's validation loss can't exceed any individual run's.
+  for (const DfrParams& init : restarts) {
+    TrainerConfig config = small_config();
+    config.init = init;
+    const TrainResult single = Trainer(config).fit(pair.train);
+    EXPECT_LE(multi.validation_loss, single.validation_loss + 1e-12);
+  }
+  // Times accumulate across restarts.
+  TrainerConfig config = small_config();
+  const TrainResult single = Trainer(config).fit(pair.train);
+  EXPECT_GT(multi.sgd_seconds, single.sgd_seconds);
+}
+
+TEST(Trainer, DeterministicGivenSeed) {
+  const DatasetPair pair = easy_task(9);
+  const Trainer trainer(small_config());
+  const TrainResult a = trainer.fit(pair.train);
+  const TrainResult b = trainer.fit(pair.train);
+  EXPECT_EQ(a.params.a, b.params.a);
+  EXPECT_EQ(a.params.b, b.params.b);
+  EXPECT_EQ(a.chosen_beta, b.chosen_beta);
+  EXPECT_TRUE(a.readout.weights() == b.readout.weights());
+}
+
+TEST(Trainer, SeedChangesMask) {
+  const DatasetPair pair = easy_task(9);
+  TrainerConfig c1 = small_config(), c2 = small_config();
+  c2.seed = 777;
+  const TrainResult a = Trainer(c1).fit(pair.train);
+  const TrainResult b = Trainer(c2).fit(pair.train);
+  EXPECT_FALSE(a.mask.weights() == b.mask.weights());
+}
+
+TEST(Trainer, LrScheduleFollowsPaperMilestones) {
+  const DatasetPair pair = easy_task(11);
+  TrainerConfig config = small_config();
+  const TrainResult model = Trainer(config).fit(pair.train);
+  ASSERT_EQ(model.history.size(), 25u);
+  EXPECT_DOUBLE_EQ(model.history[0].lr_reservoir, 1.0);
+  EXPECT_DOUBLE_EQ(model.history[4].lr_reservoir, 1.0);
+  EXPECT_DOUBLE_EQ(model.history[5].lr_reservoir, 0.1);
+  EXPECT_DOUBLE_EQ(model.history[10].lr_reservoir, 0.01);
+  EXPECT_DOUBLE_EQ(model.history[20].lr_reservoir, 1e-4);
+  EXPECT_DOUBLE_EQ(model.history[5].lr_output, 1.0);   // output decays later
+  EXPECT_DOUBLE_EQ(model.history[10].lr_output, 0.1);
+  EXPECT_DOUBLE_EQ(model.history[20].lr_output, 1e-3);
+}
+
+TEST(Trainer, ChoosesBetaFromPaperGrid) {
+  const DatasetPair pair = easy_task(13);
+  const TrainResult model = Trainer(small_config()).fit(pair.train);
+  const auto& grid = paper_beta_grid();
+  EXPECT_NE(std::find(grid.begin(), grid.end(), model.chosen_beta), grid.end());
+}
+
+TEST(Trainer, TruncatedMemoryFootprintIsTwoStates) {
+  const DatasetPair pair = easy_task(15);
+  TrainerConfig config = small_config();
+  config.truncation_window = 1;
+  const TrainResult model = Trainer(config).fit(pair.train);
+  EXPECT_EQ(model.stored_state_values, 2 * config.nodes);
+}
+
+TEST(Trainer, FullBpttStoresWholeTrajectory) {
+  const DatasetPair pair = easy_task(15);
+  TrainerConfig config = small_config();
+  config.truncation_window = 0;  // full BPTT
+  const TrainResult model = Trainer(config).fit(pair.train);
+  EXPECT_EQ(model.stored_state_values, (pair.train.length() + 1) * config.nodes);
+  EXPECT_GT(evaluate_accuracy(model, pair.test), 0.7);
+}
+
+TEST(Trainer, WiderWindowAlsoLearns) {
+  const DatasetPair pair = easy_task(17);
+  TrainerConfig config = small_config();
+  config.truncation_window = 8;
+  const TrainResult model = Trainer(config).fit(pair.train);
+  EXPECT_GT(evaluate_accuracy(model, pair.test), 0.7);
+  EXPECT_EQ(model.stored_state_values, 9 * config.nodes);
+}
+
+TEST(Trainer, ParamBoxKeepsIteratesBounded) {
+  const DatasetPair pair = easy_task(19);
+  TrainerConfig config = small_config();
+  config.param_box = 0.65;
+  const TrainResult model = Trainer(config).fit(pair.train);
+  EXPECT_LE(std::fabs(model.params.a), 0.65);
+  EXPECT_LE(std::fabs(model.params.b), 0.65);
+  for (const auto& epoch : model.history) {
+    EXPECT_LE(std::fabs(epoch.a), 0.65);
+    EXPECT_LE(std::fabs(epoch.b), 0.65);
+  }
+}
+
+TEST(Trainer, NonSgdOptimizersAlsoTrain) {
+  const DatasetPair pair = easy_task(21);
+  for (auto kind : {OptimizerKind::kMomentum, OptimizerKind::kAdam}) {
+    TrainerConfig config = small_config();
+    config.optimizer = kind;
+    // Stateful optimizers need their conventional lr scale, not the paper's
+    // SGD lr = 1.
+    config.base_lr_reservoir = (kind == OptimizerKind::kAdam) ? 0.01 : 0.1;
+    config.base_lr_output = (kind == OptimizerKind::kAdam) ? 0.01 : 0.1;
+    const TrainResult model = Trainer(config).fit(pair.train);
+    EXPECT_GT(evaluate_accuracy(model, pair.test), 0.5)
+        << optimizer_kind_name(kind);
+  }
+}
+
+TEST(Trainer, PredictReturnsLabelsForEverySample) {
+  const DatasetPair pair = easy_task(23);
+  const TrainResult model = Trainer(small_config()).fit(pair.train);
+  const auto preds = predict(model, pair.test);
+  ASSERT_EQ(preds.size(), pair.test.size());
+  for (int p : preds) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, pair.test.num_classes());
+  }
+}
+
+TEST(Trainer, RejectsEmptyDataset) {
+  Dataset empty("e", 2, 4, 1);
+  EXPECT_THROW((void)Trainer(small_config()).fit(empty), CheckError);
+}
+
+// ---- grid search ------------------------------------------------------------
+
+GridSearchConfig small_grid_config() {
+  GridSearchConfig config;
+  config.nodes = 12;
+  return config;
+}
+
+TEST(GridSearch, GridPointsAreSectionMidpoints) {
+  const auto pts = grid_points(0.0, 1.0, 2);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_DOUBLE_EQ(pts[0], 0.25);
+  EXPECT_DOUBLE_EQ(pts[1], 0.75);
+  const auto one = grid_points(-2.0, 2.0, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0], 0.0);  // divs=1 tests the range center
+}
+
+TEST(GridSearch, LevelEvaluatesAllCandidates) {
+  const DatasetPair pair = easy_task(25);
+  const GridLevelResult level =
+      run_grid_level(small_grid_config(), pair.train, pair.test, 3);
+  EXPECT_EQ(level.candidates.size(), 9u);
+  EXPECT_EQ(level.divs, 3u);
+  int valid = 0;
+  for (const auto& c : level.candidates) {
+    if (c.valid) ++valid;
+  }
+  EXPECT_GT(valid, 0);
+  EXPECT_TRUE(level.best().valid);
+  EXPECT_GT(level.best().test_accuracy, 0.5);
+}
+
+TEST(GridSearch, ParallelMatchesSerial) {
+  const DatasetPair pair = easy_task(27);
+  GridSearchConfig serial = small_grid_config();
+  GridSearchConfig parallel = small_grid_config();
+  parallel.threads = 4;
+  const GridLevelResult a = run_grid_level(serial, pair.train, pair.test, 3);
+  const GridLevelResult b = run_grid_level(parallel, pair.train, pair.test, 3);
+  ASSERT_EQ(a.candidates.size(), b.candidates.size());
+  for (std::size_t i = 0; i < a.candidates.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.candidates[i].test_accuracy, b.candidates[i].test_accuracy);
+    EXPECT_DOUBLE_EQ(a.candidates[i].validation_loss, b.candidates[i].validation_loss);
+  }
+  EXPECT_EQ(a.best_index, b.best_index);
+}
+
+TEST(GridSearch, EscalationStopsWhenTargetReached) {
+  const DatasetPair pair = easy_task(29);
+  const EscalationResult result = escalate_grid_search(
+      small_grid_config(), pair.train, pair.test, /*target_accuracy=*/0.0,
+      /*max_divs=*/5);
+  // Target 0 is reached by the very first level.
+  EXPECT_TRUE(result.reached_target);
+  EXPECT_EQ(result.levels.size(), 1u);
+}
+
+TEST(GridSearch, EscalationExhaustsOnImpossibleTarget) {
+  const DatasetPair pair = easy_task(31);
+  const EscalationResult result = escalate_grid_search(
+      small_grid_config(), pair.train, pair.test, /*target_accuracy=*/1.1,
+      /*max_divs=*/2);
+  EXPECT_FALSE(result.reached_target);
+  EXPECT_EQ(result.levels.size(), 2u);
+  EXPECT_GT(result.total_seconds, 0.0);
+}
+
+TEST(GridSearch, MultistartBackpropMatchesGridSearchAccuracy) {
+  // The paper's central claim at miniature scale: the backprop-trained DFR
+  // (with the restart set the benches use) reaches the accuracy of a
+  // moderately fine grid search.
+  const DatasetPair pair = easy_task(33);
+  const Trainer trainer(small_config());
+  const TrainResult model =
+      trainer.fit_multistart(pair.train, Trainer::default_restarts());
+  const double bp_acc = evaluate_accuracy(model, pair.test);
+
+  const GridLevelResult level =
+      run_grid_level(small_grid_config(), pair.train, pair.test, 4);
+  EXPECT_GE(bp_acc + 0.05, level.best().test_accuracy);
+}
+
+}  // namespace
+}  // namespace dfr

@@ -1,0 +1,183 @@
+// Unit tests for the utility substrate: RNG determinism, CLI, CSV, tables.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace dfr {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIndexUnbiasedCoverage) {
+  Rng rng(9);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.uniform_index(5)];
+  for (int c : counts) {
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(Rng, NormalMomentsReasonable) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(13);
+  auto perm = random_permutation(50, rng);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(21);
+  Rng child = a.fork(1);
+  Rng a2(21);
+  // Parent stream advanced by fork; child differs from both.
+  EXPECT_NE(child.next_u64(), a2.next_u64());
+}
+
+TEST(Rng, HashCombineIsDeterministicAndSpreads) {
+  EXPECT_EQ(hash_combine(1, 2), hash_combine(1, 2));
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(Cli, ParsesFlagsOptionsAndPositionals) {
+  CliParser cli("prog", "test");
+  cli.add_flag("full", "run full");
+  cli.add_option("seed", "rng seed", "42");
+  cli.add_option("name", "dataset", "ARAB");
+  const char* argv[] = {"prog", "--full", "--seed", "7", "--name=ECG", "extra"};
+  cli.parse(6, argv);
+  EXPECT_TRUE(cli.get_flag("full"));
+  EXPECT_EQ(cli.get_u64("seed"), 7u);
+  EXPECT_EQ(cli.get("name"), "ECG");
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "extra");
+}
+
+TEST(Cli, DefaultsApplyWhenAbsent) {
+  CliParser cli("prog", "test");
+  cli.add_option("seed", "rng seed", "42");
+  const char* argv[] = {"prog"};
+  cli.parse(1, argv);
+  EXPECT_EQ(cli.get_u64("seed"), 42u);
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "--bogus"};
+  EXPECT_THROW(cli.parse(2, argv), CliError);
+}
+
+TEST(Cli, MissingValueThrows) {
+  CliParser cli("prog", "test");
+  cli.add_option("seed", "rng seed", "42");
+  const char* argv[] = {"prog", "--seed"};
+  EXPECT_THROW(cli.parse(2, argv), CliError);
+}
+
+TEST(Cli, BadNumberThrows) {
+  CliParser cli("prog", "test");
+  cli.add_option("seed", "rng seed", "42");
+  const char* argv[] = {"prog", "--seed", "4x"};
+  cli.parse(3, argv);
+  EXPECT_THROW((void)cli.get_u64("seed"), CliError);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesRoundTrippableFile) {
+  const std::string path = std::filesystem::temp_directory_path() / "dfr_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.add_row({"1", "x,y"});
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "a,b");
+  EXPECT_EQ(line2, "1,\"x,y\"");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RowArityMismatchThrows) {
+  const std::string path = std::filesystem::temp_directory_path() / "dfr_csv_test2.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.add_row({"only-one"}), CheckError);
+  csv.close();
+  std::remove(path.c_str());
+}
+
+TEST(Table, RendersAlignedGrid) {
+  ConsoleTable t({"dataset", "acc"});
+  t.add_row({"ARAB", "0.981"});
+  t.add_row({"ECG", "0.850"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("dataset"), std::string::npos);
+  EXPECT_NE(s.find("0.981"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  ConsoleTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), CheckError);
+}
+
+TEST(Table, FormattersProduceExpectedStrings) {
+  EXPECT_EQ(fmt_double(0.98123, 3), "0.981");
+  EXPECT_EQ(fmt_count(25040), "25,040");
+  EXPECT_EQ(fmt_count(-1234567), "-1,234,567");
+  EXPECT_EQ(fmt_ratio(701.94), "701.9");
+  EXPECT_EQ(fmt_seconds(0.0123), "12.3ms");
+  EXPECT_EQ(fmt_seconds(245.2), "245.2s");
+}
+
+}  // namespace
+}  // namespace dfr
