@@ -60,6 +60,7 @@ int main(int argc, char** argv) {
       TrainerConfig config;
       config.nodes = 30;
       config.seed = options.seed;
+      config.threads = options.threads;
       config.optimizer = variant.kind;
       config.base_lr_reservoir = variant.lr;
       config.base_lr_output = variant.lr;

@@ -57,6 +57,7 @@ int main(int argc, char** argv) {
     TrainerConfig config;
     config.nodes = 30;
     config.seed = options.seed;
+    config.threads = options.threads;
     const TrainResult model =
         Trainer(config).fit_multistart(data.train, Trainer::default_restarts());
     const ModularReservoir reservoir(config.nodes, model.nonlinearity);

@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
       TrainerConfig config;
       config.nodes = 30;
       config.seed = options.seed;
+      config.threads = options.threads;
       config.truncation_window = window;
       const Trainer trainer(config);
       Timer timer;

@@ -24,6 +24,8 @@ struct ScaleOptions {
   std::size_t cap = 200;        // per-split sample cap in reduced mode
   std::uint64_t seed = 42;
   std::size_t max_divs = 12;    // grid-escalation bound in reduced mode
+  unsigned threads = 0;         // pool slots for sweep stages (0 = all cores,
+                                // the ParallelOptions convention)
 };
 
 inline void add_scale_options(CliParser& cli) {
@@ -31,6 +33,10 @@ inline void add_scale_options(CliParser& cli) {
   cli.add_option("cap", "per-split sample cap in reduced mode", "200");
   cli.add_option("seed", "master RNG seed", "42");
   cli.add_option("max-divs", "grid-escalation bound", "12");
+  cli.add_option("threads",
+                 "worker threads for grid / feature / restart sweeps "
+                 "(0 = all cores; results identical for any value)",
+                 "0");
   cli.add_option("datasets", "comma-separated dataset ids (default: all 12)", "");
 }
 
@@ -40,6 +46,7 @@ inline ScaleOptions read_scale_options(const CliParser& cli) {
   options.cap = cli.get_u64("cap");
   options.seed = cli.get_u64("seed");
   options.max_divs = cli.get_u64("max-divs");
+  options.threads = static_cast<unsigned>(cli.get_u64("threads"));
   return options;
 }
 

@@ -105,6 +105,7 @@ int main(int argc, char** argv) {
   GridSearchConfig config;
   config.nodes = 30;
   config.seed = options.seed;
+  config.threads = options.threads;
 
   // Level 1: coarse grid over the paper's full range.
   const GridLevelResult level1 = run_grid_level(config, data.train, data.test, coarse);

@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
     TrainerConfig config;
     config.nodes = 30;
     config.seed = options.seed;
+    config.threads = options.threads;
     const TrainResult model =
         Trainer(config).fit_multistart(data.train, Trainer::default_restarts());
     const double float_acc = evaluate_accuracy(model, data.test);

@@ -82,6 +82,7 @@ int main(int argc, char** argv) {
     TrainerConfig tconfig;
     tconfig.nodes = 30;  // paper's evaluation setting
     tconfig.seed = options.seed;
+    tconfig.threads = options.threads;
     const Trainer trainer(tconfig);
     Timer bp_timer;
     const TrainResult model =
@@ -96,6 +97,7 @@ int main(int argc, char** argv) {
     GridSearchConfig gconfig;
     gconfig.nodes = 30;
     gconfig.seed = options.seed;
+    gconfig.threads = options.threads;
     const EscalationResult gs = escalate_grid_search(
         gconfig, data.train, data.test, bp_acc, options.max_divs);
     const auto& final_level = gs.final_level();

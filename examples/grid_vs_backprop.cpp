@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
   // Proposed: backprop + SGD (truncated), multi-start.
   TrainerConfig tconfig;
   tconfig.seed = synth.seed;
+  tconfig.threads = 0;  // all cores (results identical for any value)
   Timer bp_timer;
   const TrainResult model =
       Trainer(tconfig).fit_multistart(data.train, Trainer::default_restarts());
@@ -63,6 +64,7 @@ int main(int argc, char** argv) {
   // Conventional: one grid level at the requested resolution.
   GridSearchConfig gconfig;
   gconfig.seed = synth.seed;
+  gconfig.threads = 0;  // all cores
   Timer gs_timer;
   const GridLevelResult level =
       run_grid_level(gconfig, data.train, data.test, cli.get_u64("divs"));

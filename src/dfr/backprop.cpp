@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace dfr {
 
@@ -10,7 +11,7 @@ ReservoirGradients backprop_through_dprr(const ModularReservoir& reservoir,
                                          const DfrParams& params,
                                          const Matrix& states, const Matrix& j,
                                          std::span<const double> dr,
-                                         std::size_t window) {
+                                         std::size_t window, unsigned threads) {
   const std::size_t nx = reservoir.nodes();
   const std::size_t m = j.rows();  // steps represented in the buffers
   DFR_CHECK_MSG(states.cols() == nx && j.cols() == nx, "node-count mismatch");
@@ -30,6 +31,12 @@ ReservoirGradients backprop_through_dprr(const ModularReservoir& reservoir,
 
   ReservoirGradients grads;
 
+  // Node rows of the bpv pass are independent, so it runs on the shared pool
+  // when Nx spans more than one grain-sized block (each index is O(Nx) work;
+  // the paper's Nx = 30 stays on the calling thread). The recursion and the
+  // parameter-gradient accumulation below are order-dependent and serial.
+  constexpr std::size_t kBpvGrain = 256;
+
   // Iterate k = T, T-1, ..., T-window+1. Row of x(k) in `states` is m-step;
   // row of j(k) in `j` is m-1-step.
   for (std::size_t step = 0; step < window; ++step) {
@@ -40,6 +47,9 @@ ReservoirGradients backprop_through_dprr(const ModularReservoir& reservoir,
     const bool has_future = step > 0;  // does x(k+1) exist in this window?
 
     // bpv (Eq. 23 / Eq. 33): contributions of x(k)_n to the DPRR features.
+    // The cross term sum_i x(k+1)_i dr[i, n] is precomputed row-major over
+    // the dr block (cache-friendly, zero rows skipped); the per-n pass then
+    // only walks row n of dr, which is contiguous.
     if (has_future) {
       const auto x_kp1 = states.row(xk_row + 1);
       // cross[n] = sum_i x(k+1)_i * dr[i*Nx + n]
@@ -51,12 +61,21 @@ ReservoirGradients backprop_through_dprr(const ModularReservoir& reservoir,
         for (std::size_t n = 0; n < nx; ++n) cross[n] += xi * dri[n];
       }
     }
-    for (std::size_t n = 0; n < nx; ++n) {
+    const auto bpv_at = [&](std::size_t n) {
       double v = dr_sum[n];
       const double* drn = dr_mat + n * nx;
       for (std::size_t jj = 0; jj < nx; ++jj) v += x_km1[jj] * drn[jj];
       if (has_future) v += cross[n];
       bpv[n] = v;
+    };
+    if (threads == 1 || nx <= kBpvGrain || inside_parallel_region()) {
+      // Keep the hot small-reservoir path — and fits already running as pool
+      // bodies (multi-start restarts), where parallel_for would degrade to
+      // serial anyway — free of std::function and pool dispatch; this runs
+      // once per time step of every training sample.
+      for (std::size_t n = 0; n < nx; ++n) bpv_at(n);
+    } else {
+      parallel_for(nx, bpv_at, {.threads = threads, .grain = kBpvGrain});
     }
 
     // Recursion (Eq. 30 / Eq. 34), n descending. Terms:
@@ -95,8 +114,10 @@ ReservoirGradients backprop_through_dprr(const ModularReservoir& reservoir,
 
 ReservoirGradients backprop_full(const ModularReservoir& reservoir,
                                  const DfrParams& params, const Matrix& states,
-                                 const Matrix& j, std::span<const double> dr) {
-  return backprop_through_dprr(reservoir, params, states, j, dr, j.rows());
+                                 const Matrix& j, std::span<const double> dr,
+                                 unsigned threads) {
+  return backprop_through_dprr(reservoir, params, states, j, dr, j.rows(),
+                               threads);
 }
 
 TruncatedForward run_forward_truncated(const ModularReservoir& reservoir,

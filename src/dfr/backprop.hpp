@@ -43,16 +43,22 @@ struct ReservoirGradients {
 /// `window`: number of trailing time steps to backpropagate through
 ///           (1 <= window <= m). Gradients of states older than the window
 ///           are treated as zero (the truncation approximation).
+/// `threads`: pool slots for the O(Nx^2)-per-step feature-contribution pass;
+///           node rows are independent, so the gradients are bit-identical
+///           for any value. Small reservoirs (the paper's Nx = 30) fall below
+///           the scheduling grain and run serially regardless.
 ReservoirGradients backprop_through_dprr(const ModularReservoir& reservoir,
                                          const DfrParams& params,
                                          const Matrix& states, const Matrix& j,
                                          std::span<const double> dr,
-                                         std::size_t window);
+                                         std::size_t window,
+                                         unsigned threads = 1);
 
 /// Full BPTT convenience (window = T).
 ReservoirGradients backprop_full(const ModularReservoir& reservoir,
                                  const DfrParams& params, const Matrix& states,
-                                 const Matrix& j, std::span<const double> dr);
+                                 const Matrix& j, std::span<const double> dr,
+                                 unsigned threads = 1);
 
 /// Result of a memory-bounded forward pass.
 struct TruncatedForward {

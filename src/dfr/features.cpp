@@ -1,8 +1,7 @@
 #include "dfr/features.hpp"
 
-#include <thread>
-
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace dfr {
 
@@ -19,29 +18,18 @@ FeatureMatrix compute_features(const ModularReservoir& reservoir,
   out.features.resize(n, dim);
   out.labels.resize(n);
 
-  auto process_range = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      const Sample& sample = dataset[i];
-      const Matrix states = reservoir.run_series(mask, sample.series, params);
-      const Vector r = compute_representation(representation, states);
-      out.features.set_row(i, r);
-      out.labels[i] = sample.label;
-    }
-  };
-
-  if (threads <= 1 || n < 2 * threads) {
-    process_range(0, n);
-  } else {
-    std::vector<std::thread> pool;
-    const std::size_t chunk = (n + threads - 1) / threads;
-    for (unsigned t = 0; t < threads; ++t) {
-      const std::size_t begin = t * chunk;
-      const std::size_t end = std::min(n, begin + chunk);
-      if (begin >= end) break;
-      pool.emplace_back(process_range, begin, end);
-    }
-    for (auto& th : pool) th.join();
-  }
+  // Each index owns exactly row i of the output, so any thread count yields
+  // a bit-identical matrix (see the determinism contract in parallel.hpp).
+  parallel_for(
+      n,
+      [&](std::size_t i) {
+        const Sample& sample = dataset[i];
+        const Matrix states = reservoir.run_series(mask, sample.series, params);
+        const Vector r = compute_representation(representation, states);
+        out.features.set_row(i, r);
+        out.labels[i] = sample.label;
+      },
+      {.threads = threads});
   return out;
 }
 

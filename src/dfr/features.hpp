@@ -18,8 +18,9 @@ struct FeatureMatrix {
   std::vector<int> labels;  // N
 };
 
-/// Features for every sample. `threads` > 1 parallelizes over samples
-/// (deterministic: each row is written independently).
+/// Features for every sample. `threads` caps the pool slots used for the
+/// per-sample sweep (0 = all cores, 1 = serial); each row is written
+/// independently, so results are bit-identical for any value.
 FeatureMatrix compute_features(const ModularReservoir& reservoir,
                                const DfrParams& params, const Mask& mask,
                                const Dataset& dataset,

@@ -2,11 +2,11 @@
 
 #include <cmath>
 #include <limits>
-#include <thread>
 
 #include "dfr/features.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -109,31 +109,18 @@ GridLevelResult run_grid_level(const GridSearchConfig& config, const Dataset& tr
   result.divs = divs;
   result.candidates.resize(divs * divs);
 
-  auto evaluate_range = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t idx = begin; idx < end; ++idx) {
-      const double a = std::pow(10.0, log_a[idx / divs]);
-      const double b = std::pow(10.0, log_b[idx % divs]);
-      result.candidates[idx] = evaluate_candidate(
-          config, reservoir, mask, fit_split, val_split, train, test, a, b);
-    }
-  };
-
-  const std::size_t total = result.candidates.size();
-  if (config.threads <= 1 || total < 2) {
-    evaluate_range(0, total);
-  } else {
-    const unsigned workers =
-        std::min<unsigned>(config.threads, static_cast<unsigned>(total));
-    std::vector<std::thread> pool;
-    const std::size_t chunk = (total + workers - 1) / workers;
-    for (unsigned t = 0; t < workers; ++t) {
-      const std::size_t begin = t * chunk;
-      const std::size_t end = std::min(total, begin + chunk);
-      if (begin >= end) break;
-      pool.emplace_back(evaluate_range, begin, end);
-    }
-    for (auto& th : pool) th.join();
-  }
+  // Candidate idx owns slot idx of `candidates` and nothing else, so the
+  // level is bit-identical for any thread count; the best-candidate scan
+  // below runs serially in index order, which also fixes tie-breaking.
+  parallel_for(
+      result.candidates.size(),
+      [&](std::size_t idx) {
+        const double a = std::pow(10.0, log_a[idx / divs]);
+        const double b = std::pow(10.0, log_b[idx % divs]);
+        result.candidates[idx] = evaluate_candidate(
+            config, reservoir, mask, fit_split, val_split, train, test, a, b);
+      },
+      {.threads = config.threads});
 
   double best_loss = std::numeric_limits<double>::infinity();
   double best_acc = -1.0;

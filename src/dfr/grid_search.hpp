@@ -36,7 +36,8 @@ struct GridSearchConfig {
 
   std::vector<double> betas = paper_beta_grid();
   double validation_fraction = 0.2;
-  unsigned threads = 1;  // candidate-level parallelism (deterministic)
+  unsigned threads = 1;  // candidate-level pool slots (0 = all cores,
+                         // 1 = serial; results identical for any value)
   std::uint64_t seed = 42;
 };
 

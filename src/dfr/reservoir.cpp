@@ -12,9 +12,12 @@ ModularReservoir::ModularReservoir(std::size_t nodes, Nonlinearity nonlinearity)
 void ModularReservoir::step(const DfrParams& params, std::span<const double> j_row,
                             std::span<const double> x_prev,
                             std::span<double> x_out) const {
-  DFR_DCHECK(j_row.size() == nodes_ && x_prev.size() == nodes_ &&
-             x_out.size() == nodes_);
-  DFR_DCHECK(x_out.data() != x_prev.data());
+  DFR_CHECK_MSG(j_row.size() == nodes_ && x_prev.size() == nodes_ &&
+                    x_out.size() == nodes_,
+                "step spans must all have node-count length");
+  DFR_CHECK_MSG(x_out.data() != x_prev.data(),
+                "x_out must not alias x_prev (the update reads x(k-1) while "
+                "writing x(k))");
   double prev_node = x_prev[nodes_ - 1];  // x(k)_0 = x(k-1)_{Nx}
   for (std::size_t n = 0; n < nodes_; ++n) {
     const double s = j_row[n] + x_prev[n];

@@ -8,6 +8,7 @@
 #include "opt/schedule.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -86,7 +87,7 @@ TrainResult Trainer::fit(const Dataset& train) const {
         out_grads = output.backward(fwd.dprr, sample.label);
         scale(out_grads.dfeatures, time_scale);
         res_grads = backprop_full(reservoir, params, fwd.states, fwd.j,
-                                  out_grads.dfeatures);
+                                  out_grads.dfeatures, config_.threads);
         dprr_features = std::move(fwd.dprr);
       } else {
         TruncatedForward fwd =
@@ -98,7 +99,7 @@ TrainResult Trainer::fit(const Dataset& train) const {
         scale(out_grads.dfeatures, time_scale);
         res_grads = backprop_through_dprr(reservoir, params, fwd.tail_states,
                                           fwd.tail_j, out_grads.dfeatures,
-                                          fwd.tail_j.rows());
+                                          fwd.tail_j.rows(), config_.threads);
         dprr_features = std::move(fwd.dprr);
       }
       loss_sum += out_grads.loss;
@@ -214,16 +215,19 @@ TrainResult Trainer::fit(const Dataset& train) const {
   }
 
   const FeatureMatrix fit_features =
-      compute_features(reservoir, params, mask, fit_split, RepresentationKind::kDprr);
+      compute_features(reservoir, params, mask, fit_split,
+                       RepresentationKind::kDprr, config_.threads);
   const FeatureMatrix val_features =
-      compute_features(reservoir, params, mask, val_split, RepresentationKind::kDprr);
+      compute_features(reservoir, params, mask, val_split,
+                       RepresentationKind::kDprr, config_.threads);
   const RidgeSweep sweep =
       sweep_ridge(fit_features, val_features, train.num_classes(), config_.betas);
   result.chosen_beta = sweep.best().beta;
   result.validation_loss = sweep.best().selection_loss;
 
   const FeatureMatrix all_features =
-      compute_features(reservoir, params, mask, train, RepresentationKind::kDprr);
+      compute_features(reservoir, params, mask, train,
+                       RepresentationKind::kDprr, config_.threads);
   result.readout = fit_ridge(all_features, train.num_classes(), result.chosen_beta);
   result.ridge_seconds = ridge_timer.elapsed_seconds();
   result.mask = mask;
@@ -233,13 +237,23 @@ TrainResult Trainer::fit(const Dataset& train) const {
 TrainResult Trainer::fit_multistart(
     const Dataset& train, std::span<const DfrParams> initial_points) const {
   DFR_CHECK_MSG(!initial_points.empty(), "need at least one initial point");
+  // Restarts are independent given their initial point, so they run one per
+  // pool slot; the winner is then selected serially in index order, which
+  // keeps the strict-< tie-breaking identical to the sequential loop.
+  std::vector<TrainResult> candidates(initial_points.size());
+  parallel_for(
+      initial_points.size(),
+      [&](std::size_t i) {
+        TrainerConfig config = config_;
+        config.init = initial_points[i];
+        candidates[i] = Trainer(config).fit(train);
+      },
+      {.threads = config_.threads});
+
   TrainResult best;
   bool have_best = false;
   double total_sgd = 0.0, total_ridge = 0.0;
-  for (const DfrParams& init : initial_points) {
-    TrainerConfig config = config_;
-    config.init = init;
-    TrainResult candidate = Trainer(config).fit(train);
+  for (TrainResult& candidate : candidates) {
     total_sgd += candidate.sgd_seconds;
     total_ridge += candidate.ridge_seconds;
     if (!have_best || candidate.validation_loss < best.validation_loss) {

@@ -88,6 +88,12 @@ struct TrainerConfig {
   // meaningful at every operating point. Set false for plain SGD.
   bool nlms_output = true;
 
+  // Worker threads for the sweep-shaped stages: multi-start restarts run
+  // concurrently (one restart per pool slot) and the phase-2 ridge refit
+  // extracts features sample-parallel. 0 = all hardware threads; 1 = serial.
+  // Results are bit-identical for every setting (util/parallel.hpp).
+  unsigned threads = 1;
+
   std::uint64_t seed = 42;
 };
 
@@ -108,8 +114,12 @@ struct TrainResult {
   double chosen_beta = 0.0;
   double validation_loss = 0.0;  // selection loss of the winning beta
   std::vector<EpochRecord> history;
-  double sgd_seconds = 0.0;    // phase 1 wall time
-  double ridge_seconds = 0.0;  // phase 2 wall time
+  // Phase timings. For a single fit() these are wall times; fit_multistart
+  // sums them over restarts, so with threads > 1 they report aggregate
+  // compute time, which exceeds elapsed wall time (the honest cost basis
+  // for speedup comparisons either way).
+  double sgd_seconds = 0.0;    // phase 1 (per-sample SGD)
+  double ridge_seconds = 0.0;  // phase 2 (ridge refit + beta selection)
   std::size_t skipped_updates = 0;  // non-finite gradients encountered
 
   // Memory accounting for Table 2: reservoir-state values held live during

@@ -1,0 +1,193 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dfr {
+namespace {
+
+thread_local bool tls_in_parallel_region = false;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex submit_mutex;  // serializes whole jobs from distinct callers
+  std::mutex mutex;
+  std::condition_variable work_cv;   // wakes workers when a job opens
+  std::condition_variable done_cv;   // wakes the caller when the job drains
+  std::vector<std::thread> threads;
+  bool stopping = false;
+
+  // Current job. Guarded by `mutex` except `next_block`, which participants
+  // race on deliberately.
+  std::uint64_t generation = 0;       // bumped per job; workers join each once
+  bool job_open = false;              // accepting new participants
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::size_t job_n = 0;
+  std::size_t job_grain = 1;
+  unsigned worker_slots = 0;          // pool workers allowed into this job
+  unsigned joined = 0;                // pool workers that took a slot
+  unsigned active = 0;                // pool workers still running blocks
+  std::atomic<std::size_t> next_block{0};
+  std::exception_ptr error;
+
+  void run_blocks() {
+    const std::size_t blocks = (job_n + job_grain - 1) / job_grain;
+    for (;;) {
+      const std::size_t b = next_block.fetch_add(1, std::memory_order_relaxed);
+      if (b >= blocks) return;
+      const std::size_t begin = b * job_grain;
+      const std::size_t end = std::min(job_n, begin + job_grain);
+      try {
+        for (std::size_t i = begin; i < end; ++i) (*body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+        // Cancel the blocks nobody claimed yet; claimed ones finish.
+        next_block.store(blocks, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t last_generation = 0;
+    tls_in_parallel_region = true;  // bodies run here are always nested
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_cv.wait(lock, [&] {
+          return stopping ||
+                 (job_open && generation != last_generation && joined < worker_slots);
+        });
+        if (stopping) return;
+        last_generation = generation;
+        ++joined;
+        ++active;
+      }
+      run_blocks();
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (--active == 0) done_cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(unsigned workers) : impl_(std::make_unique<Impl>()) {
+  impl_->threads.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    impl_->threads.emplace_back([impl = impl_.get()] { impl->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->work_cv.notify_all();
+  for (auto& thread : impl_->threads) thread.join();
+}
+
+unsigned ThreadPool::workers() const noexcept {
+  return static_cast<unsigned>(impl_->threads.size());
+}
+
+void ThreadPool::for_each_index(std::size_t n,
+                                const std::function<void(std::size_t)>& body,
+                                ParallelOptions options) {
+  if (n == 0) return;
+  const std::size_t grain = std::max<std::size_t>(1, options.grain);
+  const unsigned budget =
+      options.threads == 0 ? workers() + 1 : options.threads;
+  const std::size_t blocks = (n + grain - 1) / grain;
+
+  // Serial path: explicit request, nothing to split, a nested call (the pool
+  // must never be re-entered from a worker), or an empty pool.
+  if (budget <= 1 || blocks <= 1 || tls_in_parallel_region || workers() == 0) {
+    const bool was_nested = tls_in_parallel_region;
+    tls_in_parallel_region = true;
+    try {
+      for (std::size_t i = 0; i < n; ++i) body(i);
+    } catch (...) {
+      tls_in_parallel_region = was_nested;
+      throw;
+    }
+    tls_in_parallel_region = was_nested;
+    return;
+  }
+
+  Impl& impl = *impl_;
+  // A second external caller blocks here until the current job drains; its
+  // job then runs with the full pool. (Workers never reach this path — the
+  // nesting guard above already diverted them to the serial loop.)
+  std::lock_guard<std::mutex> submit_lock(impl.submit_mutex);
+  {
+    std::lock_guard<std::mutex> lock(impl.mutex);
+    DFR_CHECK_MSG(!impl.job_open, "ThreadPool invariant violated: job open");
+    ++impl.generation;
+    impl.job_open = true;
+    impl.body = &body;
+    impl.job_n = n;
+    impl.job_grain = grain;
+    impl.joined = 0;
+    impl.active = 0;
+    // The caller takes one participant slot; never hand out more slots than
+    // there are blocks to run.
+    const unsigned extra = static_cast<unsigned>(
+        std::min<std::size_t>({budget - 1, workers(), blocks - 1}));
+    impl.worker_slots = extra;
+    impl.next_block.store(0, std::memory_order_relaxed);
+    impl.error = nullptr;
+  }
+  impl.work_cv.notify_all();
+
+  tls_in_parallel_region = true;
+  impl.run_blocks();
+  tls_in_parallel_region = false;
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(impl.mutex);
+    impl.job_open = false;  // late wakers must not join a drained job
+    impl.done_cv.wait(lock, [&] { return impl.active == 0; });
+    error = impl.error;
+    impl.error = nullptr;
+    impl.body = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+unsigned hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+ThreadPool& global_pool() {
+  // One worker fewer than the core count (the calling thread participates),
+  // but always at least one so the threaded paths exist — and are exercised
+  // by the determinism tests — even on single-core machines.
+  static ThreadPool pool(std::max(1u, hardware_threads() - 1));
+  return pool;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  ParallelOptions options) {
+  global_pool().for_each_index(n, body, options);
+}
+
+std::uint64_t parallel_seed(std::uint64_t base_seed, std::uint64_t index) noexcept {
+  return hash_combine(base_seed, hash_combine(0x9E3779B97F4A7C15ULL, index));
+}
+
+bool inside_parallel_region() noexcept { return tls_in_parallel_region; }
+
+}  // namespace dfr

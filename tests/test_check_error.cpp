@@ -1,0 +1,104 @@
+// DFR_CHECK misuse coverage for the reservoir forward/backward API: every
+// guarded precondition must throw CheckError (never UB or silent corruption),
+// and a well-formed call immediately after a failed one must still work.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dfr/backprop.hpp"
+#include "dfr/reservoir.hpp"
+#include "util/check.hpp"
+
+namespace dfr {
+namespace {
+
+ModularReservoir tiny_reservoir() { return ModularReservoir(4, Nonlinearity{}); }
+
+TEST(CheckError, ZeroNodeReservoirThrows) {
+  EXPECT_THROW(ModularReservoir(0, Nonlinearity{}), CheckError);
+}
+
+TEST(CheckError, StepRejectsAliasedSpans) {
+  const ModularReservoir reservoir = tiny_reservoir();
+  const DfrParams params{0.1, 0.1};
+  std::vector<double> j(4, 0.5);
+  std::vector<double> x(4, 0.0);
+  // In-place update would read x(k-1) slots already overwritten by x(k).
+  EXPECT_THROW(reservoir.step(params, j, x, x), CheckError);
+}
+
+TEST(CheckError, StepRejectsWrongSpanSizes) {
+  const ModularReservoir reservoir = tiny_reservoir();
+  const DfrParams params{0.1, 0.1};
+  std::vector<double> good(4, 0.0);
+  std::vector<double> short_row(3, 0.0);
+  std::vector<double> out(4, 0.0);
+  EXPECT_THROW(reservoir.step(params, short_row, good, out), CheckError);
+  EXPECT_THROW(reservoir.step(params, good, short_row, out), CheckError);
+  std::vector<double> short_out(3, 0.0);
+  EXPECT_THROW(reservoir.step(params, good, good, short_out), CheckError);
+}
+
+TEST(CheckError, RunRejectsWrongMaskedInputWidth) {
+  const ModularReservoir reservoir = tiny_reservoir();
+  const Matrix j_wrong(10, 3);  // reservoir has 4 nodes
+  EXPECT_THROW(reservoir.run(j_wrong, DfrParams{0.1, 0.1}), CheckError);
+}
+
+TEST(CheckError, BackpropRejectsWrongRowAndWindowShapes) {
+  const ModularReservoir reservoir = tiny_reservoir();
+  const DfrParams params{0.1, 0.1};
+  const std::size_t nx = reservoir.nodes();
+  const std::size_t m = 5;
+  const Matrix good_states(m + 1, nx);
+  const Matrix good_j(m, nx);
+  const std::vector<double> good_dr(dprr_dim(nx), 0.0);
+
+  // states must hold exactly one more row than j.
+  const Matrix bad_states(m, nx);
+  EXPECT_THROW(backprop_through_dprr(reservoir, params, bad_states, good_j,
+                                     good_dr, 1),
+               CheckError);
+  // node-count mismatch between the buffers and the reservoir.
+  const Matrix bad_j(m, nx + 1);
+  EXPECT_THROW(backprop_through_dprr(reservoir, params, good_states, bad_j,
+                                     good_dr, 1),
+               CheckError);
+  // dr must have DPRR length Nx*(Nx+1).
+  const std::vector<double> bad_dr(nx, 0.0);
+  EXPECT_THROW(backprop_through_dprr(reservoir, params, good_states, good_j,
+                                     bad_dr, 1),
+               CheckError);
+  // window outside [1, m].
+  EXPECT_THROW(backprop_through_dprr(reservoir, params, good_states, good_j,
+                                     good_dr, 0),
+               CheckError);
+  EXPECT_THROW(backprop_through_dprr(reservoir, params, good_states, good_j,
+                                     good_dr, m + 1),
+               CheckError);
+}
+
+TEST(CheckError, ApiStaysUsableAfterAFailedCall) {
+  const ModularReservoir reservoir = tiny_reservoir();
+  const DfrParams params{0.1, 0.1};
+  std::vector<double> j(4, 0.5);
+  std::vector<double> x(4, 0.0);
+  EXPECT_THROW(reservoir.step(params, j, x, x), CheckError);
+  std::vector<double> out(4, 0.0);
+  EXPECT_NO_THROW(reservoir.step(params, j, x, out));
+  EXPECT_NE(out[0], 0.0);  // the step actually ran
+}
+
+TEST(CheckError, MessageNamesTheFailingExpression) {
+  try {
+    ModularReservoir(0, Nonlinearity{});
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("DFR_CHECK failed"), std::string::npos);
+    EXPECT_NE(what.find("nodes_ > 0"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace dfr

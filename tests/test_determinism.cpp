@@ -1,0 +1,128 @@
+// Determinism regression suite: every sweep-shaped stage that runs on the
+// shared thread pool must produce bit-identical results for any thread
+// count. These tests pin the contract at threads=8 vs threads=1 — the same
+// best candidate out of grid search, the same feature matrix, the same
+// multi-start winner.
+#include <gtest/gtest.h>
+
+#include "data/preprocess.hpp"
+#include "data/synth.hpp"
+#include "dfr/features.hpp"
+#include "dfr/grid_search.hpp"
+#include "dfr/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace dfr {
+namespace {
+
+DatasetPair easy_task(std::uint64_t seed) {
+  DatasetPair pair = generate_toy_task(/*num_classes=*/3, /*channels=*/2,
+                                       /*length=*/40, /*train_per_class=*/12,
+                                       /*test_per_class=*/8,
+                                       /*difficulty=*/0.5, seed);
+  standardize_pair(pair);
+  return pair;
+}
+
+TEST(Determinism, GridSearchEightThreadsMatchesOneBitExact) {
+  const DatasetPair pair = easy_task(101);
+  GridSearchConfig serial;
+  serial.nodes = 12;
+  serial.threads = 1;
+  GridSearchConfig parallel = serial;
+  parallel.threads = 8;
+
+  const GridLevelResult a = run_grid_level(serial, pair.train, pair.test, 4);
+  const GridLevelResult b = run_grid_level(parallel, pair.train, pair.test, 4);
+
+  ASSERT_EQ(a.candidates.size(), b.candidates.size());
+  for (std::size_t i = 0; i < a.candidates.size(); ++i) {
+    const GridCandidate& ca = a.candidates[i];
+    const GridCandidate& cb = b.candidates[i];
+    EXPECT_EQ(ca.valid, cb.valid) << "candidate " << i;
+    EXPECT_EQ(ca.a, cb.a) << "candidate " << i;
+    EXPECT_EQ(ca.b, cb.b) << "candidate " << i;
+    EXPECT_EQ(ca.beta, cb.beta) << "candidate " << i;
+    EXPECT_EQ(ca.validation_loss, cb.validation_loss) << "candidate " << i;
+    EXPECT_EQ(ca.test_accuracy, cb.test_accuracy) << "candidate " << i;
+  }
+  // The acceptance-criterion form: identical selected (A, B, beta).
+  EXPECT_EQ(a.best_index, b.best_index);
+  EXPECT_EQ(a.best_test_index, b.best_test_index);
+  EXPECT_EQ(a.best().a, b.best().a);
+  EXPECT_EQ(a.best().b, b.best().b);
+  EXPECT_EQ(a.best().beta, b.best().beta);
+}
+
+TEST(Determinism, FeatureExtractionEightThreadsMatchesOneBitExact) {
+  const DatasetPair pair = easy_task(202);
+  Rng rng(7);
+  const Nonlinearity f(NonlinearityKind::kIdentity, 1.0);
+  const ModularReservoir reservoir(12, f);
+  const Mask mask(12, pair.train.channels(), MaskKind::kBinary, rng);
+  const DfrParams params{0.2, 0.3};
+
+  const FeatureMatrix serial = compute_features(
+      reservoir, params, mask, pair.train, RepresentationKind::kDprr, 1);
+  const FeatureMatrix parallel = compute_features(
+      reservoir, params, mask, pair.train, RepresentationKind::kDprr, 8);
+
+  ASSERT_EQ(serial.features.rows(), parallel.features.rows());
+  ASSERT_EQ(serial.features.cols(), parallel.features.cols());
+  ASSERT_EQ(serial.labels, parallel.labels);
+  for (std::size_t r = 0; r < serial.features.rows(); ++r) {
+    for (std::size_t c = 0; c < serial.features.cols(); ++c) {
+      ASSERT_EQ(serial.features(r, c), parallel.features(r, c))
+          << "element (" << r << ", " << c << ")";
+    }
+  }
+}
+
+TEST(Determinism, MultistartFourThreadsMatchesSerialWinner) {
+  const DatasetPair pair = easy_task(303);
+  TrainerConfig serial;
+  serial.nodes = 12;
+  serial.threads = 1;
+  TrainerConfig parallel = serial;
+  parallel.threads = 4;
+  const auto restarts = Trainer::default_restarts();
+
+  const TrainResult a = Trainer(serial).fit_multistart(pair.train, restarts);
+  const TrainResult b = Trainer(parallel).fit_multistart(pair.train, restarts);
+
+  EXPECT_EQ(a.params.a, b.params.a);
+  EXPECT_EQ(a.params.b, b.params.b);
+  EXPECT_EQ(a.chosen_beta, b.chosen_beta);
+  EXPECT_EQ(a.validation_loss, b.validation_loss);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t e = 0; e < a.history.size(); ++e) {
+    EXPECT_EQ(a.history[e].mean_loss, b.history[e].mean_loss) << "epoch " << e;
+  }
+}
+
+TEST(Determinism, EscalationPathIdenticalAcrossThreadCounts) {
+  // The whole escalation protocol — which levels run and where it stops —
+  // must not depend on the thread count either.
+  const DatasetPair pair = easy_task(404);
+  GridSearchConfig serial;
+  serial.nodes = 12;
+  serial.threads = 1;
+  GridSearchConfig parallel = serial;
+  parallel.threads = 8;
+
+  const EscalationResult a =
+      escalate_grid_search(serial, pair.train, pair.test, 0.9, 3);
+  const EscalationResult b =
+      escalate_grid_search(parallel, pair.train, pair.test, 0.9, 3);
+
+  EXPECT_EQ(a.reached_target, b.reached_target);
+  ASSERT_EQ(a.levels.size(), b.levels.size());
+  for (std::size_t l = 0; l < a.levels.size(); ++l) {
+    EXPECT_EQ(a.levels[l].best_index, b.levels[l].best_index);
+    EXPECT_EQ(a.levels[l].best().validation_loss,
+              b.levels[l].best().validation_loss);
+  }
+}
+
+}  // namespace
+}  // namespace dfr

@@ -1,0 +1,49 @@
+// Golden-value integration test: the NARMA-10 end-to-end pipeline
+// (synthesize series -> mask -> modular reservoir -> ridge readout) is pinned
+// to error values recorded from the seed build. Every stage is deterministic
+// in the seed (util/rng.hpp), so a drift here means a semantic change
+// somewhere in the pipeline, not noise.
+#include <gtest/gtest.h>
+
+#include "tasks/narma.hpp"
+#include "tasks/prediction.hpp"
+
+namespace dfr {
+namespace {
+
+// Recorded from the seed implementation (g++ 12, x86-64, identical at -O0
+// and -O2). NRMSE = sqrt(NMSE); the tolerance is loose enough to absorb
+// FP-contraction differences across compilers/architectures while still
+// flagging any real pipeline change (which moves these by >1e-2).
+constexpr double kGoldenTrainNrmse = 0.47435833888436468;
+constexpr double kGoldenTestNrmse = 0.50228896593206585;
+constexpr double kTolerance = 2e-3;
+
+PredictionResult run_golden_pipeline() {
+  const NarmaSeries series = generate_narma(2200, 10, 42);
+  PredictionConfig config;
+  config.nodes = 40;
+  config.nonlinearity = NonlinearityKind::kIdentity;
+  config.params = DfrParams{0.4, 0.5};
+  return run_prediction_task(config, series.input, series.target, 1700);
+}
+
+TEST(GoldenNarma, EndToEndNrmseMatchesRecordedSeedValue) {
+  const PredictionResult result = run_golden_pipeline();
+  EXPECT_NEAR(result.train_nrmse, kGoldenTrainNrmse, kTolerance);
+  EXPECT_NEAR(result.test_nrmse, kGoldenTestNrmse, kTolerance);
+  EXPECT_EQ(result.test_prediction.size(), 500u);
+}
+
+TEST(GoldenNarma, PipelineIsRunToRunDeterministic) {
+  const PredictionResult a = run_golden_pipeline();
+  const PredictionResult b = run_golden_pipeline();
+  EXPECT_EQ(a.train_nrmse, b.train_nrmse);
+  EXPECT_EQ(a.test_nrmse, b.test_nrmse);
+  for (std::size_t i = 0; i < a.test_prediction.size(); ++i) {
+    ASSERT_EQ(a.test_prediction[i], b.test_prediction[i]) << "step " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dfr
