@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
 
   CliParser cli("bench_ablation_optimizer", "optimizer family ablation");
   add_scale_options(cli);
-  cli.add_option("csv", "output CSV path", "ablation_optimizer.csv");
+  add_csv_option(cli, "ablation_optimizer.csv");
   try {
     cli.parse(argc, argv);
   } catch (const CliError& e) {
@@ -51,8 +51,7 @@ int main(int argc, char** argv) {
 
   ConsoleTable table({"dataset", "optimizer", "lr", "test acc", "final A",
                       "final B", "train time"});
-  CsvWriter csv(cli.get("csv"),
-                {"dataset", "optimizer", "lr", "test_acc", "a", "b", "seconds"});
+  BenchCsv csv(cli, {"dataset", "optimizer", "lr", "test_acc", "a", "b", "seconds"});
 
   for (const DatasetSpec& spec : specs) {
     const DatasetPair data = prepare_dataset(spec, options);
@@ -80,6 +79,6 @@ int main(int argc, char** argv) {
     }
   }
   table.print();
-  std::cout << "CSV written to " << cli.get("csv") << '\n';
+  csv.report();
   return 0;
 }

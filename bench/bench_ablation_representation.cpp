@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   CliParser cli("bench_ablation_representation",
                 "DPRR vs simpler reservoir representations");
   add_scale_options(cli);
-  cli.add_option("csv", "output CSV path", "ablation_representation.csv");
+  add_csv_option(cli, "ablation_representation.csv");
   try {
     cli.parse(argc, argv);
   } catch (const CliError& e) {
@@ -47,8 +47,7 @@ int main(int argc, char** argv) {
 
   ConsoleTable table(
       {"dataset", "representation", "features", "test acc", "beta"});
-  CsvWriter csv(cli.get("csv"),
-                {"dataset", "representation", "features", "test_acc", "beta"});
+  BenchCsv csv(cli, {"dataset", "representation", "features", "test_acc", "beta"});
 
   for (const DatasetSpec& spec : specs) {
     const DatasetPair data = prepare_dataset(spec, options);
@@ -91,7 +90,7 @@ int main(int argc, char** argv) {
   }
   table.print();
   std::cout << "(Expectation per Ikeda et al. TCAD'22: DPRR dominates the "
-               "cheaper representations.)\nCSV written to "
-            << cli.get("csv") << '\n';
+               "cheaper representations.)\n";
+  csv.report();
   return 0;
 }

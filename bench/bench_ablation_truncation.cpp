@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   CliParser cli("bench_ablation_truncation",
                 "truncation window vs accuracy / time / memory");
   add_scale_options(cli);
-  cli.add_option("csv", "output CSV path", "ablation_truncation.csv");
+  add_csv_option(cli, "ablation_truncation.csv");
   try {
     cli.parse(argc, argv);
   } catch (const CliError& e) {
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
 
   ConsoleTable table({"dataset", "window", "test acc", "train time",
                       "state values", "state mem vs full"});
-  CsvWriter csv(cli.get("csv"), {"dataset", "window", "test_acc",
+  BenchCsv csv(cli, {"dataset", "window", "test_acc",
                                  "train_seconds", "state_values",
                                  "state_fraction"});
 
@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
   table.print();
   std::cout << "\n(The paper's method is window=1; expectation: comparable "
                "accuracy to full BPTT at a fraction of state memory and "
-               "backward-pass time.)\nCSV written to "
-            << cli.get("csv") << '\n';
+               "backward-pass time.)\n";
+  csv.report();
   return 0;
 }

@@ -8,6 +8,8 @@
 // (T, V, Ny) are never reduced — they are what the memory accounting and the
 // compute-scaling claims depend on.
 
+#include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,6 +17,7 @@
 #include "data/specs.hpp"
 #include "data/synth.hpp"
 #include "util/cli.hpp"
+#include "util/csv.hpp"
 #include "util/log.hpp"
 
 namespace dfr::bench {
@@ -49,6 +52,36 @@ inline ScaleOptions read_scale_options(const CliParser& cli) {
   options.threads = static_cast<unsigned>(cli.get_u64("threads"));
   return options;
 }
+
+/// The shared `--csv <path>` option: every bench emits machine-readable rows
+/// under one flag name so the perf-trajectory tooling (BENCH_*.json) can
+/// drive any harness uniformly. An empty path disables emission.
+inline void add_csv_option(CliParser& cli, const std::string& default_path) {
+  cli.add_option("csv", "output CSV path (empty = no CSV)", default_path);
+}
+
+/// CSV sink honoring --csv: forwards rows when a path was given, else no-ops.
+class BenchCsv {
+ public:
+  BenchCsv(const CliParser& cli, const std::vector<std::string>& header) {
+    const std::string path = cli.get("csv");
+    if (!path.empty()) writer_ = std::make_unique<CsvWriter>(path, header);
+  }
+
+  void add_row(const std::vector<std::string>& cells) {
+    if (writer_) writer_->add_row(cells);
+  }
+
+  [[nodiscard]] bool enabled() const noexcept { return writer_ != nullptr; }
+
+  /// Print the standard "CSV written to ..." trailer (no-op when disabled).
+  void report() const {
+    if (writer_) std::cout << "CSV written to " << writer_->path() << '\n';
+  }
+
+ private:
+  std::unique_ptr<CsvWriter> writer_;
+};
 
 /// The dataset ids selected by --datasets (all 12 when empty).
 inline std::vector<DatasetSpec> selected_specs(const CliParser& cli) {

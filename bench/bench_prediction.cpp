@@ -7,6 +7,7 @@
 // Output: console table + prediction.csv.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "linalg/stats.hpp"
 #include "tasks/mackey_glass_series.hpp"
 #include "tasks/narma.hpp"
@@ -17,11 +18,13 @@
 
 int main(int argc, char** argv) {
   using namespace dfr;
+  using dfr::bench::BenchCsv;
+  using dfr::bench::add_csv_option;
 
   CliParser cli("bench_prediction", "NARMA-10 / Mackey-Glass prediction NRMSE");
   cli.add_option("nodes", "virtual nodes", "40");
   cli.add_option("seed", "RNG seed", "42");
-  cli.add_option("csv", "output CSV path", "prediction.csv");
+  add_csv_option(cli, "prediction.csv");
   try {
     cli.parse(argc, argv);
   } catch (const CliError& e) {
@@ -49,7 +52,7 @@ int main(int argc, char** argv) {
 
   ConsoleTable table({"task", "nonlinearity", "A", "B", "train NRMSE",
                       "test NRMSE"});
-  CsvWriter csv(cli.get("csv"), {"task", "nonlinearity", "a", "b",
+  BenchCsv csv(cli, {"task", "nonlinearity", "a", "b",
                                  "train_nrmse", "test_nrmse"});
 
   auto run = [&](const std::string& task, const Vector& input,
@@ -83,6 +86,6 @@ int main(int argc, char** argv) {
   std::cout << "\nbest test NRMSE — NARMA-10: " << fmt_double(narma_best, 3)
             << " (literature ~0.2-0.4 at 400 nodes), MG one-step: "
             << fmt_double(mg_best, 3) << '\n';
-  std::cout << "CSV written to " << cli.get("csv") << '\n';
+  csv.report();
   return 0;
 }

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
 
   CliParser cli("bench_quantization", "fixed-point word length vs accuracy");
   add_scale_options(cli);
-  cli.add_option("csv", "output CSV path", "quantization.csv");
+  add_csv_option(cli, "quantization.csv");
   try {
     cli.parse(argc, argv);
   } catch (const CliError& e) {
@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
 
   ConsoleTable table({"dataset", "format", "word bits", "quant acc",
                       "float acc", "acc drop"});
-  CsvWriter csv(cli.get("csv"), {"dataset", "int_bits", "frac_bits",
+  BenchCsv csv(cli, {"dataset", "int_bits", "frac_bits",
                                  "word_bits", "quant_acc", "float_acc"});
 
   for (const DatasetSpec& spec : specs) {
@@ -84,6 +84,6 @@ int main(int argc, char** argv) {
     }
   }
   table.print();
-  std::cout << "CSV written to " << cli.get("csv") << '\n';
+  csv.report();
   return 0;
 }

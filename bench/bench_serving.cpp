@@ -1,0 +1,188 @@
+// Serving bench: what the unified streaming inference engine
+// (serve/engine.hpp) delivers at deployment time — single-stream latency
+// percentiles (p50/p90/p99) and batch throughput across thread counts, for
+// both the float and the calibrated fixed-point datapaths.
+//
+// The model is built directly (random mask + random readout at the paper's
+// Nx=30 shape): serving cost depends only on shapes (T, V, Nx, Ny), never on
+// weight values, so skipping training keeps the bench pure-serving and fast
+// enough for CI. Throughput speedups are hardware-dependent; the speedup
+// column reports batch `classify_batch` throughput relative to a serial
+// per-series loop on one engine.
+//
+// Usage: bench_serving [--datasets ECG,JPVOW] [--cap N] [--batch 256]
+//                      [--repeats 3] [--csv serving.csv]
+#include <functional>
+#include <iostream>
+#include <span>
+
+#include "bench_common.hpp"
+#include "dfr/dprr.hpp"
+#include "fixedpoint/quantized_dfr.hpp"
+#include "linalg/stats.hpp"
+#include "serve/engine.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace dfr;
+
+/// Deployment-shaped model with random (but deterministic) weights.
+LoadedModel make_serving_model(const Dataset& data, std::size_t nodes,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  LoadedModel model;
+  model.params = DfrParams{0.1, 0.05};
+  model.mask = Mask(nodes, data.channels(), MaskKind::kBinary, rng);
+  Matrix w(static_cast<std::size_t>(data.num_classes()), dprr_dim(nodes));
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    for (std::size_t j = 0; j < w.cols(); ++j) w(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  Vector b(w.rows(), 0.0);
+  for (double& v : b) v = rng.uniform(-0.1, 0.1);
+  model.readout = OutputLayer(std::move(w), std::move(b));
+  return model;
+}
+
+/// Batch of `size` series cycled from the test split.
+std::vector<Matrix> make_batch(const Dataset& data, std::size_t size) {
+  std::vector<Matrix> batch;
+  batch.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) batch.push_back(data[i % data.size()].series);
+  return batch;
+}
+
+struct StreamResult {
+  Summary latency_us;   // per-classify latency distribution
+  double serial_sps = 0.0;  // serial per-series loop, one engine
+};
+
+/// Single-stream latencies + serial-loop throughput over `batch`.
+template <typename Engine>
+StreamResult run_single_stream(Engine engine, const std::vector<Matrix>& batch,
+                               std::size_t repeats) {
+  for (const Matrix& series : batch) engine.classify(series);  // warmup
+  Vector latencies;
+  latencies.reserve(batch.size() * repeats);
+  Timer total;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    for (const Matrix& series : batch) {
+      Timer t;
+      engine.classify(series);
+      latencies.push_back(static_cast<double>(t.elapsed_ns()) * 1e-3);
+    }
+  }
+  StreamResult result;
+  result.latency_us = summarize(latencies);
+  result.serial_sps =
+      static_cast<double>(batch.size() * repeats) / total.elapsed_seconds();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dfr::bench;
+
+  CliParser cli("bench_serving",
+                "streaming-engine latency percentiles and batch throughput");
+  add_scale_options(cli);
+  add_csv_option(cli, "serving.csv");
+  cli.add_option("nodes", "virtual nodes Nx", "30");
+  cli.add_option("batch", "batch size for throughput runs", "256");
+  cli.add_option("repeats", "latency passes over the batch", "3");
+  try {
+    cli.parse(argc, argv);
+  } catch (const CliError& e) {
+    std::cerr << e.what() << '\n' << cli.help_text();
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  const ScaleOptions options = read_scale_options(cli);
+  const std::size_t nodes = cli.get_u64("nodes");
+  const std::size_t batch_size = cli.get_u64("batch");
+  const std::size_t repeats = std::max<std::size_t>(1, cli.get_u64("repeats"));
+
+  std::vector<DatasetSpec> specs;
+  if (cli.get("datasets").empty()) {
+    specs = {*find_spec("ECG"), *find_spec("JPVOW")};
+  } else {
+    specs = selected_specs(cli);
+  }
+
+  const unsigned thread_sweep[] = {1, 2, 4, 8};
+
+  ConsoleTable latency_table({"dataset", "datapath", "T", "V", "p50 us",
+                              "p90 us", "p99 us", "max us"});
+  ConsoleTable throughput_table(
+      {"dataset", "datapath", "threads", "series/s", "speedup"});
+  BenchCsv csv(cli, {"dataset", "datapath", "threads", "batch", "p50_us",
+                     "p90_us", "p99_us", "serial_sps", "batch_sps", "speedup"});
+
+  for (const DatasetSpec& spec : specs) {
+    const DatasetPair data = prepare_dataset(spec, options);
+    const LoadedModel model =
+        make_serving_model(data.test, nodes, options.seed);
+    QuantizedDfr quantized(model, QuantizedInferenceConfig{});
+    quantized.calibrate(data.train);
+    const std::vector<Matrix> batch = make_batch(data.test, batch_size);
+
+    struct Datapath {
+      std::string name;
+      StreamResult stream;
+      std::function<std::vector<int>(unsigned)> run_batch;
+    };
+    std::vector<Datapath> datapaths;
+    datapaths.push_back(
+        {"float", run_single_stream(make_engine(model), batch, repeats),
+         [&](unsigned threads) {
+           return classify_batch(model, std::span<const Matrix>(batch), threads);
+         }});
+    datapaths.push_back(
+        {"quant", run_single_stream(make_engine(quantized), batch, repeats),
+         [&](unsigned threads) {
+           return classify_batch(quantized, std::span<const Matrix>(batch),
+                                 threads);
+         }});
+
+    for (const Datapath& dp : datapaths) {
+      const Summary& lat = dp.stream.latency_us;
+      latency_table.add_row(
+          {spec.id, dp.name, std::to_string(data.test.length()),
+           std::to_string(data.test.channels()), fmt_double(lat.p50, 1),
+           fmt_double(lat.p90, 1), fmt_double(lat.p99, 1),
+           fmt_double(lat.max, 1)});
+
+      for (unsigned threads : thread_sweep) {
+        // Untimed warm-up: the first threaded run pays the lazy creation of
+        // the process-wide pool, which must not land in a recorded cell.
+        dp.run_batch(threads);
+        Timer t;
+        const std::vector<int> predictions = dp.run_batch(threads);
+        const double seconds = t.elapsed_seconds();
+        const double sps = static_cast<double>(predictions.size()) / seconds;
+        const double speedup = sps / dp.stream.serial_sps;
+        throughput_table.add_row({spec.id, dp.name, std::to_string(threads),
+                                  fmt_double(sps, 0), fmt_double(speedup, 2)});
+        csv.add_row({spec.id, dp.name, std::to_string(threads),
+                     std::to_string(batch.size()), fmt_double(lat.p50, 2),
+                     fmt_double(lat.p90, 2), fmt_double(lat.p99, 2),
+                     fmt_double(dp.stream.serial_sps, 1), fmt_double(sps, 1),
+                     fmt_double(speedup, 3)});
+      }
+    }
+  }
+
+  std::cout << "single-stream latency (one engine, reused scratch):\n";
+  latency_table.print();
+  std::cout << "\nbatch throughput (classify_batch vs serial per-series loop; "
+               "speedup is hardware-dependent):\n";
+  throughput_table.print();
+  csv.report();
+  return 0;
+}

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
 
   CliParser cli("bench_table1", "reproduce Table 1 (bp vs grid-search runtime)");
   add_scale_options(cli);
-  cli.add_option("csv", "output CSV path", "table1.csv");
+  add_csv_option(cli, "table1.csv");
   try {
     cli.parse(argc, argv);
   } catch (const CliError& e) {
@@ -65,8 +65,7 @@ int main(int argc, char** argv) {
             << (options.full ? "FULL" : "reduced") << " scale, cap="
             << options.cap << ", seed=" << options.seed << ")\n\n";
 
-  CsvWriter csv(cli.get("csv"),
-                {"dataset", "bp_acc", "bp_time_s", "gs_divs", "gs_reached",
+  BenchCsv csv(cli, {"dataset", "bp_acc", "bp_time_s", "gs_divs", "gs_reached",
                  "gs_time_s", "ratio", "paper_bp_acc"});
   ConsoleTable table({"dataset", "bp acc", "bp time", "gs divs", "gs time",
                       "(gs time)/(bp time)", "paper bp acc"});
@@ -128,6 +127,6 @@ int main(int argc, char** argv) {
                "accuracy)\n";
   std::cout << "max (gs time)/(bp time) ratio: " << fmt_ratio(max_ratio)
             << "x  (paper's headline: up to ~700x at full scale)\n";
-  std::cout << "CSV written to " << cli.get("csv") << '\n';
+  csv.report();
   return 0;
 }

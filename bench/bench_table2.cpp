@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
 
   CliParser cli("bench_table2", "reproduce Table 2 (truncated-backprop storage)");
   cli.add_option("seed", "RNG seed for the live-buffer verification", "42");
-  cli.add_option("csv", "output CSV path", "table2.csv");
+  add_csv_option(cli, "table2.csv");
   try {
     cli.parse(argc, argv);
   } catch (const CliError& e) {
@@ -55,8 +55,7 @@ int main(int argc, char** argv) {
 
   ConsoleTable table({"dataset", "naive (a)", "simplified (b)", "(a-b)/a",
                       "live-verified", "matches paper"});
-  CsvWriter csv(cli.get("csv"),
-                {"dataset", "T", "Ny", "naive", "simplified", "reduction",
+  BenchCsv csv(cli, {"dataset", "T", "Ny", "naive", "simplified", "reduction",
                  "paper_naive", "paper_simplified", "match"});
 
   Rng rng(cli.get_u64("seed"));
@@ -103,6 +102,6 @@ int main(int argc, char** argv) {
   std::cout << (all_match
                     ? "\nall 12 rows match the paper's Table 2 exactly\n"
                     : "\nMISMATCH against the paper's Table 2 — investigate!\n");
-  std::cout << "CSV written to " << cli.get("csv") << '\n';
+  csv.report();
   return all_match ? 0 : 1;
 }

@@ -12,6 +12,7 @@
 #include "dfr/model_io.hpp"
 #include "dfr/trainer.hpp"
 #include "fixedpoint/quantized_dfr.hpp"
+#include "serve/engine.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -61,10 +62,29 @@ int main(int argc, char** argv) {
                 float_acc);
   }
 
-  // 4. Classify one sample end to end.
+  // 4. Classify one sample end to end. classify() wraps a single infer()
+  // (one reservoir run produces the logits behind both the class and the
+  // probabilities).
   const Sample& sample = data.test[0];
   std::cout << "\nsingle-sample inference: true class " << sample.label
             << ", float model says " << loaded.classify(sample.series) << '\n';
+
+  // 5. Sustained serving: a streaming InferenceEngine reuses its scratch
+  // across calls (zero steady-state allocations), and classify_batch fans a
+  // whole batch over the thread pool with deterministic output order.
+  InferenceEngine engine = make_engine(loaded);
+  std::size_t agree = 0;
+  for (const Sample& s : data.test.samples()) {
+    if (engine.classify(s.series) == s.label) ++agree;
+  }
+  const std::vector<int> batched = classify_batch(loaded, data.test, /*threads=*/0);
+  std::size_t batch_agree = 0;
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    if (batched[i] == data.test[i].label) ++batch_agree;
+  }
+  std::cout << "engine over test split: " << agree << "/" << data.test.size()
+            << " correct; classify_batch agrees: "
+            << (batch_agree == agree ? "yes" : "NO") << '\n';
   std::remove(path.c_str());
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "dfr/features.hpp"
 
+#include "serve/engine.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
 
@@ -18,8 +19,30 @@ FeatureMatrix compute_features(const ModularReservoir& reservoir,
   out.features.resize(n, dim);
   out.labels.resize(n);
 
+  if (representation == RepresentationKind::kDprr) {
+    // Streaming path: the DPRR accumulator needs only (x(k), x(k-1)), so each
+    // worker drives one reusable engine over a contiguous chunk instead of
+    // materializing a (T+1) x Nx trajectory per sample. Row i is a pure
+    // function of sample i, so any chunking / thread count yields a
+    // bit-identical matrix (see for_each_with_engine in serve/engine.hpp).
+    for_each_with_engine(
+        n, threads,
+        [&] {
+          return InferenceEngine(
+              FloatDatapath(mask, params, reservoir.nonlinearity()));
+        },
+        [&](InferenceEngine& engine, std::size_t i) {
+          const Sample& sample = dataset[i];
+          out.features.set_row(i, engine.features(sample.series));
+          out.labels[i] = sample.label;
+        });
+    return out;
+  }
+
+  // Trajectory path for the comparison representations (last/mean need whole-
+  // trajectory reductions that the ablations keep in their published form).
   // Each index owns exactly row i of the output, so any thread count yields
-  // a bit-identical matrix (see the determinism contract in parallel.hpp).
+  // a bit-identical matrix.
   parallel_for(
       n,
       [&](std::size_t i) {

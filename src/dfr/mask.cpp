@@ -38,6 +38,10 @@ Vector Mask::apply(std::span<const double> input) const {
   return matvec(weights_, input);
 }
 
+void Mask::apply_into(std::span<const double> input, std::span<double> out) const {
+  matvec_into(weights_, input, out);
+}
+
 Matrix Mask::apply_series(const Matrix& series) const {
   DFR_CHECK_MSG(series.cols() == channels(), "series channel count != mask width");
   return matmul_a_bt(series, weights_);  // (T x V) * (V x Nx as rows) -> T x Nx

@@ -41,6 +41,9 @@ class Mask {
   /// j(k) = M u(k) for one time step.
   [[nodiscard]] Vector apply(std::span<const double> input) const;
 
+  /// j(k) = M u(k) into a caller-owned buffer (length nodes(); no allocation).
+  void apply_into(std::span<const double> input, std::span<double> out) const;
+
   /// Apply across a whole series: (T x V) -> (T x Nx).
   [[nodiscard]] Matrix apply_series(const Matrix& series) const;
 

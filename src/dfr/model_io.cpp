@@ -1,8 +1,9 @@
 #include "dfr/model_io.hpp"
 
+#include <algorithm>
 #include <fstream>
 
-#include "dfr/representation.hpp"
+#include "serve/engine.hpp"
 #include "util/check.hpp"
 
 namespace dfr {
@@ -94,18 +95,19 @@ LoadedModel load_model(const std::string& path) {
   return model;
 }
 
+Vector LoadedModel::infer(const Matrix& series) const {
+  InferenceEngine engine = make_engine(*this);
+  const std::span<const double> logits = engine.infer(series);
+  return Vector(logits.begin(), logits.end());
+}
+
 int LoadedModel::classify(const Matrix& series) const {
-  const ModularReservoir reservoir(mask.nodes(), nonlinearity);
-  const Matrix states = reservoir.run_series(mask, series, params);
-  return readout.predict(
-      compute_representation(RepresentationKind::kDprr, states));
+  const Vector z = infer(series);
+  return static_cast<int>(std::max_element(z.begin(), z.end()) - z.begin());
 }
 
 Vector LoadedModel::probabilities(const Matrix& series) const {
-  const ModularReservoir reservoir(mask.nodes(), nonlinearity);
-  const Matrix states = reservoir.run_series(mask, series, params);
-  return readout.probabilities(
-      compute_representation(RepresentationKind::kDprr, states));
+  return softmax(infer(series));
 }
 
 }  // namespace dfr

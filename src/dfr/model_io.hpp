@@ -20,10 +20,18 @@ struct LoadedModel {
   OutputLayer readout{2, 1};
   double chosen_beta = 0.0;
 
-  /// Classify one series (T x V).
+  /// Logits for one series (T x V): ONE reservoir run through the streaming
+  /// engine (serve/engine.hpp). classify() and probabilities() both wrap
+  /// this; callers wanting both should call infer() once and derive argmax /
+  /// softmax themselves. For sustained serving construct an InferenceEngine
+  /// directly — it reuses its scratch across calls; this convenience path
+  /// allocates fresh scratch per call.
+  [[nodiscard]] Vector infer(const Matrix& series) const;
+
+  /// Classify one series (T x V): argmax of infer().
   [[nodiscard]] int classify(const Matrix& series) const;
 
-  /// Class probabilities for one series.
+  /// Class probabilities for one series: softmax of infer().
   [[nodiscard]] Vector probabilities(const Matrix& series) const;
 };
 

@@ -37,9 +37,15 @@ OutputLayer::OutputLayer(Matrix weights, Vector bias)
 }
 
 Vector OutputLayer::logits(std::span<const double> features) const {
-  Vector z = matvec(w_, features);
-  for (std::size_t c = 0; c < z.size(); ++c) z[c] += b_[c];
+  Vector z(w_.rows(), 0.0);
+  logits_into(features, z);
   return z;
+}
+
+void OutputLayer::logits_into(std::span<const double> features,
+                              std::span<double> out) const {
+  matvec_into(w_, features, out);
+  for (std::size_t c = 0; c < out.size(); ++c) out[c] += b_[c];
 }
 
 Vector OutputLayer::probabilities(std::span<const double> features) const {

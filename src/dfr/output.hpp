@@ -34,6 +34,8 @@ class OutputLayer {
   [[nodiscard]] Vector& mutable_bias() noexcept { return b_; }
 
   [[nodiscard]] Vector logits(std::span<const double> features) const;
+  /// Logits into a caller-owned buffer (length num_classes(); no allocation).
+  void logits_into(std::span<const double> features, std::span<double> out) const;
   [[nodiscard]] Vector probabilities(std::span<const double> features) const;
   [[nodiscard]] int predict(std::span<const double> features) const;
   [[nodiscard]] double loss(std::span<const double> features, int label) const;

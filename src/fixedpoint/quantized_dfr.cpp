@@ -5,6 +5,7 @@
 
 #include "dfr/dprr.hpp"
 #include "dfr/metrics.hpp"
+#include "serve/engine.hpp"
 #include "util/check.hpp"
 
 namespace dfr {
@@ -71,46 +72,22 @@ void QuantizedDfr::calibrate(const Dataset& data, std::size_t max_samples) {
 }
 
 Vector QuantizedDfr::features(const Matrix& series) const {
-  const std::size_t nx = model_.mask.nodes();
-  const Nonlinearity& f = model_.nonlinearity;
-  const FixedPointFormat& state_fmt = config_.state_format;
-  const double inv_state = 1.0 / scales_.state;
-
-  Vector x_prev(nx, 0.0), x_cur(nx, 0.0);
-  DprrAccumulator dprr(nx);
-  for (std::size_t k = 0; k < series.rows(); ++k) {
-    Vector j = model_.mask.apply(series.row(k));
-    for (double& v : j) v = state_fmt.quantize(v * inv_state);
-    double prev_node = x_prev[nx - 1];
-    for (std::size_t n = 0; n < nx; ++n) {
-      const double s = state_fmt.quantize(j[n] + x_prev[n]);
-      const double value =
-          model_.params.a * f.value(s) + model_.params.b * prev_node;
-      prev_node = state_fmt.quantize(value);
-      x_cur[n] = prev_node;
-    }
-    dprr.add(x_cur, x_prev);
-    std::swap(x_prev, x_cur);
-  }
-  Vector r = dprr.features();
-  // Time-average (matches the trained readout) plus residual prescale.
-  scale(r, dprr_time_scale(series.rows()) / scales_.feature);
-  config_.feature_format.quantize(r);
-  return r;
+  QuantizedInferenceEngine engine = make_engine(*this);
+  const std::span<const double> r = engine.features(series);
+  return Vector(r.begin(), r.end());
 }
 
 int QuantizedDfr::classify(const Matrix& series) const {
-  return quant_readout_.predict(features(series));
+  QuantizedInferenceEngine engine = make_engine(*this);
+  return engine.classify(series);
 }
 
-double quantized_accuracy(const QuantizedDfr& dfr, const Dataset& dataset) {
+double quantized_accuracy(const QuantizedDfr& dfr, const Dataset& dataset,
+                          unsigned threads) {
   DFR_CHECK(!dataset.empty());
-  std::vector<int> predicted(dataset.size());
+  const std::vector<int> predicted = classify_batch(dfr, dataset, threads);
   std::vector<int> actual(dataset.size());
-  for (std::size_t i = 0; i < dataset.size(); ++i) {
-    predicted[i] = dfr.classify(dataset[i].series);
-    actual[i] = dataset[i].label;
-  }
+  for (std::size_t i = 0; i < dataset.size(); ++i) actual[i] = dataset[i].label;
   return accuracy(predicted, actual);
 }
 

@@ -44,7 +44,9 @@ class QuantizedDfr {
   /// readout under the new scale.
   void calibrate(const Dataset& data, std::size_t max_samples = 8);
 
-  /// Classify one series with the quantized datapath.
+  /// Classify one series with the quantized datapath. Convenience wrapper
+  /// that builds a fresh QuantizedInferenceEngine per call; sustained serving
+  /// should hold an engine (serve/engine.hpp) and reuse its scratch.
   [[nodiscard]] int classify(const Matrix& series) const;
 
   /// Quantized, prescaled DPRR features for one series (for tests).
@@ -56,6 +58,12 @@ class QuantizedDfr {
   [[nodiscard]] const QuantizationScales& scales() const noexcept {
     return scales_;
   }
+  /// The wrapped float model (mask, params, nonlinearity).
+  [[nodiscard]] const LoadedModel& model() const noexcept { return model_; }
+  /// The prescaled, quantized readout used by the fixed-point datapath.
+  [[nodiscard]] const OutputLayer& quantized_readout() const noexcept {
+    return quant_readout_;
+  }
 
  private:
   void requantize_readout();
@@ -66,7 +74,10 @@ class QuantizedDfr {
   QuantizationScales scales_;
 };
 
-/// Accuracy of the quantized datapath over a dataset.
-double quantized_accuracy(const QuantizedDfr& dfr, const Dataset& dataset);
+/// Accuracy of the quantized datapath over a dataset. `threads` caps the
+/// pool slots used for the batch (0 = all cores, 1 = serial); results are
+/// bit-identical for any value.
+double quantized_accuracy(const QuantizedDfr& dfr, const Dataset& dataset,
+                          unsigned threads = 1);
 
 }  // namespace dfr

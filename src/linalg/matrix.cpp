@@ -150,10 +150,15 @@ Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
 }
 
 Vector matvec(const Matrix& a, std::span<const double> x) {
-  DFR_CHECK_MSG(a.cols() == x.size(), "matvec shape mismatch");
   Vector y(a.rows(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) y[i] = dot(a.row(i), x);
+  matvec_into(a, x, y);
   return y;
+}
+
+void matvec_into(const Matrix& a, std::span<const double> x, std::span<double> y) {
+  DFR_CHECK_MSG(a.cols() == x.size(), "matvec shape mismatch");
+  DFR_CHECK_MSG(a.rows() == y.size(), "matvec output length mismatch");
+  for (std::size_t i = 0; i < a.rows(); ++i) y[i] = dot(a.row(i), x);
 }
 
 Vector matvec_t(const Matrix& a, std::span<const double> x) {

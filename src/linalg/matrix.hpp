@@ -126,6 +126,9 @@ Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
 /// y = A * x.
 Vector matvec(const Matrix& a, std::span<const double> x);
 
+/// y = A * x into a caller-owned buffer (no allocation; y must not alias x).
+void matvec_into(const Matrix& a, std::span<const double> x, std::span<double> y);
+
 /// y = A^T * x.
 Vector matvec_t(const Matrix& a, std::span<const double> x);
 

@@ -61,6 +61,44 @@ double nrmse(std::span<const double> prediction, std::span<const double> target)
   return rms / sd;
 }
 
+namespace {
+
+/// Percentile of an already-sorted sample (the shared kernel of percentile()
+/// and summarize()).
+double sorted_percentile(const Vector& sorted, double p) {
+  const double rank =
+      (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+double percentile(std::span<const double> values, double p) {
+  DFR_CHECK_MSG(!values.empty(), "percentile of an empty sample");
+  DFR_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile p must be in [0, 100]");
+  Vector sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted_percentile(sorted, p);
+}
+
+Summary summarize(std::span<const double> values) {
+  DFR_CHECK_MSG(!values.empty(), "summary of an empty sample");
+  Vector sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  Summary s;
+  s.count = sorted.size();
+  s.mean = mean(sorted);
+  s.min = sorted.front();
+  s.p50 = sorted_percentile(sorted, 50.0);
+  s.p90 = sorted_percentile(sorted, 90.0);
+  s.p99 = sorted_percentile(sorted, 99.0);
+  s.max = sorted.back();
+  return s;
+}
+
 void RunningStats::add(double x) noexcept {
   if (n_ == 0) {
     min_ = max_ = x;

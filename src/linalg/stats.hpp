@@ -24,6 +24,25 @@ double pearson(std::span<const double> a, std::span<const double> b);
 /// The standard reservoir-computing figure of merit for prediction tasks.
 double nrmse(std::span<const double> prediction, std::span<const double> target);
 
+/// p-th percentile (p in [0, 100]) with linear interpolation between order
+/// statistics (the "linear" / type-7 estimator): rank = p/100 * (n-1), value
+/// interpolated between floor(rank) and ceil(rank). Sorts a copy; O(n log n).
+double percentile(std::span<const double> values, double p);
+
+/// One-pass descriptive summary of a sample (latency distributions etc.).
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Summary of `values` (min/p50/p90/p99/max share one sorted copy).
+Summary summarize(std::span<const double> values);
+
 /// Running mean/variance accumulator (Welford).
 class RunningStats {
  public:

@@ -1,0 +1,188 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+
+namespace dfr {
+
+// ---- FloatDatapath ---------------------------------------------------------
+
+FloatDatapath::FloatDatapath(const Mask& mask, const DfrParams& params,
+                             Nonlinearity f)
+    : mask_(&mask), params_(params), reservoir_(mask.nodes(), f) {}
+
+FloatDatapath::FloatDatapath(const LoadedModel& model)
+    : mask_(&model.mask),
+      params_(model.params),
+      reservoir_(model.mask.nodes(), model.nonlinearity),
+      readout_(&model.readout) {}
+
+void FloatDatapath::mask_into(std::span<const double> input,
+                              std::span<double> j) const {
+  mask_->apply_into(input, j);
+}
+
+void FloatDatapath::step(std::span<const double> j,
+                         std::span<const double> x_prev,
+                         std::span<double> x_out) const {
+  reservoir_.step(params_, j, x_prev, x_out);
+}
+
+void FloatDatapath::finalize(Vector& r, std::size_t t_len) const {
+  scale(r, dprr_time_scale(t_len));  // time-averaged DPRR (see dprr.hpp)
+}
+
+// ---- QuantizedDatapath -----------------------------------------------------
+
+QuantizedDatapath::QuantizedDatapath(const QuantizedDfr& model)
+    : mask_(&model.model().mask),
+      params_(model.model().params),
+      f_(model.model().nonlinearity),
+      state_format_(model.config().state_format),
+      feature_format_(model.config().feature_format),
+      state_scale_(model.scales().state),
+      feature_scale_(model.scales().feature),
+      readout_(&model.quantized_readout()) {}
+
+void QuantizedDatapath::mask_into(std::span<const double> input,
+                                  std::span<double> j) const {
+  mask_->apply_into(input, j);
+  const double inv_state = 1.0 / state_scale_;
+  for (double& v : j) v = state_format_.quantize(v * inv_state);
+}
+
+void QuantizedDatapath::step(std::span<const double> j,
+                             std::span<const double> x_prev,
+                             std::span<double> x_out) const {
+  const std::size_t nx = x_prev.size();
+  double prev_node = x_prev[nx - 1];  // x(k)_0 = x(k-1)_{Nx}
+  for (std::size_t n = 0; n < nx; ++n) {
+    const double s = state_format_.quantize(j[n] + x_prev[n]);
+    const double value = params_.a * f_.value(s) + params_.b * prev_node;
+    prev_node = state_format_.quantize(value);
+    x_out[n] = prev_node;
+  }
+}
+
+void QuantizedDatapath::finalize(Vector& r, std::size_t t_len) const {
+  // Time-average (matches the trained readout) plus residual prescale.
+  scale(r, dprr_time_scale(t_len) / feature_scale_);
+  feature_format_.quantize(r);
+}
+
+// ---- BasicEngine -----------------------------------------------------------
+
+template <InferenceDatapath P>
+BasicEngine<P>::BasicEngine(P datapath)
+    : datapath_(std::move(datapath)),
+      j_(datapath_.nodes(), 0.0),
+      x_prev_(datapath_.nodes(), 0.0),
+      x_cur_(datapath_.nodes(), 0.0),
+      r_(dprr_dim(datapath_.nodes()), 0.0),
+      logits_(datapath_.readout()
+                  ? static_cast<std::size_t>(datapath_.readout()->num_classes())
+                  : 0,
+              0.0),
+      dprr_(datapath_.nodes()) {}
+
+template <InferenceDatapath P>
+std::span<const double> BasicEngine<P>::features(const Matrix& series) {
+  DFR_CHECK_MSG(series.cols() == datapath_.channels(),
+                "series channel count != mask width");
+  DFR_CHECK_MSG(series.rows() >= 1, "series needs at least one time step");
+  std::fill(x_prev_.begin(), x_prev_.end(), 0.0);  // x(0) = 0
+  dprr_.reset();
+  for (std::size_t k = 0; k < series.rows(); ++k) {
+    datapath_.mask_into(series.row(k), j_);
+    datapath_.step(j_, x_prev_, x_cur_);
+    dprr_.add(x_cur_, x_prev_);
+    std::swap(x_prev_, x_cur_);  // pointer swap: no allocation
+  }
+  std::copy(dprr_.features().begin(), dprr_.features().end(), r_.begin());
+  datapath_.finalize(r_, series.rows());
+  return r_;
+}
+
+template <InferenceDatapath P>
+std::span<const double> BasicEngine<P>::infer(const Matrix& series) {
+  const OutputLayer* out = datapath_.readout();
+  DFR_CHECK_MSG(out != nullptr, "features-only datapath has no readout");
+  features(series);
+  out->logits_into(r_, logits_);
+  return logits_;
+}
+
+template <InferenceDatapath P>
+int BasicEngine<P>::classify(const Matrix& series) {
+  infer(series);
+  return static_cast<int>(
+      std::max_element(logits_.begin(), logits_.end()) - logits_.begin());
+}
+
+template <InferenceDatapath P>
+Vector BasicEngine<P>::probabilities(const Matrix& series) {
+  return softmax(infer(series));
+}
+
+template class BasicEngine<FloatDatapath>;
+template class BasicEngine<QuantizedDatapath>;
+
+// ---- batch serving ---------------------------------------------------------
+
+InferenceEngine make_engine(const LoadedModel& model) {
+  return InferenceEngine(FloatDatapath(model));
+}
+
+QuantizedInferenceEngine make_engine(const QuantizedDfr& model) {
+  return QuantizedInferenceEngine(QuantizedDatapath(model));
+}
+
+namespace {
+
+template <typename MakeEngine, typename SeriesAt>
+std::vector<int> classify_batch_impl(std::size_t n, unsigned threads,
+                                     const MakeEngine& make_engine_fn,
+                                     const SeriesAt& series_at) {
+  std::vector<int> out(n);
+  for_each_with_engine(n, threads, make_engine_fn,
+                       [&](auto& engine, std::size_t i) {
+                         out[i] = engine.classify(series_at(i));
+                       });
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> classify_batch(const LoadedModel& model,
+                                std::span<const Matrix> series,
+                                unsigned threads) {
+  return classify_batch_impl(
+      series.size(), threads, [&] { return make_engine(model); },
+      [&](std::size_t i) -> const Matrix& { return series[i]; });
+}
+
+std::vector<int> classify_batch(const QuantizedDfr& model,
+                                std::span<const Matrix> series,
+                                unsigned threads) {
+  return classify_batch_impl(
+      series.size(), threads, [&] { return make_engine(model); },
+      [&](std::size_t i) -> const Matrix& { return series[i]; });
+}
+
+std::vector<int> classify_batch(const LoadedModel& model, const Dataset& data,
+                                unsigned threads) {
+  return classify_batch_impl(
+      data.size(), threads, [&] { return make_engine(model); },
+      [&](std::size_t i) -> const Matrix& { return data[i].series; });
+}
+
+std::vector<int> classify_batch(const QuantizedDfr& model, const Dataset& data,
+                                unsigned threads) {
+  return classify_batch_impl(
+      data.size(), threads, [&] { return make_engine(model); },
+      [&](std::size_t i) -> const Matrix& { return data[i].series; });
+}
+
+}  // namespace dfr

@@ -1,0 +1,196 @@
+#pragma once
+// Unified streaming inference engine — the single implementation behind every
+// deployed datapath (float and fixed-point).
+//
+// The paper's O(Nx) streaming-inference claim rests on the DPRR accumulator
+// form: classification needs only the current and previous reservoir state,
+// never the full (T+1) x Nx trajectory. BasicEngine realizes exactly that
+// pipeline —
+//
+//     j(k) = M u(k)  ->  x(k) = step(j(k), x(k-1))  ->  dprr += x(k) x(k-1)^T
+//     ->  r = finalize(dprr)  ->  logits = W r + b  ->  argmax
+//
+// — over per-engine scratch buffers (two Nx state rows ping-ponged through
+// the reservoir step, a reused DprrAccumulator, a logits buffer), so classify
+// performs ZERO heap allocations in steady state (test_serve.cpp instruments
+// operator new to enforce this).
+//
+// What varies between deployments is captured by a Datapath policy:
+// FloatDatapath executes the exact double-precision arithmetic of the
+// trained model; QuantizedDatapath executes the calibrated fixed-point
+// arithmetic of quantized_dfr.hpp. Both produce bit-identical results to the
+// per-series paths they replaced. New backends (SIMD step kernels,
+// multi-model serving) plug in as further policies.
+//
+// Threading: one engine serves one stream; engines share the immutable model
+// and are cheap to create, so batch serving makes one engine per worker.
+// classify_batch does precisely that on top of util/parallel.hpp, with
+// deterministic output ordering for any thread count.
+
+#include <concepts>
+#include <span>
+#include <vector>
+
+#include "dfr/dprr.hpp"
+#include "dfr/model_io.hpp"
+#include "dfr/reservoir.hpp"
+#include "fixedpoint/quantized_dfr.hpp"
+#include "util/parallel.hpp"
+
+namespace dfr {
+
+/// What a datapath must provide for the shared streaming pipeline: the model
+/// shape, the masked-input transform, one reservoir time step, the feature
+/// finalization (time averaging plus any datapath-specific scaling /
+/// quantization), and an optional readout (null = features-only).
+template <typename P>
+concept InferenceDatapath =
+    requires(const P& p, std::span<const double> in, std::span<double> out,
+             Vector& r, std::size_t t_len) {
+      { p.nodes() } -> std::convertible_to<std::size_t>;
+      { p.channels() } -> std::convertible_to<std::size_t>;
+      { p.mask_into(in, out) };
+      { p.step(in, in, out) };
+      { p.finalize(r, t_len) };
+      { p.readout() } -> std::convertible_to<const OutputLayer*>;
+    };
+
+/// Double-precision datapath over a trained model. Holds pointers into the
+/// model, which must outlive the datapath (and any engine built on it).
+class FloatDatapath {
+ public:
+  /// Features-only pipeline (no readout): batch feature extraction.
+  FloatDatapath(const Mask& mask, const DfrParams& params, Nonlinearity f);
+
+  /// Full inference pipeline over a loaded model.
+  explicit FloatDatapath(const LoadedModel& model);
+
+  [[nodiscard]] std::size_t nodes() const noexcept { return reservoir_.nodes(); }
+  [[nodiscard]] std::size_t channels() const noexcept { return mask_->channels(); }
+  void mask_into(std::span<const double> input, std::span<double> j) const;
+  void step(std::span<const double> j, std::span<const double> x_prev,
+            std::span<double> x_out) const;
+  void finalize(Vector& r, std::size_t t_len) const;
+  [[nodiscard]] const OutputLayer* readout() const noexcept { return readout_; }
+
+ private:
+  const Mask* mask_;
+  DfrParams params_;
+  ModularReservoir reservoir_;
+  const OutputLayer* readout_ = nullptr;
+};
+
+/// Calibrated fixed-point datapath: masked inputs and states quantized to the
+/// state format at every step, features prescaled and quantized to the
+/// feature format, readout already quantized by QuantizedDfr. Holds pointers
+/// into the QuantizedDfr, which must outlive the datapath.
+class QuantizedDatapath {
+ public:
+  explicit QuantizedDatapath(const QuantizedDfr& model);
+
+  [[nodiscard]] std::size_t nodes() const noexcept { return mask_->nodes(); }
+  [[nodiscard]] std::size_t channels() const noexcept { return mask_->channels(); }
+  void mask_into(std::span<const double> input, std::span<double> j) const;
+  void step(std::span<const double> j, std::span<const double> x_prev,
+            std::span<double> x_out) const;
+  void finalize(Vector& r, std::size_t t_len) const;
+  [[nodiscard]] const OutputLayer* readout() const noexcept { return readout_; }
+
+ private:
+  const Mask* mask_;
+  DfrParams params_;
+  Nonlinearity f_;
+  FixedPointFormat state_format_;
+  FixedPointFormat feature_format_;
+  double state_scale_ = 1.0;    // states divided by this (power of two)
+  double feature_scale_ = 1.0;  // residual feature prescaler (power of two)
+  const OutputLayer* readout_;
+};
+
+/// The streaming engine: owns all scratch, classifies with zero steady-state
+/// heap allocations. One engine per stream/worker; not thread-safe.
+template <InferenceDatapath P>
+class BasicEngine {
+ public:
+  explicit BasicEngine(P datapath);
+
+  /// Finalized feature vector (DPRR, time-averaged, datapath-scaled) for one
+  /// series (T x V). The span aliases engine scratch: valid until the next
+  /// call on this engine.
+  std::span<const double> features(const Matrix& series);
+
+  /// Logits for one series. Span aliases engine scratch.
+  std::span<const double> infer(const Matrix& series);
+
+  /// Argmax class for one series. Zero heap allocations.
+  int classify(const Matrix& series);
+
+  /// Softmax class probabilities (allocates the returned vector).
+  Vector probabilities(const Matrix& series);
+
+  [[nodiscard]] const P& datapath() const noexcept { return datapath_; }
+
+ private:
+  P datapath_;
+  Vector j_;       // masked input row, size Nx
+  Vector x_prev_;  // x(k-1), ping-ponged with x_cur_
+  Vector x_cur_;   // x(k)
+  Vector r_;       // finalized features, size Nx*(Nx+1)
+  Vector logits_;  // size Ny (empty for features-only datapaths)
+  DprrAccumulator dprr_;
+};
+
+using InferenceEngine = BasicEngine<FloatDatapath>;
+using QuantizedInferenceEngine = BasicEngine<QuantizedDatapath>;
+
+extern template class BasicEngine<FloatDatapath>;
+extern template class BasicEngine<QuantizedDatapath>;
+
+/// Engine over a loaded float model (model must outlive the engine).
+[[nodiscard]] InferenceEngine make_engine(const LoadedModel& model);
+
+/// Engine over a calibrated quantized model (model must outlive the engine).
+[[nodiscard]] QuantizedInferenceEngine make_engine(const QuantizedDfr& model);
+
+/// Chunked per-worker-engine fan-out shared by classify_batch and the batch
+/// feature extractor: runs body(engine, i) once for every i in [0, n), with
+/// one engine constructed per contiguous chunk so scratch is reused across a
+/// chunk's series. Because each body invocation depends only on index i (the
+/// engine's scratch carries no state across calls), results are bit-identical
+/// for any `threads` value (0 = all cores, 1 = serial — the
+/// util/parallel.hpp convention).
+template <typename MakeEngine, typename Body>
+void for_each_with_engine(std::size_t n, unsigned threads,
+                          const MakeEngine& make_engine_fn, const Body& body) {
+  if (n == 0) return;
+  const std::size_t slots = threads == 0 ? hardware_threads() : threads;
+  const std::size_t chunks = std::min(n, slots * 4);  // mild oversubscription
+  parallel_for(
+      chunks,
+      [&](std::size_t c) {
+        auto engine = make_engine_fn();
+        const std::size_t lo = c * n / chunks;
+        const std::size_t hi = (c + 1) * n / chunks;
+        for (std::size_t i = lo; i < hi; ++i) body(engine, i);
+      },
+      {.threads = threads});
+}
+
+/// Classify a batch of series. Workers each own one engine and a contiguous
+/// chunk; out[i] depends only on series[i], so the result is bit-identical
+/// and identically ordered for any `threads` value (0 = all cores,
+/// 1 = serial — the util/parallel.hpp convention).
+std::vector<int> classify_batch(const LoadedModel& model,
+                                std::span<const Matrix> series,
+                                unsigned threads = 0);
+std::vector<int> classify_batch(const QuantizedDfr& model,
+                                std::span<const Matrix> series,
+                                unsigned threads = 0);
+
+/// Dataset convenience overloads (classify every sample's series).
+std::vector<int> classify_batch(const LoadedModel& model, const Dataset& data,
+                                unsigned threads = 0);
+std::vector<int> classify_batch(const QuantizedDfr& model, const Dataset& data,
+                                unsigned threads = 0);
+
+}  // namespace dfr

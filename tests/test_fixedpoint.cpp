@@ -1,6 +1,8 @@
 // Unit tests for the fixed-point format and quantized DFR inference.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -62,8 +64,12 @@ class QuantizedInference : public ::testing::Test {
     TrainerConfig config;
     config.nodes = 12;
     model_ = new TrainResult(Trainer(config).fit(pair_->train));
-    const auto path =
-        (std::filesystem::temp_directory_path() / "dfr_quant_model.dfrm").string();
+    // Per-process name: ctest -j runs each discovered test as its own
+    // process, and every process re-runs this suite setup.
+    const auto path = (std::filesystem::temp_directory_path() /
+                       ("dfr_quant_model." + std::to_string(::getpid()) +
+                        ".dfrm"))
+                          .string();
     save_model(*model_, path);
     loaded_ = new LoadedModel(load_model(path));
     std::remove(path.c_str());

@@ -184,6 +184,67 @@ TEST(Stats, NrmseZeroForPerfectPrediction) {
   EXPECT_DOUBLE_EQ(nrmse(t, t), 0.0);
 }
 
+TEST(Stats, PercentileKnownValues) {
+  const Vector v = {15.0, 20.0, 35.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 15.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 35.0);
+  // Linear interpolation: rank = 0.25 * 4 = 1 exactly.
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 20.0);
+  // rank = 0.40 * 4 = 1.6 -> 20 + 0.6 * (35 - 20) = 29.
+  EXPECT_DOUBLE_EQ(percentile(v, 40.0), 29.0);
+}
+
+TEST(Stats, PercentileIsOrderInvariant) {
+  const Vector sorted = {1.0, 2.0, 3.0, 4.0};
+  const Vector shuffled = {3.0, 1.0, 4.0, 2.0};
+  for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile(sorted, p), percentile(shuffled, p)) << p;
+  }
+}
+
+TEST(Stats, PercentileSingleElementAndErrors) {
+  const Vector one = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 99.0), 7.0);
+  EXPECT_THROW(percentile({}, 50.0), CheckError);
+  EXPECT_THROW(percentile(one, -1.0), CheckError);
+  EXPECT_THROW(percentile(one, 100.5), CheckError);
+}
+
+TEST(Stats, SummarizeMatchesDirectComputation) {
+  Rng rng(9);
+  Vector v(500);
+  for (double& x : v) x = rng.uniform(0.0, 100.0);
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, v.size());
+  EXPECT_DOUBLE_EQ(s.mean, mean(v));
+  EXPECT_DOUBLE_EQ(s.min, min_value(v));
+  EXPECT_DOUBLE_EQ(s.max, max_value(v));
+  EXPECT_DOUBLE_EQ(s.p50, percentile(v, 50.0));
+  EXPECT_DOUBLE_EQ(s.p90, percentile(v, 90.0));
+  EXPECT_DOUBLE_EQ(s.p99, percentile(v, 99.0));
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+  EXPECT_THROW(summarize({}), CheckError);
+}
+
+TEST(Matrix, MatvecIntoMatchesMatvec) {
+  Rng rng(13);
+  Matrix a(4, 6);
+  Vector x(6);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) a(i, j) = rng.normal();
+  }
+  for (double& v : x) v = rng.normal();
+  const Vector expected = matvec(a, x);
+  Vector y(4, -1.0);
+  matvec_into(a, x, y);
+  EXPECT_EQ(y, expected);  // bitwise: same kernel
+  Vector wrong_len(3);
+  EXPECT_THROW(matvec_into(a, x, wrong_len), CheckError);
+}
+
 TEST(Stats, RunningStatsMatchesBatch) {
   Rng rng(5);
   Vector v(100);
