@@ -1,7 +1,8 @@
 // Serving bench: what the unified streaming inference engine
 // (serve/engine.hpp) delivers at deployment time — single-stream latency
 // percentiles (p50/p90/p99) and batch throughput across thread counts, for
-// both the float and the calibrated fixed-point datapaths.
+// the float, SIMD (runtime-dispatched; force with DFR_SIMD=scalar|avx2|neon)
+// and calibrated fixed-point datapaths.
 //
 // The model is built directly (random mask + random readout at the paper's
 // Nx=30 shape): serving cost depends only on shapes (T, V, Nx, Ny), never on
@@ -141,7 +142,15 @@ int main(int argc, char** argv) {
     datapaths.push_back(
         {"float", run_single_stream(make_engine(model), batch, repeats),
          [&](unsigned threads) {
-           return classify_batch(model, std::span<const Matrix>(batch), threads);
+           return classify_batch(model, std::span<const Matrix>(batch), threads,
+                                 FloatEngineKind::kScalar);
+         }});
+    datapaths.push_back(
+        {"simd-" + std::string(simd::backend_name(simd::active_backend())),
+         run_single_stream(make_simd_engine(model), batch, repeats),
+         [&](unsigned threads) {
+           return classify_batch(model, std::span<const Matrix>(batch), threads,
+                                 FloatEngineKind::kSimd);
          }});
     datapaths.push_back(
         {"quant", run_single_stream(make_engine(quantized), batch, repeats),
@@ -178,6 +187,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::cout << "SIMD dispatch: " << simd::backend_name(simd::active_backend())
+            << " (best available: "
+            << simd::backend_name(simd::best_backend())
+            << "; override with DFR_SIMD=scalar|avx2|neon)\n\n";
   std::cout << "single-stream latency (one engine, reused scratch):\n";
   latency_table.print();
   std::cout << "\nbatch throughput (classify_batch vs serial per-series loop; "

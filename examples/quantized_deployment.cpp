@@ -69,10 +69,13 @@ int main(int argc, char** argv) {
   std::cout << "\nsingle-sample inference: true class " << sample.label
             << ", float model says " << loaded.classify(sample.series) << '\n';
 
-  // 5. Sustained serving: a streaming InferenceEngine reuses its scratch
-  // across calls (zero steady-state allocations), and classify_batch fans a
-  // whole batch over the thread pool with deterministic output order.
-  InferenceEngine engine = make_engine(loaded);
+  // 5. Sustained serving: a streaming engine reuses its scratch across calls
+  // (zero steady-state allocations), and classify_batch fans a whole batch
+  // over the thread pool with deterministic output order. make_simd_engine
+  // and classify_batch's default FloatEngineKind::kAuto both run the SIMD
+  // datapath on the best runtime-dispatched backend (DFR_SIMD overrides), so
+  // the per-series loop and the batch agree exactly.
+  SimdInferenceEngine engine = make_simd_engine(loaded);
   std::size_t agree = 0;
   for (const Sample& s : data.test.samples()) {
     if (engine.classify(s.series) == s.label) ++agree;

@@ -95,19 +95,25 @@ LoadedModel load_model(const std::string& path) {
   return model;
 }
 
-Vector LoadedModel::infer(const Matrix& series) const {
-  InferenceEngine engine = make_engine(*this);
-  const std::span<const double> logits = engine.infer(series);
+Vector LoadedModel::infer(const Matrix& series, FloatEngineKind engine) const {
+  if (engine == FloatEngineKind::kScalar) {
+    InferenceEngine scalar_engine = make_engine(*this);
+    const std::span<const double> logits = scalar_engine.infer(series);
+    return Vector(logits.begin(), logits.end());
+  }
+  SimdInferenceEngine simd_engine = make_simd_engine(*this);
+  const std::span<const double> logits = simd_engine.infer(series);
   return Vector(logits.begin(), logits.end());
 }
 
-int LoadedModel::classify(const Matrix& series) const {
-  const Vector z = infer(series);
+int LoadedModel::classify(const Matrix& series, FloatEngineKind engine) const {
+  const Vector z = infer(series, engine);
   return static_cast<int>(std::max_element(z.begin(), z.end()) - z.begin());
 }
 
-Vector LoadedModel::probabilities(const Matrix& series) const {
-  return softmax(infer(series));
+Vector LoadedModel::probabilities(const Matrix& series,
+                                  FloatEngineKind engine) const {
+  return softmax(infer(series, engine));
 }
 
 }  // namespace dfr

@@ -12,6 +12,14 @@ namespace dfr {
 /// Serialize a trained model. Throws CheckError on I/O failure.
 void save_model(const TrainResult& model, const std::string& path);
 
+/// Which float engine executes infer()/classify_batch():
+///   kAuto   — the SIMD datapath on the best runtime-dispatched backend
+///             (AVX2 / NEON / portable scalar; honors DFR_SIMD). The default.
+///   kScalar — the portable FloatDatapath (the bit-exact scalar baseline).
+///   kSimd   — the SIMD datapath, explicitly (same as kAuto today).
+/// Results agree within the ULP contract of serve/simd_kernels.hpp.
+enum class FloatEngineKind { kAuto, kScalar, kSimd };
+
 /// Inference-only view of a deserialized model.
 struct LoadedModel {
   DfrParams params;
@@ -23,16 +31,19 @@ struct LoadedModel {
   /// Logits for one series (T x V): ONE reservoir run through the streaming
   /// engine (serve/engine.hpp). classify() and probabilities() both wrap
   /// this; callers wanting both should call infer() once and derive argmax /
-  /// softmax themselves. For sustained serving construct an InferenceEngine
+  /// softmax themselves. For sustained serving construct an engine
   /// directly — it reuses its scratch across calls; this convenience path
   /// allocates fresh scratch per call.
-  [[nodiscard]] Vector infer(const Matrix& series) const;
+  [[nodiscard]] Vector infer(const Matrix& series,
+                             FloatEngineKind engine = FloatEngineKind::kAuto) const;
 
   /// Classify one series (T x V): argmax of infer().
-  [[nodiscard]] int classify(const Matrix& series) const;
+  [[nodiscard]] int classify(const Matrix& series,
+                             FloatEngineKind engine = FloatEngineKind::kAuto) const;
 
   /// Class probabilities for one series: softmax of infer().
-  [[nodiscard]] Vector probabilities(const Matrix& series) const;
+  [[nodiscard]] Vector probabilities(
+      const Matrix& series, FloatEngineKind engine = FloatEngineKind::kAuto) const;
 };
 
 LoadedModel load_model(const std::string& path);

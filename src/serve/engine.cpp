@@ -72,6 +72,65 @@ void QuantizedDatapath::finalize(Vector& r, std::size_t t_len) const {
   feature_format_.quantize(r);
 }
 
+// ---- SimdFloatDatapath -----------------------------------------------------
+
+SimdFloatDatapath::SimdFloatDatapath(const Mask& mask, const DfrParams& params,
+                                     Nonlinearity f, simd::Backend backend)
+    : mask_(&mask), params_(params), f_(f),
+      kernels_(&simd::kernels_for(backend)) {
+  DFR_CHECK_MSG(mask.nodes() > 0, "reservoir needs at least one virtual node");
+}
+
+SimdFloatDatapath::SimdFloatDatapath(const LoadedModel& model)
+    : SimdFloatDatapath(model, simd::active_backend()) {}
+
+SimdFloatDatapath::SimdFloatDatapath(const LoadedModel& model,
+                                     simd::Backend backend)
+    : mask_(&model.mask),
+      params_(model.params),
+      f_(model.nonlinearity),
+      kernels_(&simd::kernels_for(backend)),
+      readout_(&model.readout) {
+  DFR_CHECK_MSG(model.mask.nodes() > 0,
+                "reservoir needs at least one virtual node");
+}
+
+void SimdFloatDatapath::mask_into(std::span<const double> input,
+                                  std::span<double> j) const {
+  mask_->apply_into(input, j);
+}
+
+void SimdFloatDatapath::step(std::span<const double> j,
+                             std::span<const double> x_prev,
+                             std::span<double> x_out) const {
+  const std::size_t nx = x_prev.size();
+  DFR_DCHECK(j.size() == nx && x_out.size() == nx);
+  DFR_DCHECK(x_out.data() != x_prev.data() && x_out.data() != j.data());
+  // Vectorized stage: x_out[n] = A * f~(j[n] + x_prev[n]).
+  kernels_->preadd_nonlin(f_, params_.a, j.data(), x_prev.data(), x_out.data(),
+                          nx);
+  // Serialized B-chain, head continued from x(k-1)_{Nx}. Same operation
+  // order as ModularReservoir::step (one multiply, one add per node), so the
+  // step stage rounds identically to the scalar pipeline.
+  double prev_node = x_prev[nx - 1];
+  for (std::size_t n = 0; n < nx; ++n) {
+    prev_node = x_out[n] + params_.b * prev_node;
+    x_out[n] = prev_node;
+  }
+}
+
+void SimdFloatDatapath::dprr_add(DprrAccumulator& acc,
+                                 std::span<const double> x_k,
+                                 std::span<const double> x_km1) const {
+  DFR_DCHECK(x_k.size() == acc.nx() && x_km1.size() == acc.nx());
+  kernels_->dprr_add(acc.raw().data(), x_k.data(), x_km1.data(), acc.nx());
+  acc.count_step();
+}
+
+void SimdFloatDatapath::finalize(Vector& r, std::size_t t_len) const {
+  scale(r, dprr_time_scale(t_len));  // time-averaged DPRR (see dprr.hpp)
+}
+
 // ---- BasicEngine -----------------------------------------------------------
 
 template <InferenceDatapath P>
@@ -97,7 +156,11 @@ std::span<const double> BasicEngine<P>::features(const Matrix& series) {
   for (std::size_t k = 0; k < series.rows(); ++k) {
     datapath_.mask_into(series.row(k), j_);
     datapath_.step(j_, x_prev_, x_cur_);
-    dprr_.add(x_cur_, x_prev_);
+    if constexpr (requires { datapath_.dprr_add(dprr_, x_cur_, x_prev_); }) {
+      datapath_.dprr_add(dprr_, x_cur_, x_prev_);  // policy-owned (SIMD) path
+    } else {
+      dprr_.add(x_cur_, x_prev_);
+    }
     std::swap(x_prev_, x_cur_);  // pointer swap: no allocation
   }
   std::copy(dprr_.features().begin(), dprr_.features().end(), r_.begin());
@@ -128,6 +191,7 @@ Vector BasicEngine<P>::probabilities(const Matrix& series) {
 
 template class BasicEngine<FloatDatapath>;
 template class BasicEngine<QuantizedDatapath>;
+template class BasicEngine<SimdFloatDatapath>;
 
 // ---- batch serving ---------------------------------------------------------
 
@@ -137,6 +201,15 @@ InferenceEngine make_engine(const LoadedModel& model) {
 
 QuantizedInferenceEngine make_engine(const QuantizedDfr& model) {
   return QuantizedInferenceEngine(QuantizedDatapath(model));
+}
+
+SimdInferenceEngine make_simd_engine(const LoadedModel& model) {
+  return SimdInferenceEngine(SimdFloatDatapath(model));
+}
+
+SimdInferenceEngine make_simd_engine(const LoadedModel& model,
+                                     simd::Backend backend) {
+  return SimdInferenceEngine(SimdFloatDatapath(model, backend));
 }
 
 namespace {
@@ -157,9 +230,16 @@ std::vector<int> classify_batch_impl(std::size_t n, unsigned threads,
 
 std::vector<int> classify_batch(const LoadedModel& model,
                                 std::span<const Matrix> series,
-                                unsigned threads) {
+                                unsigned threads, FloatEngineKind engine) {
+  if (engine == FloatEngineKind::kScalar) {
+    return classify_batch_impl(
+        series.size(), threads, [&] { return make_engine(model); },
+        [&](std::size_t i) -> const Matrix& { return series[i]; });
+  }
+  // kAuto / kSimd: resolve the dispatched backend once, outside the workers.
+  const simd::Backend backend = simd::active_backend();
   return classify_batch_impl(
-      series.size(), threads, [&] { return make_engine(model); },
+      series.size(), threads, [&] { return make_simd_engine(model, backend); },
       [&](std::size_t i) -> const Matrix& { return series[i]; });
 }
 
@@ -172,9 +252,15 @@ std::vector<int> classify_batch(const QuantizedDfr& model,
 }
 
 std::vector<int> classify_batch(const LoadedModel& model, const Dataset& data,
-                                unsigned threads) {
+                                unsigned threads, FloatEngineKind engine) {
+  if (engine == FloatEngineKind::kScalar) {
+    return classify_batch_impl(
+        data.size(), threads, [&] { return make_engine(model); },
+        [&](std::size_t i) -> const Matrix& { return data[i].series; });
+  }
+  const simd::Backend backend = simd::active_backend();
   return classify_batch_impl(
-      data.size(), threads, [&] { return make_engine(model); },
+      data.size(), threads, [&] { return make_simd_engine(model, backend); },
       [&](std::size_t i) -> const Matrix& { return data[i].series; });
 }
 

@@ -18,9 +18,14 @@
 // What varies between deployments is captured by a Datapath policy:
 // FloatDatapath executes the exact double-precision arithmetic of the
 // trained model; QuantizedDatapath executes the calibrated fixed-point
-// arithmetic of quantized_dfr.hpp. Both produce bit-identical results to the
-// per-series paths they replaced. New backends (SIMD step kernels,
-// multi-model serving) plug in as further policies.
+// arithmetic of quantized_dfr.hpp — both bit-identical to the per-series
+// paths they replaced. SimdFloatDatapath runs the same float pipeline
+// through runtime-dispatched vector kernels (serve/simd_kernels.hpp): the
+// preadd/nonlinearity and the Nx²-per-step DPRR row updates vectorize, the
+// serialized B-chain stays a scalar pass, and results match FloatDatapath
+// within the documented ULP contract. A policy may optionally provide
+// dprr_add(acc, x_k, x_km1) to own the accumulation step; the engine falls
+// back to DprrAccumulator::add otherwise.
 //
 // Threading: one engine serves one stream; engines share the immutable model
 // and are cheap to create, so batch serving makes one engine per worker.
@@ -35,6 +40,7 @@
 #include "dfr/model_io.hpp"
 #include "dfr/reservoir.hpp"
 #include "fixedpoint/quantized_dfr.hpp"
+#include "serve/simd_kernels.hpp"
 #include "util/parallel.hpp"
 
 namespace dfr {
@@ -107,6 +113,48 @@ class QuantizedDatapath {
   const OutputLayer* readout_;
 };
 
+/// Float datapath over runtime-dispatched SIMD kernels. Executes the same
+/// pipeline as FloatDatapath with the vectorizable stages (masked-input
+/// preadd, nonlinearity, DPRR row updates) routed through
+/// serve/simd_kernels.hpp and the serialized B-chain as a scalar pass.
+/// Equivalence to FloatDatapath is governed by the ULP contract documented
+/// in simd_kernels.hpp (bit-exact mask/preadd stages, simd_feature_ulp_bound
+/// on finalized features). Holds pointers into the model, which must outlive
+/// the datapath.
+class SimdFloatDatapath {
+ public:
+  /// Features-only pipeline on an explicit backend (kernels_for semantics:
+  /// throws CheckError when unavailable).
+  SimdFloatDatapath(const Mask& mask, const DfrParams& params, Nonlinearity f,
+                    simd::Backend backend);
+
+  /// Full inference pipeline on the active backend (simd::active_backend(),
+  /// i.e. best available unless DFR_SIMD / force_backend overrode it).
+  explicit SimdFloatDatapath(const LoadedModel& model);
+
+  /// Full inference pipeline on an explicit backend.
+  SimdFloatDatapath(const LoadedModel& model, simd::Backend backend);
+
+  [[nodiscard]] std::size_t nodes() const noexcept { return mask_->nodes(); }
+  [[nodiscard]] std::size_t channels() const noexcept { return mask_->channels(); }
+  [[nodiscard]] simd::Backend backend() const noexcept { return kernels_->backend; }
+  void mask_into(std::span<const double> input, std::span<double> j) const;
+  void step(std::span<const double> j, std::span<const double> x_prev,
+            std::span<double> x_out) const;
+  /// Vectorized DPRR accumulation hook picked up by BasicEngine::features.
+  void dprr_add(DprrAccumulator& acc, std::span<const double> x_k,
+                std::span<const double> x_km1) const;
+  void finalize(Vector& r, std::size_t t_len) const;
+  [[nodiscard]] const OutputLayer* readout() const noexcept { return readout_; }
+
+ private:
+  const Mask* mask_;
+  DfrParams params_;
+  Nonlinearity f_;
+  const simd::Kernels* kernels_;
+  const OutputLayer* readout_ = nullptr;
+};
+
 /// The streaming engine: owns all scratch, classifies with zero steady-state
 /// heap allocations. One engine per stream/worker; not thread-safe.
 template <InferenceDatapath P>
@@ -142,15 +190,25 @@ class BasicEngine {
 
 using InferenceEngine = BasicEngine<FloatDatapath>;
 using QuantizedInferenceEngine = BasicEngine<QuantizedDatapath>;
+using SimdInferenceEngine = BasicEngine<SimdFloatDatapath>;
 
 extern template class BasicEngine<FloatDatapath>;
 extern template class BasicEngine<QuantizedDatapath>;
+extern template class BasicEngine<SimdFloatDatapath>;
 
 /// Engine over a loaded float model (model must outlive the engine).
 [[nodiscard]] InferenceEngine make_engine(const LoadedModel& model);
 
 /// Engine over a calibrated quantized model (model must outlive the engine).
 [[nodiscard]] QuantizedInferenceEngine make_engine(const QuantizedDfr& model);
+
+/// SIMD engine over a loaded float model, on the active backend (model must
+/// outlive the engine).
+[[nodiscard]] SimdInferenceEngine make_simd_engine(const LoadedModel& model);
+
+/// SIMD engine on an explicit backend (throws CheckError when unavailable).
+[[nodiscard]] SimdInferenceEngine make_simd_engine(const LoadedModel& model,
+                                                   simd::Backend backend);
 
 /// Chunked per-worker-engine fan-out shared by classify_batch and the batch
 /// feature extractor: runs body(engine, i) once for every i in [0, n), with
@@ -179,17 +237,20 @@ void for_each_with_engine(std::size_t n, unsigned threads,
 /// Classify a batch of series. Workers each own one engine and a contiguous
 /// chunk; out[i] depends only on series[i], so the result is bit-identical
 /// and identically ordered for any `threads` value (0 = all cores,
-/// 1 = serial — the util/parallel.hpp convention).
+/// 1 = serial — the util/parallel.hpp convention). `engine` selects the
+/// float datapath (default: best available, see FloatEngineKind).
 std::vector<int> classify_batch(const LoadedModel& model,
                                 std::span<const Matrix> series,
-                                unsigned threads = 0);
+                                unsigned threads = 0,
+                                FloatEngineKind engine = FloatEngineKind::kAuto);
 std::vector<int> classify_batch(const QuantizedDfr& model,
                                 std::span<const Matrix> series,
                                 unsigned threads = 0);
 
 /// Dataset convenience overloads (classify every sample's series).
 std::vector<int> classify_batch(const LoadedModel& model, const Dataset& data,
-                                unsigned threads = 0);
+                                unsigned threads = 0,
+                                FloatEngineKind engine = FloatEngineKind::kAuto);
 std::vector<int> classify_batch(const QuantizedDfr& model, const Dataset& data,
                                 unsigned threads = 0);
 

@@ -1,0 +1,131 @@
+#include "serve/simd_kernels.hpp"
+
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace dfr::simd {
+
+// ---- portable scalar kernels ----------------------------------------------
+// These perform exactly the operations of the fused scalar pipeline
+// (ModularReservoir::step / DprrAccumulator::add) in the same order, so the
+// scalar backend is the bit-exact baseline every ISA backend is tested
+// against.
+
+namespace {
+
+void preadd_nonlin_scalar(const Nonlinearity& f, double a, const double* j,
+                          const double* x_prev, double* out, std::size_t nx) {
+  for (std::size_t n = 0; n < nx; ++n) {
+    out[n] = a * f.value(j[n] + x_prev[n]);
+  }
+}
+
+void dprr_add_scalar(double* r, const double* x_k, const double* x_km1,
+                     std::size_t nx) {
+  for (std::size_t i = 0; i < nx; ++i) {
+    const double xi = x_k[i];
+    double* row = r + i * nx;
+    for (std::size_t j = 0; j < nx; ++j) row[j] += xi * x_km1[j];
+    r[nx * nx + i] += xi;
+  }
+}
+
+constexpr Kernels kScalarKernels{Backend::kScalar, &preadd_nonlin_scalar,
+                                 &dprr_add_scalar};
+
+bool cpu_supports_avx2_fma() noexcept {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+// ---- dispatch --------------------------------------------------------------
+
+const char* backend_name(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kScalar: return "scalar";
+    case Backend::kAvx2: return "avx2";
+    case Backend::kNeon: return "neon";
+  }
+  return "?";
+}
+
+Backend parse_backend(const std::string& name) {
+  if (name == "scalar") return Backend::kScalar;
+  if (name == "avx2") return Backend::kAvx2;
+  if (name == "neon") return Backend::kNeon;
+  DFR_CHECK_MSG(false, "unknown SIMD backend: \"" + name +
+                           "\" (expected scalar|avx2|neon)");
+  return Backend::kScalar;
+}
+
+bool backend_available(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kAvx2:
+      return detail::avx2_kernels() != nullptr && cpu_supports_avx2_fma();
+    case Backend::kNeon:
+      // The NEON TU only compiles its kernels on aarch64, where Advanced
+      // SIMD is architecturally mandatory — presence implies support.
+      return detail::neon_kernels() != nullptr;
+  }
+  return false;
+}
+
+Backend best_backend() noexcept {
+  if (backend_available(Backend::kAvx2)) return Backend::kAvx2;
+  if (backend_available(Backend::kNeon)) return Backend::kNeon;
+  return Backend::kScalar;
+}
+
+namespace {
+
+Backend initial_backend() {
+  if (const char* env = std::getenv("DFR_SIMD")) {
+    const Backend forced = parse_backend(env);
+    DFR_CHECK_MSG(backend_available(forced),
+                  std::string("DFR_SIMD=") + env +
+                      " requests a backend unavailable on this host/build");
+    return forced;
+  }
+  return best_backend();
+}
+
+Backend& active_slot() {
+  static Backend backend = initial_backend();  // env read once, thread-safe
+  return backend;
+}
+
+}  // namespace
+
+Backend active_backend() { return active_slot(); }
+
+void force_backend(Backend backend) {
+  DFR_CHECK_MSG(backend_available(backend),
+                std::string("cannot force unavailable SIMD backend ") +
+                    backend_name(backend));
+  active_slot() = backend;
+}
+
+const Kernels& kernels_for(Backend backend) {
+  DFR_CHECK_MSG(backend_available(backend),
+                std::string("SIMD backend unavailable on this host/build: ") +
+                    backend_name(backend));
+  switch (backend) {
+    case Backend::kScalar: return kScalarKernels;
+    case Backend::kAvx2: return *detail::avx2_kernels();
+    case Backend::kNeon: return *detail::neon_kernels();
+  }
+  return kScalarKernels;
+}
+
+const Kernels& active_kernels() { return kernels_for(active_backend()); }
+
+}  // namespace dfr::simd

@@ -1,0 +1,122 @@
+#pragma once
+// SIMD kernels for the reservoir-step datapath, with runtime CPU dispatch.
+//
+// The per-step serving cost splits into three stages. Two of them are
+// data-parallel across the Nx virtual nodes and vectorize:
+//
+//   * the masked-input preadd and nonlinearity  v_n = A * f~( j(k)_n + x(k-1)_n )
+//   * the DPRR accumulator row updates          r[i*Nx+j] += x(k)_i * x(k-1)_j
+//     (Nx^2 multiply-adds per time step — the dominant serving cost)
+//
+// The third stage, the B-chain x(k)_n = v_n + B * x(k)_{n-1}, serializes on
+// its own output and stays a scalar pass (SimdFloatDatapath::step runs it
+// after the vectorized preadd/nonlinearity).
+//
+// Backends are selected at RUNTIME, not by compile flags: the ISA-specific
+// translation units (simd_kernels_avx2.cpp, simd_kernels_neon.cpp) are built
+// with per-file arch flags and register themselves; dispatch picks the best
+// kernel set the running CPU supports. The `DFR_SIMD` environment variable
+// (`scalar`, `avx2`, or `neon`, read once at first use) or force_backend()
+// (tests) override the choice; forcing an unavailable backend throws
+// CheckError.
+//
+// Equivalence contract vs the scalar FloatDatapath pipeline:
+//   * The mask stage is shared code and the preadd stage performs the same
+//     IEEE-754 additions lane-wise: both are bit-exact on every backend
+//     (test_simd.cpp checks the preadd/nonlinearity stage with an
+//     exact-match assertion).
+//   * The step stage as a whole (preadd, nonlinearity, B-chain) performs the
+//     scalar pipeline's operations in the same order; ISA translation units
+//     are compiled with -ffp-contract=off, so no FMA contraction can change
+//     rounding and the stage is bit-exact on x86-64. (On aarch64 the
+//     compiler may contract the *scalar* reference itself, so only the ULP
+//     bound below is guaranteed.)
+//   * The DPRR row update deliberately uses explicit FMA where available:
+//     each accumulate rounds once where the scalar path rounds twice, so a
+//     feature accumulated over T steps may drift by O(T) rounding units of
+//     the accumulated magnitudes. The documented bound: every finalized
+//     feature agrees with the scalar pipeline within
+//     simd_feature_ulp_bound(T) ulps of the feature vector's
+//     largest-magnitude entry (ulps of max|r|, not of the individual
+//     feature — cross products can cancel arbitrarily close to zero while
+//     the accumulation error scales with the summands). Asserted by
+//     test_simd.cpp across every nonlinearity and odd Nx.
+
+#include <cstddef>
+#include <string>
+
+#include "dfr/nonlinearity.hpp"
+
+namespace dfr::simd {
+
+enum class Backend { kScalar, kAvx2, kNeon };
+
+/// "scalar" / "avx2" / "neon".
+[[nodiscard]] const char* backend_name(Backend backend) noexcept;
+
+/// Inverse of backend_name. Throws CheckError on unknown names.
+[[nodiscard]] Backend parse_backend(const std::string& name);
+
+/// v[n] = a * f~( j[n] + x_prev[n] ) for n in [0, nx). `out` must not alias
+/// the inputs. The B-chain term is NOT applied here (it serializes; see
+/// SimdFloatDatapath::step).
+using PreaddNonlinFn = void (*)(const Nonlinearity& f, double a,
+                                const double* j, const double* x_prev,
+                                double* out, std::size_t nx);
+
+/// Streaming DPRR accumulate: r[i*nx + j] += x_k[i] * x_km1[j] for all i, j,
+/// and r[nx*nx + i] += x_k[i]. `r` has dprr_dim(nx) = nx*(nx+1) entries.
+using DprrAddFn = void (*)(double* r, const double* x_k, const double* x_km1,
+                           std::size_t nx);
+
+/// One backend's kernel set. Pointers are non-null and valid for the process
+/// lifetime.
+struct Kernels {
+  Backend backend;
+  PreaddNonlinFn preadd_nonlin;
+  DprrAddFn dprr_add;
+};
+
+/// True when `backend` can run on this CPU *and* its kernels were compiled
+/// into this binary (the ISA translation units compile to stubs on foreign
+/// architectures or when DFR_SIMD_KERNELS=OFF). kScalar is always available.
+[[nodiscard]] bool backend_available(Backend backend) noexcept;
+
+/// Highest-throughput available backend on this CPU.
+[[nodiscard]] Backend best_backend() noexcept;
+
+/// The backend serving kAuto/kSimd engines: best_backend() unless overridden
+/// by the DFR_SIMD environment variable (validated at first use) or
+/// force_backend().
+[[nodiscard]] Backend active_backend();
+
+/// Override the active backend (testing / benchmarking). Throws CheckError
+/// when `backend` is unavailable. Not synchronized against concurrent engine
+/// construction — call from a single thread before fan-out.
+void force_backend(Backend backend);
+
+/// Kernel set for an explicit backend. Throws CheckError when unavailable.
+[[nodiscard]] const Kernels& kernels_for(Backend backend);
+
+/// Kernel set for active_backend().
+[[nodiscard]] const Kernels& active_kernels();
+
+/// Documented SIMD-vs-scalar equivalence bound for finalized DPRR features
+/// after `t_len` accumulation steps: |r_simd[i] - r_scalar[i]| <=
+/// simd_feature_ulp_bound(t_len) * ulp(max_i |r_scalar[i]|) (see the
+/// equivalence contract above). The constant slack absorbs sub-ulp state
+/// divergence on platforms where the scalar reference itself is
+/// FMA-contracted.
+[[nodiscard]] constexpr std::size_t simd_feature_ulp_bound(
+    std::size_t t_len) noexcept {
+  return 64 + 8 * t_len;
+}
+
+namespace detail {
+/// Registration hooks defined by the ISA translation units; each returns
+/// nullptr when its TU was compiled without the matching arch flags.
+[[nodiscard]] const Kernels* avx2_kernels() noexcept;
+[[nodiscard]] const Kernels* neon_kernels() noexcept;
+}  // namespace detail
+
+}  // namespace dfr::simd

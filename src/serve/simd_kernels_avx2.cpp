@@ -1,0 +1,124 @@
+// AVX2+FMA kernel set. This translation unit is compiled with per-file arch
+// flags (-mavx2 -mfma -ffp-contract=off; see the root CMakeLists) on x86-64
+// builds and compiles to a nullptr stub everywhere else — runtime dispatch in
+// simd_kernels.cpp decides whether it ever executes.
+//
+// -ffp-contract=off matters: the preadd/nonlinearity stage must round exactly
+// like the scalar baseline, so only the *explicit* _mm256_fmadd_pd in the
+// DPRR update (where single rounding is the point, covered by the documented
+// ULP bound) may fuse.
+#include "serve/simd_kernels.hpp"
+
+#if defined(DFR_SIMD_KERNELS_ISA) && defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace dfr::simd {
+namespace {
+
+constexpr std::size_t kWidth = 4;  // doubles per __m256d
+
+inline __m256d abs_pd(__m256d v) noexcept {
+  return _mm256_andnot_pd(_mm256_set1_pd(-0.0), v);
+}
+
+// v[n] = a * f~(j[n] + x_prev[n]). The polynomial / rational nonlinearities
+// vectorize with the scalar evaluation order preserved; the libm-backed ones
+// (tanh, sine, Mackey–Glass with its pow) keep per-lane scalar calls on top
+// of the vectorized preadd semantics (j[n] + x_prev[n] is a plain IEEE add
+// either way, so the preadd stage stays bit-exact).
+void preadd_nonlin_avx2(const Nonlinearity& f, double a, const double* j,
+                        const double* x_prev, double* out, std::size_t nx) {
+  const __m256d va = _mm256_set1_pd(a);
+  const std::size_t main = nx - nx % kWidth;
+  switch (f.kind()) {
+    case NonlinearityKind::kIdentity: {
+      for (std::size_t n = 0; n < main; n += kWidth) {
+        const __m256d s =
+            _mm256_add_pd(_mm256_loadu_pd(j + n), _mm256_loadu_pd(x_prev + n));
+        _mm256_storeu_pd(out + n, _mm256_mul_pd(va, s));
+      }
+      break;
+    }
+    case NonlinearityKind::kCubic: {
+      // s - s*s*s/3, evaluated as ((s*s)*s)/3 like the scalar expression.
+      const __m256d third = _mm256_set1_pd(3.0);
+      for (std::size_t n = 0; n < main; n += kWidth) {
+        const __m256d s =
+            _mm256_add_pd(_mm256_loadu_pd(j + n), _mm256_loadu_pd(x_prev + n));
+        const __m256d cubed = _mm256_mul_pd(_mm256_mul_pd(s, s), s);
+        const __m256d value = _mm256_sub_pd(s, _mm256_div_pd(cubed, third));
+        _mm256_storeu_pd(out + n, _mm256_mul_pd(va, value));
+      }
+      break;
+    }
+    case NonlinearityKind::kSaturating: {
+      const __m256d one = _mm256_set1_pd(1.0);
+      for (std::size_t n = 0; n < main; n += kWidth) {
+        const __m256d s =
+            _mm256_add_pd(_mm256_loadu_pd(j + n), _mm256_loadu_pd(x_prev + n));
+        const __m256d value =
+            _mm256_div_pd(s, _mm256_add_pd(one, abs_pd(s)));
+        _mm256_storeu_pd(out + n, _mm256_mul_pd(va, value));
+      }
+      break;
+    }
+    case NonlinearityKind::kMackeyGlass:
+    case NonlinearityKind::kTanh:
+    case NonlinearityKind::kSine: {
+      // libm-backed: fully scalar (the preadd is the same IEEE add either
+      // way, so the stage contract is unaffected).
+      for (std::size_t n = 0; n < nx; ++n) {
+        out[n] = a * f.value(j[n] + x_prev[n]);
+      }
+      return;
+    }
+  }
+  for (std::size_t n = main; n < nx; ++n) {
+    out[n] = a * f.value(j[n] + x_prev[n]);
+  }
+}
+
+// r[i*nx + jj] += x_k[i] * x_km1[jj] with explicit FMA (single rounding per
+// accumulate — the documented ULP-bound divergence from scalar), plus the
+// r[nx^2 + i] += x_k[i] node-sum column.
+void dprr_add_avx2(double* r, const double* x_k, const double* x_km1,
+                   std::size_t nx) {
+  const std::size_t main = nx - nx % kWidth;
+  double* sums = r + nx * nx;
+  for (std::size_t i = 0; i < nx; ++i) {
+    const double xi = x_k[i];
+    const __m256d vxi = _mm256_set1_pd(xi);
+    double* row = r + i * nx;
+    for (std::size_t jj = 0; jj < main; jj += kWidth) {
+      const __m256d acc = _mm256_fmadd_pd(vxi, _mm256_loadu_pd(x_km1 + jj),
+                                          _mm256_loadu_pd(row + jj));
+      _mm256_storeu_pd(row + jj, acc);
+    }
+    for (std::size_t jj = main; jj < nx; ++jj) {
+      row[jj] = std::fma(xi, x_km1[jj], row[jj]);
+    }
+    sums[i] += xi;
+  }
+}
+
+constexpr Kernels kAvx2Kernels{Backend::kAvx2, &preadd_nonlin_avx2,
+                               &dprr_add_avx2};
+
+}  // namespace
+
+namespace detail {
+const Kernels* avx2_kernels() noexcept { return &kAvx2Kernels; }
+}  // namespace detail
+
+}  // namespace dfr::simd
+
+#else  // TU built without AVX2+FMA arch flags: register nothing.
+
+namespace dfr::simd::detail {
+const Kernels* avx2_kernels() noexcept { return nullptr; }
+}  // namespace dfr::simd::detail
+
+#endif

@@ -1,0 +1,103 @@
+// NEON (Advanced SIMD) kernel set for aarch64, where 2-lane double vectors
+// and vfmaq_f64 are architecturally guaranteed. Compiled with
+// -ffp-contract=off per-file (see the root CMakeLists) so only the explicit
+// FMA in the DPRR update fuses; compiles to a nullptr stub on other
+// architectures, mirroring simd_kernels_avx2.cpp.
+#include "serve/simd_kernels.hpp"
+
+#if defined(DFR_SIMD_KERNELS_ISA) && defined(__aarch64__) && defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+#include <cmath>
+
+namespace dfr::simd {
+namespace {
+
+constexpr std::size_t kWidth = 2;  // doubles per float64x2_t
+
+void preadd_nonlin_neon(const Nonlinearity& f, double a, const double* j,
+                        const double* x_prev, double* out, std::size_t nx) {
+  const float64x2_t va = vdupq_n_f64(a);
+  const std::size_t main = nx - nx % kWidth;
+  switch (f.kind()) {
+    case NonlinearityKind::kIdentity: {
+      for (std::size_t n = 0; n < main; n += kWidth) {
+        const float64x2_t s = vaddq_f64(vld1q_f64(j + n), vld1q_f64(x_prev + n));
+        vst1q_f64(out + n, vmulq_f64(va, s));
+      }
+      break;
+    }
+    case NonlinearityKind::kCubic: {
+      const float64x2_t third = vdupq_n_f64(3.0);
+      for (std::size_t n = 0; n < main; n += kWidth) {
+        const float64x2_t s = vaddq_f64(vld1q_f64(j + n), vld1q_f64(x_prev + n));
+        const float64x2_t cubed = vmulq_f64(vmulq_f64(s, s), s);
+        const float64x2_t value = vsubq_f64(s, vdivq_f64(cubed, third));
+        vst1q_f64(out + n, vmulq_f64(va, value));
+      }
+      break;
+    }
+    case NonlinearityKind::kSaturating: {
+      const float64x2_t one = vdupq_n_f64(1.0);
+      for (std::size_t n = 0; n < main; n += kWidth) {
+        const float64x2_t s = vaddq_f64(vld1q_f64(j + n), vld1q_f64(x_prev + n));
+        const float64x2_t value = vdivq_f64(s, vaddq_f64(one, vabsq_f64(s)));
+        vst1q_f64(out + n, vmulq_f64(va, value));
+      }
+      break;
+    }
+    case NonlinearityKind::kMackeyGlass:
+    case NonlinearityKind::kTanh:
+    case NonlinearityKind::kSine: {
+      // libm-backed: fully scalar (the preadd is the same IEEE add either
+      // way, so the stage contract is unaffected).
+      for (std::size_t n = 0; n < nx; ++n) {
+        out[n] = a * f.value(j[n] + x_prev[n]);
+      }
+      return;
+    }
+  }
+  for (std::size_t n = main; n < nx; ++n) {
+    out[n] = a * f.value(j[n] + x_prev[n]);
+  }
+}
+
+void dprr_add_neon(double* r, const double* x_k, const double* x_km1,
+                   std::size_t nx) {
+  const std::size_t main = nx - nx % kWidth;
+  double* sums = r + nx * nx;
+  for (std::size_t i = 0; i < nx; ++i) {
+    const double xi = x_k[i];
+    const float64x2_t vxi = vdupq_n_f64(xi);
+    double* row = r + i * nx;
+    for (std::size_t jj = 0; jj < main; jj += kWidth) {
+      const float64x2_t acc =
+          vfmaq_f64(vld1q_f64(row + jj), vxi, vld1q_f64(x_km1 + jj));
+      vst1q_f64(row + jj, acc);
+    }
+    for (std::size_t jj = main; jj < nx; ++jj) {
+      row[jj] = std::fma(xi, x_km1[jj], row[jj]);
+    }
+    sums[i] += xi;
+  }
+}
+
+constexpr Kernels kNeonKernels{Backend::kNeon, &preadd_nonlin_neon,
+                               &dprr_add_neon};
+
+}  // namespace
+
+namespace detail {
+const Kernels* neon_kernels() noexcept { return &kNeonKernels; }
+}  // namespace detail
+
+}  // namespace dfr::simd
+
+#else  // TU built for a non-aarch64 target: register nothing.
+
+namespace dfr::simd::detail {
+const Kernels* neon_kernels() noexcept { return nullptr; }
+}  // namespace dfr::simd::detail
+
+#endif

@@ -45,7 +45,11 @@ TEST(Integration, FullPipelineOnPaperShapedDataset) {
   std::remove(path.c_str());
   const auto reference = predict(model, pair.test);
   for (std::size_t i = 0; i < pair.test.size(); ++i) {
-    EXPECT_EQ(loaded.classify(pair.test[i].series), reference[i]) << i;
+    // kScalar: exact-equality against the scalar training-side predictions;
+    // SIMD-vs-scalar tolerance is test_simd.cpp's contract, not this test's.
+    EXPECT_EQ(loaded.classify(pair.test[i].series, FloatEngineKind::kScalar),
+              reference[i])
+        << i;
   }
 }
 

@@ -204,11 +204,17 @@ TEST_F(ServeEngine, ClassifyBatchDeterministicAcrossThreadCounts) {
   reference.reserve(batch.size());
   for (const Matrix& m : batch) reference.push_back(engine.classify(m));
 
+  // kScalar: the reference comes from the scalar engine and this test pins
+  // exact thread-count determinism of that datapath; the SIMD default path's
+  // determinism under forced dispatch is test_simd.cpp's
+  // ClassifyBatchDeterministicUnderForcedDispatch.
   for (unsigned threads : {1u, 2u, 3u, 8u, 0u}) {
-    EXPECT_EQ(classify_batch(*model_, series, threads), reference)
+    EXPECT_EQ(classify_batch(*model_, series, threads, FloatEngineKind::kScalar),
+              reference)
         << "threads=" << threads;
   }
-  EXPECT_EQ(classify_batch(*model_, pair_->test, 2), reference);
+  EXPECT_EQ(classify_batch(*model_, pair_->test, 2, FloatEngineKind::kScalar),
+            reference);
 }
 
 TEST_F(ServeEngine, QuantizedBatchMatchesPerSeriesClassify) {

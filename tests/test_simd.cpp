@@ -1,0 +1,401 @@
+// Tests for the SIMD reservoir-step datapath (serve/simd_kernels.hpp,
+// SimdFloatDatapath): runtime dispatch and forcing (programmatic + DFR_SIMD
+// env), the exact-match contract on the mask/preadd stage, ULP-bounded
+// equivalence of finalized features against the scalar pipeline across every
+// nonlinearity and odd Nx sizes (Nx < vector width, Nx not a multiple of it),
+// classify_batch determinism under forced dispatch, the LoadedModel engine
+// knob, and the zero-steady-state-allocation guarantee for the SIMD engine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <new>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+// ---- allocation instrumentation (same scheme as test_serve.cpp) ------------
+
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace dfr {
+namespace {
+
+// ---- helpers ---------------------------------------------------------------
+
+/// Monotone mapping of the double number line onto uint64, for ULP distances.
+std::uint64_t ordered_bits(double x) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &x, sizeof(u));
+  return (u & (1ULL << 63)) ? ~u : u | (1ULL << 63);
+}
+
+[[maybe_unused]] std::uint64_t ulp_distance(double a, double b) {
+  if (a == b) return 0;  // also covers +0 vs -0
+  if (!std::isfinite(a) || !std::isfinite(b)) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  const std::uint64_t ua = ordered_bits(a), ub = ordered_bits(b);
+  return ua > ub ? ua - ub : ub - ua;
+}
+
+std::vector<simd::Backend> available_backends() {
+  std::vector<simd::Backend> backends;
+  for (simd::Backend b : {simd::Backend::kScalar, simd::Backend::kAvx2,
+                          simd::Backend::kNeon}) {
+    if (simd::backend_available(b)) backends.push_back(b);
+  }
+  return backends;
+}
+
+/// Restores the active backend on scope exit so force_backend tests cannot
+/// leak state into later tests (gtest runs them in declaration order).
+class ScopedBackend {
+ public:
+  ScopedBackend() : saved_(simd::active_backend()) {}
+  ~ScopedBackend() { simd::force_backend(saved_); }
+
+ private:
+  simd::Backend saved_;
+};
+
+Matrix random_series(std::size_t t_len, std::size_t channels, Rng& rng) {
+  Matrix m(t_len, channels);
+  for (std::size_t k = 0; k < t_len; ++k) {
+    for (std::size_t v = 0; v < channels; ++v) m(k, v) = rng.uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+/// Deployment-shaped model with random (but deterministic) weights; serving
+/// equivalence depends only on shapes, never on training.
+LoadedModel make_model(std::size_t nodes, std::size_t channels, int classes,
+                       NonlinearityKind kind, std::uint64_t seed) {
+  Rng rng(seed);
+  LoadedModel model;
+  model.params = DfrParams{0.1, 0.05};
+  model.mask = Mask(nodes, channels, MaskKind::kBinary, rng);
+  model.nonlinearity = Nonlinearity(kind);
+  Matrix w(static_cast<std::size_t>(classes), dprr_dim(nodes));
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    for (std::size_t j = 0; j < w.cols(); ++j) w(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  Vector b(w.rows(), 0.0);
+  for (double& v : b) v = rng.uniform(-0.1, 0.1);
+  model.readout = OutputLayer(std::move(w), std::move(b));
+  return model;
+}
+
+constexpr NonlinearityKind kAllKinds[] = {
+    NonlinearityKind::kIdentity,  NonlinearityKind::kMackeyGlass,
+    NonlinearityKind::kTanh,      NonlinearityKind::kSine,
+    NonlinearityKind::kCubic,     NonlinearityKind::kSaturating,
+};
+
+// Odd shapes: below any vector width, odd, prime, and a large non-multiple
+// of both the AVX2 (4) and NEON (2) widths.
+constexpr std::size_t kOddSizes[] = {1, 2, 3, 5, 30, 101};
+
+// ---- dispatch plumbing -----------------------------------------------------
+
+TEST(SimdDispatch, BackendNamesRoundTrip) {
+  for (simd::Backend b : {simd::Backend::kScalar, simd::Backend::kAvx2,
+                          simd::Backend::kNeon}) {
+    EXPECT_EQ(simd::parse_backend(simd::backend_name(b)), b);
+  }
+  EXPECT_THROW((void)simd::parse_backend("avx512"), CheckError);
+  EXPECT_THROW((void)simd::parse_backend(""), CheckError);
+}
+
+TEST(SimdDispatch, ScalarAlwaysAvailableAndBestIsAvailable) {
+  EXPECT_TRUE(simd::backend_available(simd::Backend::kScalar));
+  EXPECT_TRUE(simd::backend_available(simd::best_backend()));
+  EXPECT_TRUE(simd::backend_available(simd::active_backend()));
+  EXPECT_EQ(simd::kernels_for(simd::Backend::kScalar).backend,
+            simd::Backend::kScalar);
+  EXPECT_EQ(simd::active_kernels().backend, simd::active_backend());
+}
+
+// Run under CTest's `simd_forced_scalar` registration (ENVIRONMENT
+// DFR_SIMD=scalar) this asserts the env route end-to-end; without the env
+// var it documents the default: best available backend.
+TEST(SimdDispatch, EnvForcedBackendIsHonored) {
+  if (const char* env = std::getenv("DFR_SIMD")) {
+    EXPECT_EQ(simd::active_backend(), simd::parse_backend(env))
+        << "DFR_SIMD=" << env << " was not honored";
+  } else {
+    EXPECT_EQ(simd::active_backend(), simd::best_backend());
+  }
+}
+
+TEST(SimdDispatch, ForcingUnavailableBackendThrows) {
+  bool found_unavailable = false;
+  for (simd::Backend b : {simd::Backend::kAvx2, simd::Backend::kNeon}) {
+    if (!simd::backend_available(b)) {
+      found_unavailable = true;
+      EXPECT_THROW(simd::force_backend(b), CheckError);
+      EXPECT_THROW((void)simd::kernels_for(b), CheckError);
+    }
+  }
+  if (!found_unavailable) {
+    GTEST_SKIP() << "every backend is available on this host/build";
+  }
+}
+
+TEST(SimdDispatch, ForceBackendSwitchesActive) {
+  ScopedBackend guard;
+  for (simd::Backend b : available_backends()) {
+    simd::force_backend(b);
+    EXPECT_EQ(simd::active_backend(), b);
+    EXPECT_EQ(simd::active_kernels().backend, b);
+  }
+}
+
+// ---- stage-level equivalence -----------------------------------------------
+
+// The mask/preadd stage contract is EXACT on every backend: lanes perform the
+// same IEEE-754 add (and gain multiply) as the scalar kernel.
+TEST(SimdKernels, PreaddStageBitExactAcrossBackends) {
+  const simd::Kernels& scalar = simd::kernels_for(simd::Backend::kScalar);
+  Rng rng(11);
+  for (std::size_t nx : kOddSizes) {
+    Vector j(nx), x_prev(nx), out_ref(nx), out(nx);
+    for (std::size_t n = 0; n < nx; ++n) {
+      j[n] = rng.uniform(-2.0, 2.0);
+      x_prev[n] = rng.uniform(-2.0, 2.0);
+    }
+    for (double a : {1.0, 0.7}) {
+      const Nonlinearity identity(NonlinearityKind::kIdentity);
+      scalar.preadd_nonlin(identity, a, j.data(), x_prev.data(),
+                           out_ref.data(), nx);
+      if (a == 1.0) {
+        // a=1, f=identity is the raw preadd: check it against the literal sum.
+        for (std::size_t n = 0; n < nx; ++n) {
+          ASSERT_EQ(out_ref[n], j[n] + x_prev[n]);
+        }
+      }
+      for (simd::Backend b : available_backends()) {
+        const simd::Kernels& kernels = simd::kernels_for(b);
+        kernels.preadd_nonlin(identity, a, j.data(), x_prev.data(), out.data(),
+                              nx);
+        for (std::size_t n = 0; n < nx; ++n) {
+          ASSERT_EQ(out[n], out_ref[n])
+              << simd::backend_name(b) << " nx=" << nx << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
+// One reservoir step through SimdFloatDatapath vs ModularReservoir::step.
+// Bit-exact on x86-64 (SIMD TUs build with -ffp-contract=off and the
+// baseline has no FMA to contract); elsewhere the scalar reference itself
+// may be FMA-contracted, so allow a few ulps.
+TEST(SimdKernels, StepStageMatchesScalarReservoir) {
+  const DfrParams params{0.1, 0.05};
+  Rng rng(23);
+  for (NonlinearityKind kind : kAllKinds) {
+    const Nonlinearity f(kind);
+    for (std::size_t nx : kOddSizes) {
+      const ModularReservoir reservoir(nx, f);
+      const Mask mask(nx, 2, MaskKind::kBinary, rng);
+      Vector j(nx), x_prev(nx), ref(nx), out(nx);
+      for (std::size_t n = 0; n < nx; ++n) {
+        j[n] = rng.uniform(-1.0, 1.0);
+        x_prev[n] = rng.uniform(-1.0, 1.0);
+      }
+      reservoir.step(params, j, x_prev, ref);
+      for (simd::Backend b : available_backends()) {
+        const SimdFloatDatapath datapath(mask, params, f, b);
+        datapath.step(j, x_prev, out);
+        for (std::size_t n = 0; n < nx; ++n) {
+#if defined(__x86_64__) || defined(_M_X64)
+          ASSERT_EQ(out[n], ref[n])
+              << simd::backend_name(b) << " " << nonlinearity_name(kind)
+              << " nx=" << nx << " n=" << n;
+#else
+          ASSERT_LE(ulp_distance(out[n], ref[n]), 8u)
+              << simd::backend_name(b) << " " << nonlinearity_name(kind)
+              << " nx=" << nx << " n=" << n;
+#endif
+        }
+      }
+    }
+  }
+}
+
+// ---- pipeline equivalence: the documented ULP bound ------------------------
+
+// Finalized features (full mask -> step -> DPRR -> finalize pipeline) for
+// every nonlinearity and odd Nx, on every available backend, against the
+// FloatDatapath scalar pipeline: |diff| <= simd_feature_ulp_bound(T) ulps of
+// the largest-magnitude scalar feature (see simd_kernels.hpp).
+TEST(SimdEquivalence, FeaturesWithinUlpBoundAcrossNonlinearitiesAndSizes) {
+  const DfrParams params{0.1, 0.05};
+  constexpr std::size_t kTLen = 40;
+  constexpr std::size_t kChannels = 3;
+  Rng rng(42);
+  for (NonlinearityKind kind : kAllKinds) {
+    const Nonlinearity f(kind);
+    for (std::size_t nx : kOddSizes) {
+      const Mask mask(nx, kChannels, MaskKind::kBinary, rng);
+      const Matrix series = random_series(kTLen, kChannels, rng);
+
+      InferenceEngine scalar_engine(FloatDatapath(mask, params, f));
+      const std::span<const double> ref = scalar_engine.features(series);
+      double max_abs = 0.0;
+      for (double r : ref) max_abs = std::max(max_abs, std::fabs(r));
+      // ulp(max|r|) * documented bound, as an absolute tolerance.
+      const double tol =
+          (std::nextafter(max_abs, std::numeric_limits<double>::infinity()) -
+           max_abs) *
+          static_cast<double>(simd::simd_feature_ulp_bound(kTLen));
+
+      for (simd::Backend b : available_backends()) {
+        SimdInferenceEngine engine(SimdFloatDatapath(mask, params, f, b));
+        const std::span<const double> got = engine.features(series);
+        ASSERT_EQ(got.size(), ref.size());
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+          if (b == simd::Backend::kScalar) {
+#if defined(__x86_64__) || defined(_M_X64)
+            // The scalar backend performs identical operations: bit-exact.
+            ASSERT_EQ(got[i], ref[i])
+                << nonlinearity_name(kind) << " nx=" << nx << " i=" << i;
+            continue;
+#endif
+          }
+          ASSERT_LE(std::fabs(got[i] - ref[i]), tol)
+              << simd::backend_name(b) << " " << nonlinearity_name(kind)
+              << " nx=" << nx << " i=" << i << " ref=" << ref[i]
+              << " got=" << got[i];
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdEquivalence, LogitsAndClassifyMatchFloatEngine) {
+  const LoadedModel model =
+      make_model(30, 2, 4, NonlinearityKind::kIdentity, 77);
+  Rng rng(78);
+  InferenceEngine scalar_engine = make_engine(model);
+  for (int sample = 0; sample < 8; ++sample) {
+    const Matrix series = random_series(50, 2, rng);
+    const std::span<const double> ref = scalar_engine.infer(series);
+    const Vector ref_copy(ref.begin(), ref.end());
+    for (simd::Backend b : available_backends()) {
+      SimdInferenceEngine engine = make_simd_engine(model, b);
+      const std::span<const double> got = engine.infer(series);
+      ASSERT_EQ(got.size(), ref_copy.size());
+      double max_abs = 0.0;
+      for (double z : ref_copy) max_abs = std::max(max_abs, std::fabs(z));
+      for (std::size_t c = 0; c < ref_copy.size(); ++c) {
+        ASSERT_NEAR(got[c], ref_copy[c], 1e-9 * std::max(1.0, max_abs))
+            << simd::backend_name(b) << " sample " << sample << " class " << c;
+      }
+      EXPECT_EQ(engine.classify(series), scalar_engine.classify(series))
+          << simd::backend_name(b) << " sample " << sample;
+    }
+  }
+}
+
+TEST(SimdEquivalence, LoadedModelEngineKnobAgrees) {
+  const LoadedModel model = make_model(20, 2, 3, NonlinearityKind::kTanh, 5);
+  Rng rng(6);
+  const Matrix series = random_series(30, 2, rng);
+  const Vector scalar = model.infer(series, FloatEngineKind::kScalar);
+  const Vector simd_z = model.infer(series, FloatEngineKind::kSimd);
+  const Vector auto_z = model.infer(series);  // default = kAuto
+  ASSERT_EQ(scalar.size(), simd_z.size());
+  ASSERT_EQ(simd_z.size(), auto_z.size());
+  for (std::size_t c = 0; c < scalar.size(); ++c) {
+    EXPECT_EQ(simd_z[c], auto_z[c]);  // kAuto and kSimd are the same engine
+    EXPECT_NEAR(scalar[c], simd_z[c], 1e-9 * std::max(1.0, std::fabs(scalar[c])));
+  }
+  EXPECT_EQ(model.classify(series, FloatEngineKind::kScalar),
+            model.classify(series, FloatEngineKind::kSimd));
+  EXPECT_EQ(model.classify(series), model.classify(series, FloatEngineKind::kAuto));
+}
+
+// ---- batch determinism under forced dispatch -------------------------------
+
+TEST(SimdBatch, ClassifyBatchDeterministicUnderForcedDispatch) {
+  const LoadedModel model =
+      make_model(17, 2, 3, NonlinearityKind::kSaturating, 99);
+  Rng rng(100);
+  std::vector<Matrix> batch;
+  for (int i = 0; i < 24; ++i) batch.push_back(random_series(25, 2, rng));
+  const std::span<const Matrix> series(batch);
+
+  // Scalar-engine reference predictions, per series.
+  std::vector<int> scalar_ref;
+  InferenceEngine scalar_engine = make_engine(model);
+  for (const Matrix& m : batch) scalar_ref.push_back(scalar_engine.classify(m));
+  EXPECT_EQ(classify_batch(model, series, 1, FloatEngineKind::kScalar),
+            scalar_ref);
+
+  ScopedBackend guard;
+  for (simd::Backend b : available_backends()) {
+    simd::force_backend(b);
+    // Per-series reference on this backend's engine.
+    std::vector<int> reference;
+    SimdInferenceEngine engine = make_simd_engine(model, b);
+    for (const Matrix& m : batch) reference.push_back(engine.classify(m));
+    // Predictions must agree with the scalar pipeline on every backend...
+    EXPECT_EQ(reference, scalar_ref) << simd::backend_name(b);
+    // ...and classify_batch must be deterministic for any thread count.
+    for (unsigned threads : {1u, 2u, 3u, 8u, 0u}) {
+      EXPECT_EQ(classify_batch(model, series, threads), reference)
+          << simd::backend_name(b) << " threads=" << threads;
+    }
+  }
+}
+
+// ---- steady-state allocation guarantee -------------------------------------
+
+TEST(SimdEngine, ClassifyIsAllocationFreeInSteadyState) {
+  const LoadedModel model =
+      make_model(30, 2, 4, NonlinearityKind::kIdentity, 13);
+  Rng rng(14);
+  std::vector<Matrix> batch;
+  for (int i = 0; i < 8; ++i) batch.push_back(random_series(40, 2, rng));
+
+  SimdInferenceEngine engine = make_simd_engine(model);
+  for (const Matrix& m : batch) engine.classify(m);  // warmup
+
+  const std::size_t before = g_allocations.load();
+  int sink = 0;
+  for (int rep = 0; rep < 100; ++rep) {
+    for (const Matrix& m : batch) sink += engine.classify(m);
+  }
+  const std::size_t after = g_allocations.load();
+  EXPECT_EQ(after, before) << "SIMD classify() must not allocate after warmup";
+  EXPECT_GE(sink, 0);  // keep the loop observable
+}
+
+}  // namespace
+}  // namespace dfr
