@@ -2,7 +2,10 @@
 // (serve/engine.hpp) delivers at deployment time — single-stream latency
 // percentiles (p50/p90/p99) and batch throughput across thread counts, for
 // the float, SIMD (runtime-dispatched; force with DFR_SIMD=scalar|avx2|neon)
-// and calibrated fixed-point datapaths.
+// and calibrated fixed-point datapaths — plus the multi-model serving rows:
+// 1/2/4 registered models behind the request-queue InferenceServer
+// (serve/server.hpp) under interleaved traffic, reporting request throughput
+// and end-to-end latency (queue wait + inference) per worker count.
 //
 // The model is built directly (random mask + random readout at the paper's
 // Nx=30 shape): serving cost depends only on shapes (T, V, Nx, Ny), never on
@@ -16,12 +19,15 @@
 #include <functional>
 #include <iostream>
 #include <span>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "dfr/dprr.hpp"
 #include "fixedpoint/quantized_dfr.hpp"
 #include "linalg/stats.hpp"
 #include "serve/engine.hpp"
+#include "serve/server.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -59,6 +65,43 @@ struct StreamResult {
   Summary latency_us;   // per-classify latency distribution
   double serial_sps = 0.0;  // serial per-series loop, one engine
 };
+
+struct ServerRunResult {
+  Summary latency_us;       // end-to-end request latency (queue + inference)
+  double requests_per_s = 0.0;
+};
+
+/// One traffic wave through the request-queue server: `batch.size()` requests
+/// interleaved round-robin across `model_ids`, submitted as fast as the
+/// queue admits (futures held, so capacity = batch size: no rejections).
+ServerRunResult run_server_traffic(serve::InferenceServer& server,
+                                   const std::vector<std::string>& model_ids,
+                                   const std::vector<Matrix>& batch,
+                                   std::size_t repeats) {
+  ServerRunResult result;
+  Vector latencies;
+  latencies.reserve(batch.size() * repeats);
+  double seconds = 0.0;
+  for (std::size_t r = 0; r <= repeats; ++r) {  // pass 0 = untimed warm-up
+    std::vector<serve::InferFuture> futures;
+    futures.reserve(batch.size());
+    Timer t;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      futures.push_back(
+          server.submit(model_ids[i % model_ids.size()], batch[i]));
+    }
+    for (serve::InferFuture& future : futures) future.wait();
+    if (r == 0) continue;
+    seconds += t.elapsed_seconds();
+    for (const serve::InferFuture& future : futures) {
+      latencies.push_back(future.get().latency_us);
+    }
+  }
+  result.latency_us = summarize(latencies);
+  result.requests_per_s =
+      static_cast<double>(batch.size() * repeats) / seconds;
+  return result;
+}
 
 /// Single-stream latencies + serial-loop throughput over `batch`.
 template <typename Engine>
@@ -122,6 +165,8 @@ int main(int argc, char** argv) {
                               "p90 us", "p99 us", "max us"});
   ConsoleTable throughput_table(
       {"dataset", "datapath", "threads", "series/s", "speedup"});
+  ConsoleTable server_table({"dataset", "models", "workers", "req/s",
+                             "p50 us", "p90 us", "p99 us"});
   BenchCsv csv(cli, {"dataset", "datapath", "threads", "batch", "p50_us",
                      "p90_us", "p99_us", "serial_sps", "batch_sps", "speedup"});
 
@@ -185,6 +230,37 @@ int main(int argc, char** argv) {
                      fmt_double(speedup, 3)});
       }
     }
+
+    // Multi-model serving: M models behind the request-queue server, traffic
+    // interleaved round-robin across them (mixed routing on every worker).
+    for (std::size_t num_models : {1u, 2u, 4u}) {
+      std::vector<std::string> ids;
+      serve::ModelRegistry registry;
+      for (std::size_t m = 0; m < num_models; ++m) {
+        ids.push_back("m" + std::to_string(m));
+        registry.register_model(
+            make_serving_model(data.test, nodes, options.seed + m)
+                .artifact(ids.back()));
+      }
+      for (std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+        serve::InferenceServer server(
+            registry, {.workers = workers, .queue_capacity = batch.size()});
+        const ServerRunResult run =
+            run_server_traffic(server, ids, batch, repeats);
+        server_table.add_row(
+            {spec.id, std::to_string(num_models), std::to_string(workers),
+             fmt_double(run.requests_per_s, 0),
+             fmt_double(run.latency_us.p50, 1),
+             fmt_double(run.latency_us.p90, 1),
+             fmt_double(run.latency_us.p99, 1)});
+        csv.add_row({spec.id, "server-" + std::to_string(num_models) + "m",
+                     std::to_string(workers), std::to_string(batch.size()),
+                     fmt_double(run.latency_us.p50, 2),
+                     fmt_double(run.latency_us.p90, 2),
+                     fmt_double(run.latency_us.p99, 2), "0",
+                     fmt_double(run.requests_per_s, 1), "0"});
+      }
+    }
   }
 
   std::cout << "SIMD dispatch: " << simd::backend_name(simd::active_backend())
@@ -196,6 +272,9 @@ int main(int argc, char** argv) {
   std::cout << "\nbatch throughput (classify_batch vs serial per-series loop; "
                "speedup is hardware-dependent):\n";
   throughput_table.print();
+  std::cout << "\nmulti-model serving (request-queue InferenceServer, "
+               "round-robin traffic; latency = queue wait + inference):\n";
+  server_table.print();
   csv.report();
   return 0;
 }

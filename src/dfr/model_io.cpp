@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <utility>
 
 #include "serve/engine.hpp"
 #include "util/check.hpp"
@@ -42,6 +43,39 @@ Matrix read_matrix(std::ifstream& in) {
   return m;
 }
 
+/// Deserialize the .dfrm payload into a (still mutable) artifact.
+ModelArtifact read_artifact(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DFR_CHECK_MSG(in.is_open(), "cannot open for reading: " + path);
+  char magic[4];
+  in.read(magic, 4);
+  DFR_CHECK_MSG(in && std::equal(magic, magic + 4, kMagic),
+                "not a DFRM file: " + path);
+  std::uint32_t version = 0;
+  read_pod(in, version);
+  DFR_CHECK_MSG(version == kVersion, "unsupported DFRM version");
+
+  ModelArtifact model;
+  read_pod(in, model.params.a);
+  read_pod(in, model.params.b);
+  std::int32_t kind = 0;
+  double mg_p = 1.0;
+  read_pod(in, kind);
+  read_pod(in, mg_p);
+  read_pod(in, model.chosen_beta);
+  model.nonlinearity = Nonlinearity(static_cast<NonlinearityKind>(kind), mg_p);
+  model.mask = Mask(read_matrix(in));
+  Matrix w = read_matrix(in);
+  std::uint64_t bias_len = 0;
+  read_pod(in, bias_len);
+  Vector b(bias_len);
+  in.read(reinterpret_cast<char*>(b.data()),
+          static_cast<std::streamsize>(bias_len * sizeof(double)));
+  DFR_CHECK_MSG(static_cast<bool>(in), "truncated bias data");
+  model.readout = OutputLayer(std::move(w), std::move(b));
+  return model;
+}
+
 }  // namespace
 
 void save_model(const TrainResult& model, const std::string& path) {
@@ -63,47 +97,41 @@ void save_model(const TrainResult& model, const std::string& path) {
   DFR_CHECK_MSG(static_cast<bool>(out), "write failure: " + path);
 }
 
-LoadedModel load_model(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  DFR_CHECK_MSG(in.is_open(), "cannot open for reading: " + path);
-  char magic[4];
-  in.read(magic, 4);
-  DFR_CHECK_MSG(in && std::equal(magic, magic + 4, kMagic),
-                "not a DFRM file: " + path);
-  std::uint32_t version = 0;
-  read_pod(in, version);
-  DFR_CHECK_MSG(version == kVersion, "unsupported DFRM version");
+ModelArtifactPtr make_artifact(const TrainResult& model, std::string name) {
+  return std::make_shared<const ModelArtifact>(ModelArtifact{
+      std::move(name), model.params, model.mask, model.nonlinearity,
+      model.readout, model.chosen_beta});
+}
 
-  LoadedModel model;
-  read_pod(in, model.params.a);
-  read_pod(in, model.params.b);
-  std::int32_t kind = 0;
-  double mg_p = 1.0;
-  read_pod(in, kind);
-  read_pod(in, mg_p);
-  read_pod(in, model.chosen_beta);
-  model.nonlinearity = Nonlinearity(static_cast<NonlinearityKind>(kind), mg_p);
-  model.mask = Mask(read_matrix(in));
-  Matrix w = read_matrix(in);
-  std::uint64_t bias_len = 0;
-  read_pod(in, bias_len);
-  Vector b(bias_len);
-  in.read(reinterpret_cast<char*>(b.data()),
-          static_cast<std::streamsize>(bias_len * sizeof(double)));
-  DFR_CHECK_MSG(static_cast<bool>(in), "truncated bias data");
-  model.readout = OutputLayer(std::move(w), std::move(b));
-  return model;
+ModelArtifactPtr load_artifact(const std::string& path, std::string name) {
+  ModelArtifact model = read_artifact(path);
+  model.name = std::move(name);
+  return std::make_shared<const ModelArtifact>(std::move(model));
+}
+
+ModelArtifactPtr LoadedModel::artifact(std::string name) const {
+  return std::make_shared<const ModelArtifact>(ModelArtifact{
+      std::move(name), params, mask, nonlinearity, readout, chosen_beta});
+}
+
+LoadedModel load_model(const std::string& path) {
+  ModelArtifact model = read_artifact(path);
+  return LoadedModel{model.params, std::move(model.mask), model.nonlinearity,
+                     std::move(model.readout), model.chosen_beta};
 }
 
 Vector LoadedModel::infer(const Matrix& series, FloatEngineKind engine) const {
+  // Borrow *this through the features-only datapath (it outlives this call
+  // by construction) rather than snapshotting an artifact: the convenience
+  // path must not deep-copy the mask and readout per inference. The readout
+  // applied here is the same logits_into arithmetic the full engines run.
   if (engine == FloatEngineKind::kScalar) {
-    InferenceEngine scalar_engine = make_engine(*this);
-    const std::span<const double> logits = scalar_engine.infer(series);
-    return Vector(logits.begin(), logits.end());
+    InferenceEngine scalar_engine(FloatDatapath(mask, params, nonlinearity));
+    return readout.logits(scalar_engine.features(series));
   }
-  SimdInferenceEngine simd_engine = make_simd_engine(*this);
-  const std::span<const double> logits = simd_engine.infer(series);
-  return Vector(logits.begin(), logits.end());
+  SimdInferenceEngine simd_engine(
+      SimdFloatDatapath(mask, params, nonlinearity, simd::active_backend()));
+  return readout.logits(simd_engine.features(series));
 }
 
 int LoadedModel::classify(const Matrix& series, FloatEngineKind engine) const {

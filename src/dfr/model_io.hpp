@@ -1,8 +1,28 @@
 #pragma once
-// Trained-model serialization (.dfrm): reservoir parameters, mask, chosen
-// nonlinearity, and ridge readout — everything needed to deploy a trained
-// DFR for inference on-device.
+// Trained-model serialization (.dfrm) and model ownership.
+//
+// Ownership model
+// ---------------
+// `ModelArtifact` is the unit of ownership for a deployed model: one
+// immutable bundle of everything inference needs (reservoir parameters,
+// mask, nonlinearity, readout, chosen beta) plus a serving name/id. It is
+// always handled through `ModelArtifactPtr` (a `shared_ptr<const
+// ModelArtifact>`): engines, datapaths, the model registry, and in-flight
+// requests each hold a reference, so an artifact stays alive exactly as
+// long as anything still serves from it and is freed when the last user
+// drops it. Because the pointee is const, an artifact can be shared across
+// any number of threads without synchronization — hot-swapping a model
+// (serve/registry.hpp) publishes a NEW artifact under the same name while
+// requests already routed to the old one finish against it safely.
+//
+// `LoadedModel` remains as a thin mutable convenience wrapper (aggregate
+// fields, build-and-tweak friendly: tests and benches assemble models
+// field by field). It does NOT participate in shared ownership; call
+// `artifact()` to snapshot it into an immutable `ModelArtifact` for
+// serving. Engines built from a `LoadedModel` snapshot it internally, so
+// they never dangle even if the `LoadedModel` goes out of scope.
 
+#include <memory>
 #include <string>
 
 #include "dfr/trainer.hpp"
@@ -20,13 +40,39 @@ void save_model(const TrainResult& model, const std::string& path);
 /// Results agree within the ULP contract of serve/simd_kernels.hpp.
 enum class FloatEngineKind { kAuto, kScalar, kSimd };
 
-/// Inference-only view of a deserialized model.
+/// Immutable deployed-model bundle; see the ownership model above. Only
+/// created behind `ModelArtifactPtr` (make_artifact / load_artifact /
+/// LoadedModel::artifact) and never mutated afterwards.
+struct ModelArtifact {
+  std::string name;  // serving id (registry key); may be empty outside serving
+  DfrParams params;
+  Mask mask;
+  Nonlinearity nonlinearity{NonlinearityKind::kIdentity};
+  OutputLayer readout{2, 1};
+  double chosen_beta = 0.0;
+};
+
+using ModelArtifactPtr = std::shared_ptr<const ModelArtifact>;
+
+/// Artifact from a fresh training run.
+ModelArtifactPtr make_artifact(const TrainResult& model, std::string name = {});
+
+/// Deserialize a .dfrm file straight into an immutable artifact.
+/// Throws CheckError on malformed input.
+ModelArtifactPtr load_artifact(const std::string& path, std::string name = {});
+
+/// Inference-only view of a deserialized model. Mutable convenience type —
+/// see the ownership model above for how it relates to ModelArtifact.
 struct LoadedModel {
   DfrParams params;
   Mask mask;
   Nonlinearity nonlinearity{NonlinearityKind::kIdentity};
   OutputLayer readout{2, 1};
   double chosen_beta = 0.0;
+
+  /// Immutable snapshot of the current fields (copies the weights). Later
+  /// mutation of this LoadedModel does not affect the returned artifact.
+  [[nodiscard]] ModelArtifactPtr artifact(std::string name = {}) const;
 
   /// Logits for one series (T x V): ONE reservoir run through the streaming
   /// engine (serve/engine.hpp). classify() and probabilities() both wrap

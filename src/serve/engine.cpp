@@ -1,11 +1,29 @@
 #include "serve/engine.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/check.hpp"
 #include "util/parallel.hpp"
 
 namespace dfr {
+namespace {
+
+/// Shared-ownership constructors must fail with the subsystem's typed error
+/// on a null handle (e.g. registry.get() of an evicted id passed straight
+/// through), not dereference it.
+ModelArtifactPtr checked_artifact(ModelArtifactPtr model) {
+  DFR_CHECK_MSG(model != nullptr, "null model artifact");
+  return model;
+}
+
+const QuantizedDfr& checked_deref(
+    const std::shared_ptr<const QuantizedDfr>& model) {
+  DFR_CHECK_MSG(model != nullptr, "null quantized model");
+  return *model;
+}
+
+}  // namespace
 
 // ---- FloatDatapath ---------------------------------------------------------
 
@@ -13,11 +31,15 @@ FloatDatapath::FloatDatapath(const Mask& mask, const DfrParams& params,
                              Nonlinearity f)
     : mask_(&mask), params_(params), reservoir_(mask.nodes(), f) {}
 
+FloatDatapath::FloatDatapath(ModelArtifactPtr model)
+    : artifact_(checked_artifact(std::move(model))),
+      mask_(&artifact_->mask),
+      params_(artifact_->params),
+      reservoir_(artifact_->mask.nodes(), artifact_->nonlinearity),
+      readout_(&artifact_->readout) {}
+
 FloatDatapath::FloatDatapath(const LoadedModel& model)
-    : mask_(&model.mask),
-      params_(model.params),
-      reservoir_(model.mask.nodes(), model.nonlinearity),
-      readout_(&model.readout) {}
+    : FloatDatapath(model.artifact()) {}
 
 void FloatDatapath::mask_into(std::span<const double> input,
                               std::span<double> j) const {
@@ -45,6 +67,11 @@ QuantizedDatapath::QuantizedDatapath(const QuantizedDfr& model)
       state_scale_(model.scales().state),
       feature_scale_(model.scales().feature),
       readout_(&model.quantized_readout()) {}
+
+QuantizedDatapath::QuantizedDatapath(std::shared_ptr<const QuantizedDfr> model)
+    : QuantizedDatapath(checked_deref(model)) {
+  owner_ = std::move(model);
+}
 
 void QuantizedDatapath::mask_into(std::span<const double> input,
                                   std::span<double> j) const {
@@ -81,19 +108,27 @@ SimdFloatDatapath::SimdFloatDatapath(const Mask& mask, const DfrParams& params,
   DFR_CHECK_MSG(mask.nodes() > 0, "reservoir needs at least one virtual node");
 }
 
+SimdFloatDatapath::SimdFloatDatapath(ModelArtifactPtr model)
+    : SimdFloatDatapath(std::move(model), simd::active_backend()) {}
+
+SimdFloatDatapath::SimdFloatDatapath(ModelArtifactPtr model,
+                                     simd::Backend backend)
+    : artifact_(checked_artifact(std::move(model))),
+      mask_(&artifact_->mask),
+      params_(artifact_->params),
+      f_(artifact_->nonlinearity),
+      kernels_(&simd::kernels_for(backend)),
+      readout_(&artifact_->readout) {
+  DFR_CHECK_MSG(artifact_->mask.nodes() > 0,
+                "reservoir needs at least one virtual node");
+}
+
 SimdFloatDatapath::SimdFloatDatapath(const LoadedModel& model)
-    : SimdFloatDatapath(model, simd::active_backend()) {}
+    : SimdFloatDatapath(model.artifact(), simd::active_backend()) {}
 
 SimdFloatDatapath::SimdFloatDatapath(const LoadedModel& model,
                                      simd::Backend backend)
-    : mask_(&model.mask),
-      params_(model.params),
-      f_(model.nonlinearity),
-      kernels_(&simd::kernels_for(backend)),
-      readout_(&model.readout) {
-  DFR_CHECK_MSG(model.mask.nodes() > 0,
-                "reservoir needs at least one virtual node");
-}
+    : SimdFloatDatapath(model.artifact(), backend) {}
 
 void SimdFloatDatapath::mask_into(std::span<const double> input,
                                   std::span<double> j) const {
@@ -199,8 +234,16 @@ InferenceEngine make_engine(const LoadedModel& model) {
   return InferenceEngine(FloatDatapath(model));
 }
 
+InferenceEngine make_engine(ModelArtifactPtr model) {
+  return InferenceEngine(FloatDatapath(std::move(model)));
+}
+
 QuantizedInferenceEngine make_engine(const QuantizedDfr& model) {
   return QuantizedInferenceEngine(QuantizedDatapath(model));
+}
+
+QuantizedInferenceEngine make_engine(std::shared_ptr<const QuantizedDfr> model) {
+  return QuantizedInferenceEngine(QuantizedDatapath(std::move(model)));
 }
 
 SimdInferenceEngine make_simd_engine(const LoadedModel& model) {
@@ -210,6 +253,15 @@ SimdInferenceEngine make_simd_engine(const LoadedModel& model) {
 SimdInferenceEngine make_simd_engine(const LoadedModel& model,
                                      simd::Backend backend) {
   return SimdInferenceEngine(SimdFloatDatapath(model, backend));
+}
+
+SimdInferenceEngine make_simd_engine(ModelArtifactPtr model) {
+  return SimdInferenceEngine(SimdFloatDatapath(std::move(model)));
+}
+
+SimdInferenceEngine make_simd_engine(ModelArtifactPtr model,
+                                     simd::Backend backend) {
+  return SimdInferenceEngine(SimdFloatDatapath(std::move(model), backend));
 }
 
 namespace {
@@ -228,7 +280,7 @@ std::vector<int> classify_batch_impl(std::size_t n, unsigned threads,
 
 }  // namespace
 
-std::vector<int> classify_batch(const LoadedModel& model,
+std::vector<int> classify_batch(const ModelArtifactPtr& model,
                                 std::span<const Matrix> series,
                                 unsigned threads, FloatEngineKind engine) {
   if (engine == FloatEngineKind::kScalar) {
@@ -243,6 +295,13 @@ std::vector<int> classify_batch(const LoadedModel& model,
       [&](std::size_t i) -> const Matrix& { return series[i]; });
 }
 
+std::vector<int> classify_batch(const LoadedModel& model,
+                                std::span<const Matrix> series,
+                                unsigned threads, FloatEngineKind engine) {
+  // Snapshot once; every worker engine shares the one immutable artifact.
+  return classify_batch(model.artifact(), series, threads, engine);
+}
+
 std::vector<int> classify_batch(const QuantizedDfr& model,
                                 std::span<const Matrix> series,
                                 unsigned threads) {
@@ -251,8 +310,9 @@ std::vector<int> classify_batch(const QuantizedDfr& model,
       [&](std::size_t i) -> const Matrix& { return series[i]; });
 }
 
-std::vector<int> classify_batch(const LoadedModel& model, const Dataset& data,
-                                unsigned threads, FloatEngineKind engine) {
+std::vector<int> classify_batch(const ModelArtifactPtr& model,
+                                const Dataset& data, unsigned threads,
+                                FloatEngineKind engine) {
   if (engine == FloatEngineKind::kScalar) {
     return classify_batch_impl(
         data.size(), threads, [&] { return make_engine(model); },
@@ -262,6 +322,11 @@ std::vector<int> classify_batch(const LoadedModel& model, const Dataset& data,
   return classify_batch_impl(
       data.size(), threads, [&] { return make_simd_engine(model, backend); },
       [&](std::size_t i) -> const Matrix& { return data[i].series; });
+}
+
+std::vector<int> classify_batch(const LoadedModel& model, const Dataset& data,
+                                unsigned threads, FloatEngineKind engine) {
+  return classify_batch(model.artifact(), data, threads, engine);
 }
 
 std::vector<int> classify_batch(const QuantizedDfr& model, const Dataset& data,

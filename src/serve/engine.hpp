@@ -27,12 +27,21 @@
 // dprr_add(acc, x_k, x_km1) to own the accumulation step; the engine falls
 // back to DprrAccumulator::add otherwise.
 //
+// Ownership: the full-inference datapaths hold a reference-counted
+// ModelArtifactPtr (see model_io.hpp), so an engine keeps its model alive
+// for as long as the engine exists — the multi-model registry can hot-swap
+// or evict an artifact while engines built on the old one keep serving it
+// safely. Constructing from a LoadedModel snapshots it into a fresh
+// artifact. Only the features-only constructors (batch feature extraction,
+// where the trainer owns the weights) still borrow.
+//
 // Threading: one engine serves one stream; engines share the immutable model
 // and are cheap to create, so batch serving makes one engine per worker.
 // classify_batch does precisely that on top of util/parallel.hpp, with
 // deterministic output ordering for any thread count.
 
 #include <concepts>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -61,14 +70,20 @@ concept InferenceDatapath =
       { p.readout() } -> std::convertible_to<const OutputLayer*>;
     };
 
-/// Double-precision datapath over a trained model. Holds pointers into the
-/// model, which must outlive the datapath (and any engine built on it).
+/// Double-precision datapath over a trained model. The artifact constructors
+/// share ownership of the model (safe for any lifetime); the features-only
+/// constructor borrows, and the mask must outlive the datapath.
 class FloatDatapath {
  public:
-  /// Features-only pipeline (no readout): batch feature extraction.
+  /// Features-only pipeline (no readout): batch feature extraction. Borrows
+  /// `mask`.
   FloatDatapath(const Mask& mask, const DfrParams& params, Nonlinearity f);
 
-  /// Full inference pipeline over a loaded model.
+  /// Full inference pipeline sharing ownership of `model`.
+  explicit FloatDatapath(ModelArtifactPtr model);
+
+  /// Full inference pipeline over a loaded model (snapshots it into an
+  /// owned artifact; the LoadedModel itself need not outlive the datapath).
   explicit FloatDatapath(const LoadedModel& model);
 
   [[nodiscard]] std::size_t nodes() const noexcept { return reservoir_.nodes(); }
@@ -78,8 +93,13 @@ class FloatDatapath {
             std::span<double> x_out) const;
   void finalize(Vector& r, std::size_t t_len) const;
   [[nodiscard]] const OutputLayer* readout() const noexcept { return readout_; }
+  /// The owned artifact (null for the borrowing features-only pipeline).
+  [[nodiscard]] const ModelArtifactPtr& artifact() const noexcept {
+    return artifact_;
+  }
 
  private:
+  ModelArtifactPtr artifact_;  // keepalive; null when borrowing
   const Mask* mask_;
   DfrParams params_;
   ModularReservoir reservoir_;
@@ -88,11 +108,15 @@ class FloatDatapath {
 
 /// Calibrated fixed-point datapath: masked inputs and states quantized to the
 /// state format at every step, features prescaled and quantized to the
-/// feature format, readout already quantized by QuantizedDfr. Holds pointers
-/// into the QuantizedDfr, which must outlive the datapath.
+/// feature format, readout already quantized by QuantizedDfr. The shared_ptr
+/// constructor shares ownership; the reference constructor borrows and the
+/// QuantizedDfr must outlive the datapath.
 class QuantizedDatapath {
  public:
   explicit QuantizedDatapath(const QuantizedDfr& model);
+
+  /// Shares ownership of `model` (the quantized analogue of ModelArtifact).
+  explicit QuantizedDatapath(std::shared_ptr<const QuantizedDfr> model);
 
   [[nodiscard]] std::size_t nodes() const noexcept { return mask_->nodes(); }
   [[nodiscard]] std::size_t channels() const noexcept { return mask_->channels(); }
@@ -103,6 +127,7 @@ class QuantizedDatapath {
   [[nodiscard]] const OutputLayer* readout() const noexcept { return readout_; }
 
  private:
+  std::shared_ptr<const QuantizedDfr> owner_;  // keepalive; null when borrowing
   const Mask* mask_;
   DfrParams params_;
   Nonlinearity f_;
@@ -119,20 +144,29 @@ class QuantizedDatapath {
 /// serve/simd_kernels.hpp and the serialized B-chain as a scalar pass.
 /// Equivalence to FloatDatapath is governed by the ULP contract documented
 /// in simd_kernels.hpp (bit-exact mask/preadd stages, simd_feature_ulp_bound
-/// on finalized features). Holds pointers into the model, which must outlive
-/// the datapath.
+/// on finalized features). The artifact constructors share ownership of the
+/// model; the features-only constructor borrows the mask.
 class SimdFloatDatapath {
  public:
   /// Features-only pipeline on an explicit backend (kernels_for semantics:
-  /// throws CheckError when unavailable).
+  /// throws CheckError when unavailable). Borrows `mask`.
   SimdFloatDatapath(const Mask& mask, const DfrParams& params, Nonlinearity f,
                     simd::Backend backend);
 
-  /// Full inference pipeline on the active backend (simd::active_backend(),
-  /// i.e. best available unless DFR_SIMD / force_backend overrode it).
+  /// Full inference pipeline sharing ownership of `model`, on the active
+  /// backend (simd::active_backend(), i.e. best available unless DFR_SIMD /
+  /// force_backend overrode it).
+  explicit SimdFloatDatapath(ModelArtifactPtr model);
+
+  /// Full inference pipeline sharing ownership of `model`, on an explicit
+  /// backend.
+  SimdFloatDatapath(ModelArtifactPtr model, simd::Backend backend);
+
+  /// Full inference pipeline on the active backend (snapshots `model` into
+  /// an owned artifact).
   explicit SimdFloatDatapath(const LoadedModel& model);
 
-  /// Full inference pipeline on an explicit backend.
+  /// Full inference pipeline on an explicit backend (snapshots `model`).
   SimdFloatDatapath(const LoadedModel& model, simd::Backend backend);
 
   [[nodiscard]] std::size_t nodes() const noexcept { return mask_->nodes(); }
@@ -146,8 +180,13 @@ class SimdFloatDatapath {
                 std::span<const double> x_km1) const;
   void finalize(Vector& r, std::size_t t_len) const;
   [[nodiscard]] const OutputLayer* readout() const noexcept { return readout_; }
+  /// The owned artifact (null for the borrowing features-only pipeline).
+  [[nodiscard]] const ModelArtifactPtr& artifact() const noexcept {
+    return artifact_;
+  }
 
  private:
+  ModelArtifactPtr artifact_;  // keepalive; null when borrowing
   const Mask* mask_;
   DfrParams params_;
   Nonlinearity f_;
@@ -196,18 +235,31 @@ extern template class BasicEngine<FloatDatapath>;
 extern template class BasicEngine<QuantizedDatapath>;
 extern template class BasicEngine<SimdFloatDatapath>;
 
-/// Engine over a loaded float model (model must outlive the engine).
+/// Engine over a loaded float model (snapshots the model into an owned
+/// artifact — safe for any model lifetime).
 [[nodiscard]] InferenceEngine make_engine(const LoadedModel& model);
+
+/// Engine sharing ownership of an immutable artifact.
+[[nodiscard]] InferenceEngine make_engine(ModelArtifactPtr model);
 
 /// Engine over a calibrated quantized model (model must outlive the engine).
 [[nodiscard]] QuantizedInferenceEngine make_engine(const QuantizedDfr& model);
 
-/// SIMD engine over a loaded float model, on the active backend (model must
-/// outlive the engine).
+/// Engine sharing ownership of a calibrated quantized model.
+[[nodiscard]] QuantizedInferenceEngine make_engine(
+    std::shared_ptr<const QuantizedDfr> model);
+
+/// SIMD engine over a loaded float model, on the active backend (snapshots
+/// the model into an owned artifact).
 [[nodiscard]] SimdInferenceEngine make_simd_engine(const LoadedModel& model);
 
 /// SIMD engine on an explicit backend (throws CheckError when unavailable).
 [[nodiscard]] SimdInferenceEngine make_simd_engine(const LoadedModel& model,
+                                                   simd::Backend backend);
+
+/// SIMD engines sharing ownership of an immutable artifact.
+[[nodiscard]] SimdInferenceEngine make_simd_engine(ModelArtifactPtr model);
+[[nodiscard]] SimdInferenceEngine make_simd_engine(ModelArtifactPtr model,
                                                    simd::Backend backend);
 
 /// Chunked per-worker-engine fan-out shared by classify_batch and the batch
@@ -238,7 +290,13 @@ void for_each_with_engine(std::size_t n, unsigned threads,
 /// chunk; out[i] depends only on series[i], so the result is bit-identical
 /// and identically ordered for any `threads` value (0 = all cores,
 /// 1 = serial — the util/parallel.hpp convention). `engine` selects the
-/// float datapath (default: best available, see FloatEngineKind).
+/// float datapath (default: best available, see FloatEngineKind). The
+/// artifact overload shares one immutable model across all worker engines;
+/// the LoadedModel overloads snapshot the model once per call.
+std::vector<int> classify_batch(const ModelArtifactPtr& model,
+                                std::span<const Matrix> series,
+                                unsigned threads = 0,
+                                FloatEngineKind engine = FloatEngineKind::kAuto);
 std::vector<int> classify_batch(const LoadedModel& model,
                                 std::span<const Matrix> series,
                                 unsigned threads = 0,
@@ -248,6 +306,9 @@ std::vector<int> classify_batch(const QuantizedDfr& model,
                                 unsigned threads = 0);
 
 /// Dataset convenience overloads (classify every sample's series).
+std::vector<int> classify_batch(const ModelArtifactPtr& model,
+                                const Dataset& data, unsigned threads = 0,
+                                FloatEngineKind engine = FloatEngineKind::kAuto);
 std::vector<int> classify_batch(const LoadedModel& model, const Dataset& data,
                                 unsigned threads = 0,
                                 FloatEngineKind engine = FloatEngineKind::kAuto);

@@ -1,0 +1,139 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace dfr::serve {
+
+// ---- ModelRegistry ---------------------------------------------------------
+
+void ModelRegistry::register_model(ModelArtifactPtr artifact) {
+  DFR_CHECK_MSG(artifact != nullptr, "cannot register a null artifact");
+  DFR_CHECK_MSG(!artifact->name.empty(),
+                "artifact needs a non-empty name to be registered");
+  {
+    std::unique_lock lock(mutex_);
+    models_.insert_or_assign(artifact->name, std::move(artifact));
+  }
+  version_.fetch_add(1, std::memory_order_release);
+}
+
+ModelArtifactPtr ModelRegistry::load(std::string id, const std::string& path) {
+  ModelArtifactPtr artifact = load_artifact(path, std::move(id));
+  register_model(artifact);
+  return artifact;
+}
+
+bool ModelRegistry::evict(std::string_view id) {
+  bool removed = false;
+  {
+    std::unique_lock lock(mutex_);
+    const auto it = models_.find(id);
+    if (it != models_.end()) {
+      models_.erase(it);
+      removed = true;
+    }
+  }
+  if (removed) version_.fetch_add(1, std::memory_order_release);
+  return removed;
+}
+
+ModelArtifactPtr ModelRegistry::get(std::string_view id) const {
+  std::shared_lock lock(mutex_);
+  const auto it = models_.find(id);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> ModelRegistry::ids() const {
+  std::shared_lock lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(models_.size());
+  for (const auto& [id, artifact] : models_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::shared_lock lock(mutex_);
+  return models_.size();
+}
+
+// ---- PooledEngine ----------------------------------------------------------
+
+namespace {
+
+/// kAuto and kSimd are the same engine today; cache them under one key.
+FloatEngineKind resolve_kind(FloatEngineKind kind) noexcept {
+  return kind == FloatEngineKind::kScalar ? FloatEngineKind::kScalar
+                                          : FloatEngineKind::kSimd;
+}
+
+std::variant<InferenceEngine, SimdInferenceEngine> build_engine(
+    ModelArtifactPtr artifact, FloatEngineKind kind) {
+  if (kind == FloatEngineKind::kScalar) {
+    return std::variant<InferenceEngine, SimdInferenceEngine>(
+        std::in_place_type<InferenceEngine>,
+        FloatDatapath(std::move(artifact)));
+  }
+  return std::variant<InferenceEngine, SimdInferenceEngine>(
+      std::in_place_type<SimdInferenceEngine>,
+      SimdFloatDatapath(std::move(artifact)));
+}
+
+}  // namespace
+
+PooledEngine::PooledEngine(ModelArtifactPtr artifact, FloatEngineKind kind)
+    : artifact_(std::move(artifact)),
+      kind_(resolve_kind(kind)),
+      engine_(build_engine(artifact_, kind_)) {}
+
+std::span<const double> PooledEngine::infer(const Matrix& series) {
+  return std::visit([&](auto& engine) { return engine.infer(series); },
+                    engine_);
+}
+
+int PooledEngine::classify(const Matrix& series) {
+  return std::visit([&](auto& engine) { return engine.classify(series); },
+                    engine_);
+}
+
+// ---- EnginePool ------------------------------------------------------------
+
+EnginePool::EnginePool(std::size_t workers) : per_worker_(workers) {
+  DFR_CHECK_MSG(workers > 0, "engine pool needs at least one worker slot");
+}
+
+PooledEngine& EnginePool::engine_for(std::size_t worker,
+                                     const ModelArtifactPtr& artifact,
+                                     FloatEngineKind kind) {
+  DFR_CHECK_MSG(worker < per_worker_.size(), "worker slot out of range");
+  DFR_CHECK_MSG(artifact != nullptr, "cannot build an engine on no artifact");
+  const FloatEngineKind resolved = resolve_kind(kind);
+  auto& engines = per_worker_[worker];
+  for (const std::unique_ptr<PooledEngine>& entry : engines) {
+    if (entry->kind() != resolved) continue;
+    if (entry->artifact() == artifact) return *entry;  // steady state: reuse
+    if (!artifact->name.empty() &&
+        entry->artifact()->name == artifact->name) {
+      // Hot-swap: same model name, new artifact — rebuild into the same slot
+      // so the cache stays bounded by (models x kinds) across any number of
+      // swaps and outstanding references stay valid. Anonymous (empty-name)
+      // artifacts never alias each other: distinct ones get distinct slots
+      // rather than thrashing one slot through rebuilds.
+      *entry = PooledEngine(artifact, resolved);
+      return *entry;
+    }
+  }
+  // First request for this (artifact, kind): lazy build.
+  engines.push_back(std::make_unique<PooledEngine>(artifact, resolved));
+  return *engines.back();
+}
+
+void EnginePool::clear() {
+  for (auto& engines : per_worker_) engines.clear();
+}
+
+}  // namespace dfr::serve

@@ -1,0 +1,136 @@
+#pragma once
+// Multi-model serving: the model registry and the per-worker engine pool.
+//
+// ModelRegistry maps serving ids to immutable ModelArtifactPtr bundles
+// (model_io.hpp). Registration under an existing id is an atomic hot-swap:
+// readers observe either the old or the new artifact, never a torn state,
+// and requests already routed to the old artifact finish against it safely
+// because every engine holds a reference count on the artifact it was built
+// from. Eviction removes the id; in-flight engines again keep the artifact
+// alive until they drain.
+//
+// EnginePool caches one engine per (worker slot, artifact, engine kind).
+// Engines are built lazily on first use and reused for every later request
+// with the same routing triple, so the steady-state serving path performs
+// no heap allocation per request (the engine's scratch is the only mutable
+// state, and each worker slot owns its engines exclusively). A hot-swap is
+// detected by artifact pointer identity: when the registry hands out a new
+// artifact under a cached name, the stale engine is rebuilt in place —
+// allocation happens on the swap, never per request.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+namespace dfr::serve {
+
+/// Transparent string hash so lookups by string_view never build a
+/// temporary std::string.
+struct StringHash {
+  using is_transparent = void;
+  [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+/// Thread-safe id -> artifact map with atomic hot-swap semantics.
+class ModelRegistry {
+ public:
+  /// Register (or atomically replace) `artifact` under `artifact->name`.
+  /// Throws CheckError when the name is empty.
+  void register_model(ModelArtifactPtr artifact);
+
+  /// Load a .dfrm file and register it under `id`. Returns the artifact.
+  ModelArtifactPtr load(std::string id, const std::string& path);
+
+  /// Remove `id`. Returns false when it was not registered. Engines already
+  /// built on the artifact keep it alive until they drain.
+  bool evict(std::string_view id);
+
+  /// The artifact currently serving `id`, or nullptr when unregistered.
+  [[nodiscard]] ModelArtifactPtr get(std::string_view id) const;
+
+  [[nodiscard]] std::vector<std::string> ids() const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Bumped on every register/evict; lets pollers detect churn cheaply.
+  [[nodiscard]] std::uint64_t version() const noexcept {
+    return version_.load(std::memory_order_acquire);
+  }
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, ModelArtifactPtr, StringHash, std::equal_to<>>
+      models_;
+  std::atomic<std::uint64_t> version_{0};
+};
+
+/// One cached serving engine: an artifact reference plus the float engine
+/// built on it. `kind` is stored resolved (kAuto -> kSimd).
+class PooledEngine {
+ public:
+  PooledEngine(ModelArtifactPtr artifact, FloatEngineKind kind);
+
+  /// Logits for one series; the span aliases engine scratch. Zero heap
+  /// allocations in steady state (the BasicEngine contract).
+  std::span<const double> infer(const Matrix& series);
+
+  /// Argmax class for one series.
+  int classify(const Matrix& series);
+
+  [[nodiscard]] const ModelArtifactPtr& artifact() const noexcept {
+    return artifact_;
+  }
+  [[nodiscard]] FloatEngineKind kind() const noexcept { return kind_; }
+
+ private:
+  ModelArtifactPtr artifact_;
+  FloatEngineKind kind_;  // kScalar or kSimd, never kAuto
+  std::variant<InferenceEngine, SimdInferenceEngine> engine_;
+};
+
+/// Lazily-built per-(worker, artifact, kind) engine cache. Distinct worker
+/// slots may be used from distinct threads concurrently; one slot must only
+/// ever be driven by one thread at a time (the server maps slot = worker
+/// thread). Engines for evicted models are reclaimed when the same slot
+/// later serves a replacement under the same name; a registry-wide purge is
+/// clear().
+class EnginePool {
+ public:
+  explicit EnginePool(std::size_t workers);
+
+  [[nodiscard]] std::size_t workers() const noexcept {
+    return per_worker_.size();
+  }
+
+  /// The engine serving `artifact` on `worker` with `kind`. Cached engine
+  /// reused when the artifact pointer is unchanged; rebuilt in place when
+  /// the same model name resolves to a new artifact (hot-swap); appended on
+  /// first use. Steady state (cache hit): no allocation. The reference is
+  /// stable across later engine_for calls (entries are heap slots, and a
+  /// hot-swap rebuilds into the same slot) and is invalidated only by
+  /// clear().
+  PooledEngine& engine_for(std::size_t worker, const ModelArtifactPtr& artifact,
+                           FloatEngineKind kind);
+
+  /// Drop every cached engine (e.g. after bulk evictions). NOT safe while
+  /// any worker is serving.
+  void clear();
+
+ private:
+  // unique_ptr slots keep engine_for references stable across appends.
+  std::vector<std::vector<std::unique_ptr<PooledEngine>>> per_worker_;
+};
+
+}  // namespace dfr::serve

@@ -1,0 +1,400 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace dfr::serve {
+
+const char* request_status_name(RequestStatus status) noexcept {
+  switch (status) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kQueueFull: return "queue-full";
+    case RequestStatus::kUnknownModel: return "unknown-model";
+    case RequestStatus::kInvalidArgument: return "invalid-argument";
+    case RequestStatus::kInternalError: return "internal-error";
+    case RequestStatus::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Shared immutable results for rejected submissions (no slot is consumed,
+/// so rejection costs no allocation).
+const InferResult& rejected_result(RequestStatus status) {
+  static const InferResult queue_full{RequestStatus::kQueueFull, -1, {}, 0.0};
+  static const InferResult shut_down{RequestStatus::kShutdown, -1, {}, 0.0};
+  return status == RequestStatus::kQueueFull ? queue_full : shut_down;
+}
+
+}  // namespace
+
+// ---- request slots ---------------------------------------------------------
+
+/// One preallocated request slot, recycled through the free list. All fields
+/// are written by the submitting thread before the slot enters the pending
+/// ring and read by exactly one worker; `state`/`abandoned` transitions are
+/// guarded by the server mutex.
+///
+/// The state machine protects the caller's series from use-after-free when a
+/// future is dropped early: kQueued slots cancel (the worker frees them
+/// without ever dereferencing `series`), and dropping a future on a
+/// kExecuting slot blocks briefly until the worker finishes — so `series` is
+/// never read after the owning future is gone.
+struct InferenceServer::Slot {
+  enum class State { kQueued, kExecuting, kReady };
+
+  std::string model_id;
+  const Matrix* series = nullptr;
+  FloatEngineKind kind = FloatEngineKind::kAuto;
+  Timer timer;         // restarted at submit; read at completion
+  InferResult result;  // logits storage reused across requests
+  State state = State::kQueued;
+  bool abandoned = false;  // future dropped while still queued: cancel
+};
+
+/// Per-model counters plus a fixed-size recent-latency ring.
+struct InferenceServer::StatsEntry {
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t rejected = 0;
+  Vector latencies;       // ring storage, capacity = latency_window
+  std::size_t next = 0;   // ring write position
+};
+
+// ---- InferFuture -----------------------------------------------------------
+
+InferFuture::InferFuture(InferFuture&& other) noexcept
+    : server_(std::exchange(other.server_, nullptr)),
+      slot_(std::exchange(other.slot_, kNoSlot)),
+      rejection_(std::exchange(other.rejection_, RequestStatus::kOk)) {}
+
+InferFuture& InferFuture::operator=(InferFuture&& other) noexcept {
+  if (this != &other) {
+    if (server_ != nullptr) server_->release_slot(slot_);
+    server_ = std::exchange(other.server_, nullptr);
+    slot_ = std::exchange(other.slot_, kNoSlot);
+    rejection_ = std::exchange(other.rejection_, RequestStatus::kOk);
+  }
+  return *this;
+}
+
+InferFuture::~InferFuture() {
+  if (server_ != nullptr) server_->release_slot(slot_);
+}
+
+bool InferFuture::valid() const noexcept {
+  return server_ != nullptr || rejection_ != RequestStatus::kOk;
+}
+
+bool InferFuture::ready() const {
+  if (server_ == nullptr) return valid();  // rejections resolve immediately
+  return server_->slot_ready(slot_);
+}
+
+void InferFuture::wait() const {
+  if (server_ != nullptr) server_->wait_slot(slot_);
+}
+
+const InferResult& InferFuture::get() const {
+  if (server_ == nullptr) {
+    DFR_CHECK_MSG(rejection_ != RequestStatus::kOk,
+                  "get() on an invalid InferFuture");
+    return rejected_result(rejection_);
+  }
+  server_->wait_slot(slot_);
+  return server_->slot_result(slot_);
+}
+
+// ---- InferenceServer: lifecycle --------------------------------------------
+
+InferenceServer::InferenceServer(ModelRegistry& registry, ServerConfig config)
+    : registry_(&registry),
+      config_(config),
+      workers_(config.workers == 0 ? hardware_threads() : config.workers),
+      pool_(workers_ == 0 ? 1 : workers_) {
+  DFR_CHECK_MSG(config_.queue_capacity > 0,
+                "queue capacity must be positive");
+  slots_.reserve(config_.queue_capacity);
+  for (std::size_t i = 0; i < config_.queue_capacity; ++i) {
+    auto slot = std::make_unique<Slot>();
+    slot->model_id.reserve(64);        // typical ids stay allocation-free
+    slot->result.logits.reserve(16);   // grows once for wider readouts
+    slots_.push_back(std::move(slot));
+  }
+  pending_.assign(config_.queue_capacity, 0);
+  free_.reserve(config_.queue_capacity);
+  for (std::size_t i = config_.queue_capacity; i-- > 0;) free_.push_back(i);
+
+  // Private worker pool: the dispatcher thread participates in the job, so
+  // `workers_` loops run concurrently, each pinned to one engine-pool slot.
+  // The process-global pool stays free for classify_batch / training sweeps.
+  thread_pool_ = std::make_unique<ThreadPool>(
+      workers_ > 1 ? static_cast<unsigned>(workers_ - 1) : 0);
+  dispatcher_ = std::thread([this] {
+    thread_pool_->for_each_index(
+        workers_, [this](std::size_t w) { worker_loop(w); },
+        {.threads = static_cast<unsigned>(workers_)});
+  });
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+void InferenceServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    accepting_ = false;
+    stop_workers_ = true;
+  }
+  work_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+bool InferenceServer::accepting() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return accepting_;
+}
+
+// ---- InferenceServer: admission --------------------------------------------
+
+InferFuture InferenceServer::submit(std::string_view model_id,
+                                    const Matrix& series,
+                                    FloatEngineKind engine) {
+  RequestStatus rejection = RequestStatus::kOk;
+  std::size_t slot_index = InferFuture::kNoSlot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!accepting_) {
+      rejection = RequestStatus::kShutdown;
+    } else if (free_.empty()) {
+      rejection = RequestStatus::kQueueFull;  // backpressure: reject, don't block
+    } else {
+      slot_index = free_.back();
+      free_.pop_back();
+      Slot& slot = *slots_[slot_index];
+      slot.model_id.assign(model_id);
+      slot.series = &series;
+      slot.kind = engine;
+      slot.state = Slot::State::kQueued;
+      slot.abandoned = false;
+      slot.timer.restart();
+      pending_[(pending_head_ + pending_count_) % pending_.size()] = slot_index;
+      ++pending_count_;
+    }
+  }
+  if (rejection != RequestStatus::kOk) {
+    record_rejection(model_id);
+    return InferFuture(rejection);
+  }
+  work_cv_.notify_one();
+  return InferFuture(this, slot_index);
+}
+
+// ---- InferenceServer: workers ----------------------------------------------
+
+void InferenceServer::worker_loop(std::size_t worker) {
+  for (;;) {
+    std::size_t slot_index;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock,
+                    [&] { return stop_workers_ || pending_count_ > 0; });
+      if (pending_count_ == 0) return;  // stopping and fully drained
+      slot_index = pending_[pending_head_];
+      pending_head_ = (pending_head_ + 1) % pending_.size();
+      --pending_count_;
+      Slot& slot = *slots_[slot_index];
+      if (slot.abandoned) {  // cancelled while queued: never touch the series
+        slot.abandoned = false;
+        free_.push_back(slot_index);
+        continue;
+      }
+      slot.state = Slot::State::kExecuting;
+    }
+    process(worker, slot_index);
+  }
+}
+
+void InferenceServer::process(std::size_t worker, std::size_t slot_index) {
+  Slot& slot = *slots_[slot_index];
+  InferResult& result = slot.result;
+  result.label = -1;
+  result.logits.clear();  // keeps capacity: no allocation in steady state
+
+  // Per-request routing: resolve the id against the registry NOW, so a
+  // hot-swap between submit and execution serves the newest artifact, and
+  // the shared_ptr keeps whichever artifact we got alive through inference.
+  const ModelArtifactPtr artifact = registry_->get(slot.model_id);
+  if (artifact == nullptr) {
+    result.status = RequestStatus::kUnknownModel;
+  } else {
+    try {
+      PooledEngine& engine = pool_.engine_for(worker, artifact, slot.kind);
+      const std::span<const double> logits = engine.infer(*slot.series);
+      result.logits.assign(logits.begin(), logits.end());
+      result.label = static_cast<int>(
+          std::max_element(result.logits.begin(), result.logits.end()) -
+          result.logits.begin());
+      result.status = RequestStatus::kOk;
+    } catch (const CheckError&) {  // engine rejected the series: client error
+      result.logits.clear();
+      result.label = -1;
+      result.status = RequestStatus::kInvalidArgument;
+    } catch (const std::exception& e) {  // server-side failure: not the client
+      log_error("inference for model '", slot.model_id,
+                "' failed internally: ", e.what());
+      result.logits.clear();
+      result.label = -1;
+      result.status = RequestStatus::kInternalError;
+    }
+  }
+  result.latency_us = static_cast<double>(slot.timer.elapsed_ns()) * 1e-3;
+  record_outcome(slot.model_id, result, /*id_is_registered=*/artifact != nullptr);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slot.state = Slot::State::kReady;
+  }
+  // Wakes result waiters and any future destructor blocked in release_slot.
+  done_cv_.notify_all();
+}
+
+// ---- InferenceServer: futures plumbing -------------------------------------
+
+void InferenceServer::release_slot(std::size_t slot_index) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Slot& slot = *slots_[slot_index];
+  switch (slot.state) {
+    case Slot::State::kReady:
+      free_.push_back(slot_index);
+      break;
+    case Slot::State::kQueued:
+      slot.abandoned = true;  // worker cancels it without reading the series
+      break;
+    case Slot::State::kExecuting:
+      // The worker is inside infer(*series): block until it finishes so the
+      // caller may destroy the series right after dropping the future.
+      done_cv_.wait(lock,
+                    [&] { return slot.state == Slot::State::kReady; });
+      free_.push_back(slot_index);
+      break;
+  }
+}
+
+bool InferenceServer::slot_ready(std::size_t slot_index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_[slot_index]->state == Slot::State::kReady;
+}
+
+void InferenceServer::wait_slot(std::size_t slot_index) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] {
+    return slots_[slot_index]->state == Slot::State::kReady;
+  });
+}
+
+const InferResult& InferenceServer::slot_result(std::size_t slot_index) const {
+  return slots_[slot_index]->result;  // stable once ready (wait_slot first)
+}
+
+// ---- InferenceServer: sync batch path --------------------------------------
+
+std::vector<int> InferenceServer::classify_batch(std::string_view model_id,
+                                                 std::span<const Matrix> series,
+                                                 unsigned threads,
+                                                 FloatEngineKind engine) {
+  const ModelArtifactPtr artifact = registry_->get(model_id);
+  DFR_CHECK_MSG(artifact != nullptr,
+                "unknown model id: " + std::string(model_id));
+  std::vector<int> out = dfr::classify_batch(artifact, series, threads, engine);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (StatsEntry* entry = stats_entry_for(model_id, /*allow_create=*/true)) {
+      entry->completed += out.size();
+    }
+  }
+  return out;
+}
+
+// ---- InferenceServer: stats ------------------------------------------------
+
+InferenceServer::StatsEntry* InferenceServer::stats_entry_for(
+    std::string_view model_id, bool allow_create) {
+  auto it = stats_.find(model_id);
+  if (it == stats_.end()) {
+    if (!allow_create || stats_.size() >= config_.max_tracked_models) {
+      return nullptr;  // untracked: serve, don't count
+    }
+    it = stats_.emplace(std::string(model_id), StatsEntry{}).first;
+    it->second.latencies.reserve(config_.latency_window);
+  }
+  return &it->second;
+}
+
+void InferenceServer::record_outcome(std::string_view model_id,
+                                     const InferResult& result,
+                                     bool id_is_registered) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  // Only registered ids may claim a tracking slot (bogus ids must not starve
+  // real models); an existing entry keeps counting even after eviction.
+  StatsEntry* entry = stats_entry_for(model_id, id_is_registered);
+  if (entry == nullptr) return;
+  if (result.status == RequestStatus::kOk) {
+    ++entry->completed;
+  } else {
+    ++entry->errors;
+  }
+  // Error results resolve without a full inference; their near-zero
+  // latencies would displace real samples and mask regressions.
+  if (config_.latency_window > 0 && result.status == RequestStatus::kOk) {
+    if (entry->latencies.size() < config_.latency_window) {
+      entry->latencies.push_back(result.latency_us);  // within reserve: no alloc
+    } else {
+      entry->latencies[entry->next] = result.latency_us;
+    }
+    entry->next = (entry->next + 1) % config_.latency_window;
+  }
+}
+
+void InferenceServer::record_rejection(std::string_view model_id) {
+  const bool registered = registry_->get(model_id) != nullptr;
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  if (StatsEntry* entry = stats_entry_for(model_id, registered)) {
+    ++entry->rejected;
+  }
+}
+
+ModelServingStats InferenceServer::stats(std::string_view model_id) const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  const auto it = stats_.find(model_id);
+  if (it == stats_.end()) return {};
+  const StatsEntry& entry = it->second;
+  return ModelServingStats{entry.completed, entry.errors, entry.rejected,
+                           entry.latencies.empty() ? Summary{}
+                                                   : summarize(entry.latencies)};
+}
+
+std::vector<std::pair<std::string, ModelServingStats>> InferenceServer::stats()
+    const {
+  std::vector<std::pair<std::string, ModelServingStats>> out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    out.reserve(stats_.size());
+    for (const auto& [id, entry] : stats_) {
+      out.emplace_back(
+          id, ModelServingStats{entry.completed, entry.errors, entry.rejected,
+                                entry.latencies.empty()
+                                    ? Summary{}
+                                    : summarize(entry.latencies)});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+}  // namespace dfr::serve

@@ -1,0 +1,248 @@
+#pragma once
+// InferenceServer: the request-queue front end over the multi-model engine
+// pool — the serving shape the paper's O(Nx) streaming claim is for.
+//
+//   clients --submit(model_id, series)--> bounded MPMC queue
+//       --> worker threads (util/parallel.hpp pool, one engine-pool slot
+//           each) --> per-model routing through ModelRegistry + EnginePool
+//       --> InferFuture resolves with logits/label/latency
+//
+// Design points:
+//
+//  * Bounded queue with reject-on-full backpressure. submit() never blocks:
+//    when `queue_capacity` requests are pending, executing, or holding
+//    uncollected results, it returns an already-resolved future with
+//    RequestStatus::kQueueFull (a typed error, not an exception — overload
+//    is an expected state, and in steady state the rejection path does not
+//    allocate; a registered model's first-ever rejection creates its stats
+//    entry once).
+//
+//  * Zero heap allocations per request in steady state. Request slots (the
+//    id string, the series pointer, and the result's logits storage) are
+//    preallocated at construction and recycled through a free list; the
+//    worker-side engines come from the EnginePool cache; InferFuture is a
+//    plain slot handle. This is why submit() returns InferFuture rather
+//    than std::future — std::promise heap-allocates its shared state on
+//    every request. test_server.cpp instruments operator new to pin this.
+//
+//  * Hot-swap safe. Workers resolve the model id against the registry per
+//    request; an artifact re-registered mid-traffic serves new requests
+//    while in-flight ones finish on the artifact they were routed to
+//    (shared ownership, see model_io.hpp). Requests never cross-route.
+//
+//  * Clean shutdown. shutdown() stops admission (kShutdown rejections),
+//    drains every queued request, joins the workers, and is idempotent;
+//    the destructor calls it.
+//
+//  * Per-model counters (completed/errors/rejected) plus a recent-latency
+//    window summarized through stats::summarize (linalg/stats.hpp).
+//
+// Threading: submit()/stats() are safe from any number of client threads.
+// The worker loops run on a private util/parallel.hpp ThreadPool (the
+// process-global pool stays free for classify_batch and training sweeps);
+// each worker owns one EnginePool slot, which keeps engine scratch
+// unshared without locking around inference.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "linalg/stats.hpp"
+#include "serve/registry.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace dfr::serve {
+
+enum class RequestStatus : int {
+  kOk = 0,
+  kQueueFull,      // backpressure: queue_capacity requests already admitted
+  kUnknownModel,   // model_id not registered (at processing time)
+  kInvalidArgument,  // series rejected by the engine (shape mismatch, ...)
+  kInternalError,  // unexpected server-side failure (logged; not the client)
+  kShutdown,       // submitted after shutdown() began
+};
+
+[[nodiscard]] const char* request_status_name(RequestStatus status) noexcept;
+
+/// One request's outcome. For accepted requests the storage lives in the
+/// server's slot and is valid until the owning InferFuture is destroyed.
+struct InferResult {
+  RequestStatus status = RequestStatus::kOk;
+  int label = -1;      // argmax of logits; -1 on error
+  Vector logits;       // empty on error
+  double latency_us = 0.0;  // submit -> completion (queue wait + inference)
+};
+
+struct ServerConfig {
+  /// Serving threads; each owns one engine-pool slot. 0 = hardware_threads().
+  std::size_t workers = 1;
+  /// Bound on requests that are pending, executing, or holding uncollected
+  /// results at once; submissions beyond it are rejected with kQueueFull.
+  std::size_t queue_capacity = 256;
+  /// Per-model recent-latency samples kept for stats().
+  std::size_t latency_window = 512;
+  /// Bound on distinct model ids tracked by stats(). Only ids that resolve
+  /// in the registry ever claim a tracking slot (bogus client-supplied ids
+  /// cannot starve real models of stats); the cap bounds memory across
+  /// registered-model churn. Traffic beyond the cap is served normally but
+  /// not counted per-model.
+  std::size_t max_tracked_models = 64;
+};
+
+/// Per-model serving counters; see InferenceServer::stats.
+struct ModelServingStats {
+  std::uint64_t completed = 0;  // requests finished with kOk
+  std::uint64_t errors = 0;     // finished with kUnknownModel/kInvalidArgument
+  std::uint64_t rejected = 0;   // kQueueFull/kShutdown rejections for this id
+  Summary latency_us;           // summarize() over the recent-latency window
+};
+
+class InferenceServer;
+
+/// Move-only handle to one submitted request. Destroying it releases the
+/// request's slot back to the server. Abandoning a future before it is
+/// ready is safe: a still-queued request is cancelled (the worker never
+/// touches its series), and a request already executing blocks the
+/// destructor for the remainder of that one inference — either way the
+/// submitted series is never read after the future is gone. A future must
+/// not outlive the server that issued it.
+class InferFuture {
+ public:
+  InferFuture() = default;
+  InferFuture(InferFuture&& other) noexcept;
+  InferFuture& operator=(InferFuture&& other) noexcept;
+  InferFuture(const InferFuture&) = delete;
+  InferFuture& operator=(const InferFuture&) = delete;
+  ~InferFuture();
+
+  /// False only for a default-constructed or moved-from handle.
+  [[nodiscard]] bool valid() const noexcept;
+
+  /// True once the result is available (immediately so for rejections).
+  [[nodiscard]] bool ready() const;
+
+  /// Block until the result is available.
+  void wait() const;
+
+  /// wait() + the result. The reference stays valid until this future is
+  /// destroyed or moved-from. Throws CheckError on an invalid handle.
+  [[nodiscard]] const InferResult& get() const;
+
+ private:
+  friend class InferenceServer;
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  InferFuture(InferenceServer* server, std::size_t slot) noexcept
+      : server_(server), slot_(slot) {}
+  explicit InferFuture(RequestStatus rejection) noexcept
+      : rejection_(rejection) {}
+
+  InferenceServer* server_ = nullptr;  // null for rejected / invalid handles
+  std::size_t slot_ = kNoSlot;
+  RequestStatus rejection_ = RequestStatus::kOk;  // != kOk marks a rejection
+};
+
+class InferenceServer {
+ public:
+  /// Starts `config.workers` serving threads immediately. The registry must
+  /// outlive the server; models may be registered/swapped/evicted while the
+  /// server runs.
+  explicit InferenceServer(ModelRegistry& registry, ServerConfig config = {});
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Enqueue one series for `model_id`. Zero-copy admission: the caller
+  /// must keep `series` alive and unmodified while the future is held (the
+  /// future's destructor cancels or finishes the request, so destroying the
+  /// future and then the series is always safe). Never blocks: returns an
+  /// already-resolved kQueueFull / kShutdown future when the request cannot
+  /// be admitted.
+  [[nodiscard]] InferFuture submit(
+      std::string_view model_id, const Matrix& series,
+      FloatEngineKind engine = FloatEngineKind::kAuto);
+
+  /// Synchronous batch path: routes by id, then fans out over the
+  /// process-global pool exactly like the free classify_batch (bypasses the
+  /// request queue and its capacity bound). Throws CheckError when
+  /// `model_id` is not registered.
+  [[nodiscard]] std::vector<int> classify_batch(
+      std::string_view model_id, std::span<const Matrix> series,
+      unsigned threads = 0, FloatEngineKind engine = FloatEngineKind::kAuto);
+
+  /// Stop admission, drain every queued request, join the workers.
+  /// Idempotent; called by the destructor.
+  void shutdown();
+
+  /// True until shutdown() begins.
+  [[nodiscard]] bool accepting() const;
+
+  /// Counters for one model id (zeroes when the id never saw traffic).
+  [[nodiscard]] ModelServingStats stats(std::string_view model_id) const;
+
+  /// (id, counters) for every id that saw traffic, sorted by id.
+  [[nodiscard]] std::vector<std::pair<std::string, ModelServingStats>> stats()
+      const;
+
+  [[nodiscard]] std::size_t workers() const noexcept { return workers_; }
+  [[nodiscard]] std::size_t queue_capacity() const noexcept {
+    return config_.queue_capacity;
+  }
+
+ private:
+  friend class InferFuture;
+  struct Slot;
+  struct StatsEntry;
+
+  void worker_loop(std::size_t worker);
+  void process(std::size_t worker, std::size_t slot_index);
+  void release_slot(std::size_t slot_index);
+  void record_outcome(std::string_view model_id, const InferResult& result,
+                      bool id_is_registered);
+  void record_rejection(std::string_view model_id);
+  /// Find-or-create under stats_mutex_. Creates an entry only when
+  /// `allow_create` (the id resolved in the registry) and the
+  /// max_tracked_models cap is not exhausted; nullptr otherwise.
+  StatsEntry* stats_entry_for(std::string_view model_id, bool allow_create);
+  [[nodiscard]] bool slot_ready(std::size_t slot_index) const;
+  void wait_slot(std::size_t slot_index) const;
+  [[nodiscard]] const InferResult& slot_result(std::size_t slot_index) const;
+
+  ModelRegistry* registry_;
+  ServerConfig config_;
+  std::size_t workers_ = 1;
+
+  // Request slots + bounded pending ring + free list; see server.cpp.
+  mutable std::mutex mutex_;
+  mutable std::condition_variable work_cv_;   // wakes workers
+  mutable std::condition_variable done_cv_;   // wakes future waiters
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<std::size_t> pending_;  // ring buffer of slot indices
+  std::size_t pending_head_ = 0;
+  std::size_t pending_count_ = 0;
+  std::vector<std::size_t> free_;
+  bool accepting_ = true;
+  bool stop_workers_ = false;
+
+  // Per-model counters, keyed by id.
+  mutable std::mutex stats_mutex_;
+  std::unordered_map<std::string, StatsEntry, StringHash, std::equal_to<>>
+      stats_;
+
+  EnginePool pool_;
+  std::unique_ptr<ThreadPool> thread_pool_;  // private; not the global pool
+  std::thread dispatcher_;  // runs for_each_index(workers, worker_loop)
+};
+
+}  // namespace dfr::serve

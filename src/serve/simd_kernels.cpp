@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "util/check.hpp"
+#include "util/log.hpp"
 
 namespace dfr::simd {
 
@@ -56,13 +57,25 @@ const char* backend_name(Backend backend) noexcept {
   return "?";
 }
 
+bool try_parse_backend(const std::string& name, Backend& out) noexcept {
+  if (name == "scalar") {
+    out = Backend::kScalar;
+  } else if (name == "avx2") {
+    out = Backend::kAvx2;
+  } else if (name == "neon") {
+    out = Backend::kNeon;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 Backend parse_backend(const std::string& name) {
-  if (name == "scalar") return Backend::kScalar;
-  if (name == "avx2") return Backend::kAvx2;
-  if (name == "neon") return Backend::kNeon;
-  DFR_CHECK_MSG(false, "unknown SIMD backend: \"" + name +
-                           "\" (expected scalar|avx2|neon)");
-  return Backend::kScalar;
+  Backend backend = Backend::kScalar;
+  DFR_CHECK_MSG(try_parse_backend(name, backend),
+                "unknown SIMD backend: \"" + name +
+                    "\" (expected scalar|avx2|neon)");
+  return backend;
 }
 
 bool backend_available(Backend backend) noexcept {
@@ -85,15 +98,44 @@ Backend best_backend() noexcept {
   return Backend::kScalar;
 }
 
+namespace detail {
+
+Backend resolve_env_backend(const char* value, std::string* warning) {
+  if (warning) warning->clear();
+  Backend requested = Backend::kScalar;
+  if (!try_parse_backend(value, requested)) {
+    if (warning) {
+      *warning = std::string("DFR_SIMD=") + value +
+                 " is not a recognized backend (expected scalar|avx2|neon); "
+                 "dispatching to " +
+                 backend_name(best_backend());
+    }
+    return best_backend();
+  }
+  if (!backend_available(requested)) {
+    if (warning) {
+      *warning = std::string("DFR_SIMD=") + value +
+                 " requests a backend unavailable on this host/build; "
+                 "dispatching to " +
+                 backend_name(best_backend());
+    }
+    return best_backend();
+  }
+  return requested;
+}
+
+}  // namespace detail
+
 namespace {
 
 Backend initial_backend() {
   if (const char* env = std::getenv("DFR_SIMD")) {
-    const Backend forced = parse_backend(env);
-    DFR_CHECK_MSG(backend_available(forced),
-                  std::string("DFR_SIMD=") + env +
-                      " requests a backend unavailable on this host/build");
-    return forced;
+    // A bad override must not degrade silently (nor take the process down):
+    // warn once, naming the value and the backend actually selected.
+    std::string warning;
+    const Backend backend = detail::resolve_env_backend(env, &warning);
+    if (!warning.empty()) log_warn(warning);
+    return backend;
   }
   return best_backend();
 }

@@ -57,6 +57,10 @@ enum class Backend { kScalar, kAvx2, kNeon };
 /// Inverse of backend_name. Throws CheckError on unknown names.
 [[nodiscard]] Backend parse_backend(const std::string& name);
 
+/// Non-throwing parse: true and sets `out` on a recognized name.
+[[nodiscard]] bool try_parse_backend(const std::string& name,
+                                     Backend& out) noexcept;
+
 /// v[n] = a * f~( j[n] + x_prev[n] ) for n in [0, nx). `out` must not alias
 /// the inputs. The B-chain term is NOT applied here (it serializes; see
 /// SimdFloatDatapath::step).
@@ -86,8 +90,11 @@ struct Kernels {
 [[nodiscard]] Backend best_backend() noexcept;
 
 /// The backend serving kAuto/kSimd engines: best_backend() unless overridden
-/// by the DFR_SIMD environment variable (validated at first use) or
-/// force_backend().
+/// by the DFR_SIMD environment variable (read once at first use) or
+/// force_backend(). A DFR_SIMD value that is unrecognized (e.g. `avx512`)
+/// or unavailable on this host/build never degrades silently: one warning
+/// naming the value and the backend actually selected is logged
+/// (util/log.hpp) and dispatch falls back to best_backend().
 [[nodiscard]] Backend active_backend();
 
 /// Override the active backend (testing / benchmarking). Throws CheckError
@@ -117,6 +124,15 @@ namespace detail {
 /// nullptr when its TU was compiled without the matching arch flags.
 [[nodiscard]] const Kernels* avx2_kernels() noexcept;
 [[nodiscard]] const Kernels* neon_kernels() noexcept;
+
+/// Pure resolution of a DFR_SIMD override value: the requested backend when
+/// it is recognized AND available, best_backend() otherwise. When falling
+/// back, `warning` (if non-null) receives a one-line message naming the
+/// rejected value and the backend actually selected; it is left empty when
+/// the request is honored. Exposed so tests can exercise the fallback
+/// without re-running process initialization (the env variable is read once).
+[[nodiscard]] Backend resolve_env_backend(const char* value,
+                                          std::string* warning);
 }  // namespace detail
 
 }  // namespace dfr::simd

@@ -229,6 +229,86 @@ TEST_F(ServeEngine, QuantizedBatchMatchesPerSeriesClassify) {
 
 TEST_F(ServeEngine, EmptyBatchReturnsEmpty) {
   EXPECT_TRUE(classify_batch(*model_, std::span<const Matrix>{}, 4).empty());
+  EXPECT_TRUE(classify_batch(*quantized_, std::span<const Matrix>{}, 4).empty());
+  for (FloatEngineKind kind : {FloatEngineKind::kAuto, FloatEngineKind::kScalar,
+                               FloatEngineKind::kSimd}) {
+    EXPECT_TRUE(
+        classify_batch(*model_, std::span<const Matrix>{}, 0, kind).empty());
+  }
+}
+
+TEST_F(ServeEngine, BatchSmallerThanThreadsMatchesSerial) {
+  // Fewer series than worker slots: the chunking must neither drop nor
+  // duplicate work for any datapath.
+  std::vector<Matrix> small;
+  for (std::size_t i = 0; i < 3; ++i) small.push_back(pair_->test[i].series);
+  const std::span<const Matrix> series(small);
+
+  for (FloatEngineKind kind : {FloatEngineKind::kScalar, FloatEngineKind::kAuto}) {
+    const std::vector<int> serial = classify_batch(*model_, series, 1, kind);
+    ASSERT_EQ(serial.size(), small.size());
+    for (unsigned threads : {8u, 16u, 0u}) {
+      EXPECT_EQ(classify_batch(*model_, series, threads, kind), serial)
+          << "threads=" << threads;
+    }
+  }
+  const std::vector<int> quant_serial = classify_batch(*quantized_, series, 1);
+  for (unsigned threads : {8u, 16u, 0u}) {
+    EXPECT_EQ(classify_batch(*quantized_, series, threads), quant_serial)
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(ServeEngine, DatasetAndSpanOverloadsAgreeAtEveryThreadCount) {
+  std::vector<Matrix> batch;
+  for (std::size_t i = 0; i < pair_->test.size(); ++i) {
+    batch.push_back(pair_->test[i].series);
+  }
+  const std::span<const Matrix> series(batch);
+
+  for (FloatEngineKind kind : {FloatEngineKind::kScalar, FloatEngineKind::kAuto}) {
+    for (unsigned threads : {1u, 2u, 3u, 8u, 0u}) {
+      EXPECT_EQ(classify_batch(*model_, pair_->test, threads, kind),
+                classify_batch(*model_, series, threads, kind))
+          << "threads=" << threads;
+    }
+  }
+  for (unsigned threads : {1u, 2u, 3u, 8u, 0u}) {
+    EXPECT_EQ(classify_batch(*quantized_, pair_->test, threads),
+              classify_batch(*quantized_, series, threads))
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(ServeEngine, ArtifactOverloadMatchesLoadedModelOverload) {
+  std::vector<Matrix> batch;
+  for (std::size_t i = 0; i < pair_->test.size(); ++i) {
+    batch.push_back(pair_->test[i].series);
+  }
+  const std::span<const Matrix> series(batch);
+  const ModelArtifactPtr artifact = model_->artifact("m");
+  for (FloatEngineKind kind : {FloatEngineKind::kScalar, FloatEngineKind::kAuto}) {
+    for (unsigned threads : {1u, 4u}) {
+      EXPECT_EQ(classify_batch(artifact, series, threads, kind),
+                classify_batch(*model_, series, threads, kind));
+      EXPECT_EQ(classify_batch(artifact, pair_->test, threads, kind),
+                classify_batch(*model_, pair_->test, threads, kind));
+    }
+  }
+}
+
+TEST_F(ServeEngine, EngineOutlivesTheLoadedModelItWasBuiltFrom) {
+  // The ownership contract: engines snapshot the model into a shared
+  // artifact, so a stack LoadedModel may die before the engine serves.
+  const Matrix& series = pair_->test[0].series;
+  const int expected = make_engine(*model_).classify(series);
+  auto engine = [&] {
+    const LoadedModel short_lived{model_->params, model_->mask,
+                                  model_->nonlinearity, model_->readout,
+                                  model_->chosen_beta};
+    return make_engine(short_lived);
+  }();  // short_lived is gone; the engine's artifact keeps the weights alive
+  EXPECT_EQ(engine.classify(series), expected);
 }
 
 TEST_F(ServeEngine, RejectsMalformedSeries) {

@@ -1,0 +1,571 @@
+// Tests for the multi-model serving subsystem (serve/registry.hpp,
+// serve/server.hpp): registry register/get/evict/hot-swap semantics, engine
+// pool caching and swap detection, request routing correctness (bit-identical
+// logits vs direct single-threaded LoadedModel::infer for every engine kind
+// and worker count), hot-swap under concurrent traffic, backpressure,
+// shutdown draining, per-model stats, and the zero-steady-state-allocation
+// guarantee of the submit path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+#include "util/rng.hpp"
+
+// ---- allocation instrumentation (same scheme as test_serve.cpp) ------------
+
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace dfr {
+namespace {
+
+using serve::EnginePool;
+using serve::InferenceServer;
+using serve::InferFuture;
+using serve::InferResult;
+using serve::ModelRegistry;
+using serve::PooledEngine;
+using serve::RequestStatus;
+using serve::ServerConfig;
+
+// ---- helpers ---------------------------------------------------------------
+
+/// Deployment-shaped model with random (but deterministic) weights; routing
+/// correctness depends only on shapes and weight values, never on training.
+LoadedModel make_model(std::size_t nodes, std::size_t channels, int classes,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  LoadedModel model;
+  model.params = DfrParams{0.1, 0.05};
+  model.mask = Mask(nodes, channels, MaskKind::kBinary, rng);
+  Matrix w(static_cast<std::size_t>(classes), dprr_dim(nodes));
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    for (std::size_t j = 0; j < w.cols(); ++j) w(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  Vector b(w.rows(), 0.0);
+  for (double& v : b) v = rng.uniform(-0.1, 0.1);
+  model.readout = OutputLayer(std::move(w), std::move(b));
+  return model;
+}
+
+Matrix random_series(std::size_t t_len, std::size_t channels, Rng& rng) {
+  Matrix m(t_len, channels);
+  for (std::size_t k = 0; k < t_len; ++k) {
+    for (std::size_t v = 0; v < channels; ++v) m(k, v) = rng.uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+void expect_bit_identical(const Vector& expected,
+                          const std::span<const double> got,
+                          const std::string& context) {
+  ASSERT_EQ(expected.size(), got.size()) << context;
+  for (std::size_t c = 0; c < expected.size(); ++c) {
+    ASSERT_EQ(expected[c], got[c]) << context << " class " << c;
+  }
+}
+
+// ---- ModelRegistry ---------------------------------------------------------
+
+TEST(ModelRegistry, RegisterGetEvict) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.get("ecg"), nullptr);
+
+  const LoadedModel model = make_model(8, 2, 3, 1);
+  registry.register_model(model.artifact("ecg"));
+  EXPECT_EQ(registry.size(), 1u);
+  const ModelArtifactPtr got = registry.get("ecg");
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->name, "ecg");
+  EXPECT_EQ(got->mask.nodes(), 8u);
+
+  registry.register_model(make_model(9, 2, 3, 2).artifact("vow"));
+  EXPECT_EQ(registry.ids(), (std::vector<std::string>{"ecg", "vow"}));
+
+  EXPECT_TRUE(registry.evict("ecg"));
+  EXPECT_FALSE(registry.evict("ecg"));
+  EXPECT_EQ(registry.get("ecg"), nullptr);
+  EXPECT_EQ(registry.size(), 1u);
+  // The evicted artifact stays alive for holders of the shared_ptr.
+  EXPECT_EQ(got->mask.nodes(), 8u);
+}
+
+TEST(ModelRegistry, ReRegisterHotSwapsAtomically) {
+  ModelRegistry registry;
+  const ModelArtifactPtr v1 = make_model(8, 2, 3, 1).artifact("m");
+  const ModelArtifactPtr v2 = make_model(8, 2, 3, 2).artifact("m");
+  registry.register_model(v1);
+  EXPECT_EQ(registry.get("m"), v1);
+  const std::uint64_t version_before = registry.version();
+  registry.register_model(v2);
+  EXPECT_EQ(registry.get("m"), v2);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_GT(registry.version(), version_before);
+}
+
+TEST(ModelRegistry, RejectsAnonymousOrNullArtifacts) {
+  ModelRegistry registry;
+  EXPECT_THROW(registry.register_model(nullptr), CheckError);
+  EXPECT_THROW(registry.register_model(make_model(4, 1, 2, 3).artifact()),
+               CheckError);
+}
+
+// ---- EnginePool ------------------------------------------------------------
+
+TEST(EnginePoolTest, CachesPerArtifactAndKindAndRebuildsOnSwap) {
+  const ModelArtifactPtr v1 = make_model(10, 2, 3, 5).artifact("m");
+  const ModelArtifactPtr v2 = make_model(10, 2, 3, 6).artifact("m");
+  EnginePool pool(2);
+
+  PooledEngine& simd = pool.engine_for(0, v1, FloatEngineKind::kAuto);
+  EXPECT_EQ(simd.artifact(), v1);
+  EXPECT_EQ(simd.kind(), FloatEngineKind::kSimd);  // kAuto resolves to kSimd
+  // Cache hit: same entry for the same routing triple, kAuto == kSimd.
+  EXPECT_EQ(&pool.engine_for(0, v1, FloatEngineKind::kSimd), &simd);
+  // Distinct kind and distinct worker slot get distinct engines.
+  PooledEngine& scalar = pool.engine_for(0, v1, FloatEngineKind::kScalar);
+  EXPECT_NE(&scalar, &simd);
+  EXPECT_EQ(scalar.kind(), FloatEngineKind::kScalar);
+  EXPECT_NE(&pool.engine_for(1, v1, FloatEngineKind::kSimd), &simd);
+
+  // Hot-swap: same name, new artifact — rebuilt in place, same slot entry.
+  PooledEngine& swapped = pool.engine_for(0, v2, FloatEngineKind::kSimd);
+  EXPECT_EQ(&swapped, &simd);
+  EXPECT_EQ(swapped.artifact(), v2);
+}
+
+TEST(EnginePoolTest, AnonymousArtifactsGetDistinctStableEngines) {
+  // Empty names must not alias as a "hot-swap": two anonymous artifacts
+  // alternating on one worker keep two cached engines instead of thrashing
+  // one slot through rebuilds.
+  const ModelArtifactPtr anon1 = make_model(8, 2, 3, 21).artifact();
+  const ModelArtifactPtr anon2 = make_model(8, 2, 3, 22).artifact();
+  EnginePool pool(1);
+  PooledEngine& first = pool.engine_for(0, anon1, FloatEngineKind::kSimd);
+  PooledEngine& second = pool.engine_for(0, anon2, FloatEngineKind::kSimd);
+  EXPECT_NE(&first, &second);
+  EXPECT_EQ(first.artifact(), anon1);
+  EXPECT_EQ(second.artifact(), anon2);
+  EXPECT_EQ(&pool.engine_for(0, anon1, FloatEngineKind::kSimd), &first);
+  EXPECT_EQ(&pool.engine_for(0, anon2, FloatEngineKind::kSimd), &second);
+}
+
+TEST(EnginePoolTest, EngineMatchesDirectInference) {
+  const LoadedModel model = make_model(10, 2, 3, 7);
+  const ModelArtifactPtr artifact = model.artifact("m");
+  Rng rng(8);
+  const Matrix series = random_series(30, 2, rng);
+  EnginePool pool(1);
+  for (FloatEngineKind kind :
+       {FloatEngineKind::kScalar, FloatEngineKind::kSimd}) {
+    const Vector expected = model.infer(series, kind);
+    PooledEngine& engine = pool.engine_for(0, artifact, kind);
+    expect_bit_identical(expected, engine.infer(series), "pooled engine");
+    EXPECT_EQ(engine.classify(series),
+              static_cast<int>(std::max_element(expected.begin(),
+                                                expected.end()) -
+                               expected.begin()));
+  }
+}
+
+// ---- InferenceServer: routing correctness ----------------------------------
+
+class ServerRouting : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kSeriesPerModel = 6;
+
+  static void SetUpTestSuite() {
+    model_a_ = new LoadedModel(make_model(10, 2, 3, 11));
+    model_b_ = new LoadedModel(make_model(13, 3, 4, 12));  // distinct shape
+    series_a_ = new std::vector<Matrix>();
+    series_b_ = new std::vector<Matrix>();
+    Rng rng(13);
+    for (std::size_t i = 0; i < kSeriesPerModel; ++i) {
+      series_a_->push_back(random_series(25, 2, rng));
+      series_b_->push_back(random_series(31, 3, rng));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete model_a_;
+    delete model_b_;
+    delete series_a_;
+    delete series_b_;
+    model_a_ = nullptr;
+    model_b_ = nullptr;
+    series_a_ = nullptr;
+    series_b_ = nullptr;
+  }
+
+  static LoadedModel* model_a_;
+  static LoadedModel* model_b_;
+  static std::vector<Matrix>* series_a_;
+  static std::vector<Matrix>* series_b_;
+};
+
+LoadedModel* ServerRouting::model_a_ = nullptr;
+LoadedModel* ServerRouting::model_b_ = nullptr;
+std::vector<Matrix>* ServerRouting::series_a_ = nullptr;
+std::vector<Matrix>* ServerRouting::series_b_ = nullptr;
+
+// Concurrent interleaved requests against two registered models return
+// bit-identical logits to direct single-threaded LoadedModel::infer() for
+// every engine kind, at 1 and 8 workers.
+TEST_F(ServerRouting, InterleavedRequestsBitIdenticalToDirectInfer) {
+  ModelRegistry registry;
+  registry.register_model(model_a_->artifact("a"));
+  registry.register_model(model_b_->artifact("b"));
+
+  constexpr FloatEngineKind kKinds[] = {
+      FloatEngineKind::kAuto, FloatEngineKind::kScalar, FloatEngineKind::kSimd};
+
+  for (std::size_t workers : {std::size_t{1}, std::size_t{8}}) {
+    InferenceServer server(registry,
+                           {.workers = workers, .queue_capacity = 256});
+    // Interleave models, series, and engine kinds in one submission wave so
+    // concurrent workers route a mixed stream.
+    struct Expected {
+      const char* id;
+      const Matrix* series;
+      FloatEngineKind kind;
+    };
+    std::vector<Expected> requests;
+    std::vector<InferFuture> futures;
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t i = 0; i < kSeriesPerModel; ++i) {
+        for (FloatEngineKind kind : kKinds) {
+          requests.push_back({"a", &(*series_a_)[i], kind});
+          requests.push_back({"b", &(*series_b_)[i], kind});
+        }
+      }
+    }
+    futures.reserve(requests.size());
+    for (const Expected& r : requests) {
+      futures.push_back(server.submit(r.id, *r.series, r.kind));
+    }
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const InferResult& result = futures[i].get();
+      ASSERT_EQ(result.status, RequestStatus::kOk)
+          << "workers=" << workers << " request " << i;
+      const LoadedModel& model =
+          requests[i].id[0] == 'a' ? *model_a_ : *model_b_;
+      const Vector expected = model.infer(*requests[i].series,
+                                          requests[i].kind);
+      expect_bit_identical(
+          expected, result.logits,
+          std::string("workers=") + std::to_string(workers) + " model " +
+              requests[i].id + " request " + std::to_string(i));
+      EXPECT_EQ(result.label,
+                static_cast<int>(std::max_element(expected.begin(),
+                                                  expected.end()) -
+                                 expected.begin()));
+      EXPECT_GT(result.latency_us, 0.0);
+    }
+    const serve::ModelServingStats stats_a = server.stats("a");
+    const serve::ModelServingStats stats_b = server.stats("b");
+    EXPECT_EQ(stats_a.completed, requests.size() / 2);
+    EXPECT_EQ(stats_b.completed, requests.size() / 2);
+    EXPECT_EQ(stats_a.errors, 0u);
+    EXPECT_EQ(stats_a.latency_us.count,
+              std::min<std::size_t>(requests.size() / 2, 512));
+  }
+}
+
+TEST(NullArtifact, ConstructorsThrowTypedErrorInsteadOfDereferencing) {
+  EXPECT_THROW((void)make_engine(ModelArtifactPtr{}), CheckError);
+  EXPECT_THROW((void)make_simd_engine(ModelArtifactPtr{}), CheckError);
+  EXPECT_THROW((void)make_engine(std::shared_ptr<const QuantizedDfr>{}),
+               CheckError);
+  const Matrix series(5, 2);
+  EXPECT_THROW(
+      (void)classify_batch(ModelArtifactPtr{}, std::span<const Matrix>(&series, 1)),
+      CheckError);
+}
+
+TEST_F(ServerRouting, StatsTrackingIsBoundedAndImmuneToBogusIds) {
+  ModelRegistry registry;
+  registry.register_model(model_a_->artifact("a"));
+  InferenceServer server(registry, {.workers = 1,
+                                    .queue_capacity = 4,
+                                    .latency_window = 16,
+                                    .max_tracked_models = 3});
+  EXPECT_EQ(server.submit("a", (*series_a_)[0]).get().status,
+            RequestStatus::kOk);
+  // A flood of distinct bogus ids is served (typed kUnknownModel results)
+  // but claims no tracking slots.
+  for (int i = 0; i < 50; ++i) {
+    const std::string id = "bogus-" + std::to_string(i);
+    EXPECT_EQ(server.submit(id, (*series_a_)[0]).get().status,
+              RequestStatus::kUnknownModel);
+  }
+  EXPECT_EQ(server.stats().size(), 1u);
+  // Registered-model churn is capped at max_tracked_models: registering and
+  // serving more real models than the cap tracks only the first cap ids.
+  for (int m = 0; m < 4; ++m) {
+    const std::string id = "extra-" + std::to_string(m);
+    registry.register_model(model_a_->artifact(id));
+    EXPECT_EQ(server.submit(id, (*series_a_)[0]).get().status,
+              RequestStatus::kOk);
+  }
+  EXPECT_EQ(server.stats().size(), 3u);
+  // Tracked ids keep counting throughout.
+  EXPECT_EQ(server.submit("a", (*series_a_)[0]).get().status,
+            RequestStatus::kOk);
+  EXPECT_EQ(server.stats("a").completed, 2u);
+}
+
+TEST_F(ServerRouting, UnknownModelYieldsTypedError) {
+  ModelRegistry registry;
+  registry.register_model(model_a_->artifact("a"));
+  InferenceServer server(registry, {.workers = 1, .queue_capacity = 4});
+  InferFuture future = server.submit("nope", (*series_a_)[0]);
+  const InferResult& result = future.get();
+  EXPECT_EQ(result.status, RequestStatus::kUnknownModel);
+  EXPECT_EQ(result.label, -1);
+  EXPECT_TRUE(result.logits.empty());
+  // Unregistered ids never claim a stats slot (they could otherwise starve
+  // real models of tracking); the typed result is the client's signal.
+  EXPECT_EQ(server.stats("nope").errors, 0u);
+  EXPECT_TRUE(server.stats().empty());
+}
+
+TEST_F(ServerRouting, MalformedSeriesYieldsTypedErrorNotCrash) {
+  ModelRegistry registry;
+  registry.register_model(model_a_->artifact("a"));
+  InferenceServer server(registry, {.workers = 1, .queue_capacity = 4});
+  const Matrix wrong_channels(5, model_a_->mask.channels() + 1);
+  const InferResult& result = server.submit("a", wrong_channels).get();
+  EXPECT_EQ(result.status, RequestStatus::kInvalidArgument);
+  EXPECT_EQ(server.stats("a").errors, 1u);
+}
+
+TEST_F(ServerRouting, SyncClassifyBatchMatchesFreeFunction) {
+  ModelRegistry registry;
+  registry.register_model(model_a_->artifact("a"));
+  InferenceServer server(registry, {.workers = 1, .queue_capacity = 4});
+  const std::span<const Matrix> series(*series_a_);
+  for (unsigned threads : {1u, 3u}) {
+    EXPECT_EQ(server.classify_batch("a", series, threads),
+              classify_batch(*model_a_, series, threads));
+  }
+  EXPECT_THROW((void)server.classify_batch("nope", series), CheckError);
+  EXPECT_EQ(server.stats("a").completed, 2 * series.size());
+}
+
+// ---- InferenceServer: hot swap under traffic -------------------------------
+
+// Re-registering a model while clients hammer the queue: every reply must be
+// bit-identical to one of the two versions' direct inference (no torn state),
+// and replies for the other model must never cross-route.
+TEST_F(ServerRouting, HotSwapMidTrafficNeverCrossRoutes) {
+  const LoadedModel swapped_model = make_model(10, 2, 3, 99);  // same shape as a
+  const Matrix& probe_a = (*series_a_)[0];
+  const Matrix& probe_b = (*series_b_)[0];
+  const Vector expect_a_v1 = model_a_->infer(probe_a);
+  const Vector expect_a_v2 = swapped_model.infer(probe_a);
+  const Vector expect_b = model_b_->infer(probe_b);
+  // The two versions must actually disagree for this test to bite.
+  ASSERT_NE(expect_a_v1, expect_a_v2);
+
+  ModelRegistry registry;
+  registry.register_model(model_a_->artifact("a"));
+  registry.register_model(model_b_->artifact("b"));
+  InferenceServer server(registry, {.workers = 4, .queue_capacity = 64});
+
+  constexpr int kRequestsPerClient = 150;
+  std::atomic<int> mismatches{0};
+  auto client = [&](const char* id, const Matrix& series,
+                    const Vector* allowed1, const Vector* allowed2) {
+    for (int i = 0; i < kRequestsPerClient; ++i) {
+      InferFuture future = server.submit(id, series);
+      const InferResult& result = future.get();
+      if (result.status != RequestStatus::kOk) {
+        ++mismatches;
+        continue;
+      }
+      const bool matches1 =
+          allowed1 != nullptr && result.logits == *allowed1;
+      const bool matches2 =
+          allowed2 != nullptr && result.logits == *allowed2;
+      if (!matches1 && !matches2) ++mismatches;
+    }
+  };
+  std::thread client_a(client, "a", std::cref(probe_a), &expect_a_v1,
+                       &expect_a_v2);
+  std::thread client_b(client, "b", std::cref(probe_b), &expect_b, nullptr);
+  // Swap "a" back and forth while the clients run.
+  for (int swap = 0; swap < 40; ++swap) {
+    registry.register_model(swap % 2 == 0 ? swapped_model.artifact("a")
+                                          : model_a_->artifact("a"));
+    std::this_thread::yield();
+  }
+  client_a.join();
+  client_b.join();
+  EXPECT_EQ(mismatches.load(), 0)
+      << "hot swap produced a cross-routed or torn result";
+  EXPECT_EQ(server.stats("a").completed + server.stats("b").completed,
+            2u * kRequestsPerClient);
+}
+
+// ---- InferenceServer: backpressure and shutdown ----------------------------
+
+TEST_F(ServerRouting, BackpressureRejectsWithTypedError) {
+  ModelRegistry registry;
+  registry.register_model(model_a_->artifact("a"));
+  InferenceServer server(registry, {.workers = 1, .queue_capacity = 2});
+
+  // Holding every future pins its slot, so regardless of worker speed only
+  // `queue_capacity` submissions can be admitted.
+  std::vector<InferFuture> futures;
+  constexpr std::size_t kSubmissions = 24;
+  for (std::size_t i = 0; i < kSubmissions; ++i) {
+    futures.push_back(server.submit("a", (*series_a_)[0]));
+  }
+  std::size_t ok = 0, rejected = 0;
+  for (const InferFuture& future : futures) {
+    const InferResult& result = future.get();
+    if (result.status == RequestStatus::kOk) {
+      ++ok;
+    } else {
+      ASSERT_EQ(result.status, RequestStatus::kQueueFull);
+      EXPECT_EQ(result.label, -1);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok, 2u);
+  EXPECT_EQ(rejected, kSubmissions - 2);
+  EXPECT_EQ(server.stats("a").rejected, kSubmissions - 2);
+
+  // Releasing the futures frees the slots: admission works again.
+  futures.clear();
+  EXPECT_EQ(server.submit("a", (*series_a_)[0]).get().status,
+            RequestStatus::kOk);
+}
+
+TEST_F(ServerRouting, ShutdownDrainsQueuedRequestsThenRejects) {
+  ModelRegistry registry;
+  registry.register_model(model_a_->artifact("a"));
+  auto server = std::make_unique<InferenceServer>(
+      registry, ServerConfig{.workers = 2, .queue_capacity = 64});
+
+  std::vector<InferFuture> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(server->submit("a", (*series_a_)[i % kSeriesPerModel]));
+  }
+  server->shutdown();  // must drain everything already admitted
+  EXPECT_FALSE(server->accepting());
+  for (InferFuture& future : futures) {
+    EXPECT_TRUE(future.ready()) << "shutdown returned before draining";
+    EXPECT_EQ(future.get().status, RequestStatus::kOk);
+  }
+  const InferResult& late = server->submit("a", (*series_a_)[0]).get();
+  EXPECT_EQ(late.status, RequestStatus::kShutdown);
+  server->shutdown();  // idempotent
+  futures.clear();
+  server.reset();  // double-shutdown via destructor is fine
+}
+
+TEST_F(ServerRouting, AbandonedFuturesRecycleSlots) {
+  ModelRegistry registry;
+  registry.register_model(model_a_->artifact("a"));
+  InferenceServer server(registry, {.workers = 1, .queue_capacity = 2});
+  for (int i = 0; i < 50; ++i) {
+    (void)server.submit("a", (*series_a_)[0]);  // future dropped immediately
+  }
+  // If abandoned slots leaked, capacity would stay exhausted forever; allow
+  // the worker a moment to recycle the last in-flight ones.
+  bool accepted = false;
+  for (int attempt = 0; attempt < 1000 && !accepted; ++attempt) {
+    InferFuture future = server.submit("a", (*series_a_)[0]);
+    accepted = future.get().status == RequestStatus::kOk;
+    if (!accepted) std::this_thread::yield();
+  }
+  EXPECT_TRUE(accepted) << "abandoned futures leaked their slots";
+}
+
+TEST_F(ServerRouting, AbandonedFutureNeverReadsADestroyedSeries) {
+  // The documented safety contract: destroying the future and then the
+  // series is always safe — a queued request cancels, an executing one
+  // finishes inside the future's destructor. ASan (CI's sanitize job) turns
+  // any violation into a hard failure here.
+  ModelRegistry registry;
+  registry.register_model(model_a_->artifact("a"));
+  InferenceServer server(registry, {.workers = 2, .queue_capacity = 8});
+  Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    Matrix ephemeral = random_series(25, 2, rng);
+    {
+      InferFuture future = server.submit("a", ephemeral);
+    }  // future dropped first...
+    ephemeral = Matrix();  // ...then the series storage is released
+  }
+  SUCCEED();
+}
+
+// ---- InferenceServer: steady-state allocation guarantee --------------------
+
+TEST_F(ServerRouting, SubmitPathAllocationFreeInSteadyState) {
+  ModelRegistry registry;
+  registry.register_model(model_a_->artifact("a"));
+  registry.register_model(model_b_->artifact("b"));
+  InferenceServer server(registry, {.workers = 1, .queue_capacity = 4});
+
+  // Warm-up: build every (worker, model, kind) engine, size the per-slot
+  // logits/id storage, and create the per-model stats entries. Touch every
+  // slot by holding capacity futures at least once.
+  for (int rep = 0; rep < 8; ++rep) {
+    std::vector<InferFuture> wave;
+    for (std::size_t i = 0; i < server.queue_capacity(); ++i) {
+      const bool a = (rep + i) % 2 == 0;
+      wave.push_back(server.submit(a ? "a" : "b",
+                                   a ? (*series_a_)[0] : (*series_b_)[0],
+                                   i % 2 == 0 ? FloatEngineKind::kAuto
+                                              : FloatEngineKind::kScalar));
+    }
+    for (InferFuture& future : wave) future.wait();
+  }
+
+  const std::size_t before = g_allocations.load();
+  int sink = 0;
+  for (int rep = 0; rep < 200; ++rep) {
+    const bool a = rep % 2 == 0;
+    InferFuture future =
+        server.submit(a ? "a" : "b", a ? (*series_a_)[0] : (*series_b_)[0],
+                      rep % 4 < 2 ? FloatEngineKind::kAuto
+                                  : FloatEngineKind::kScalar);
+    const InferResult& result = future.get();
+    sink += result.label;
+    sink += static_cast<int>(result.status);
+  }
+  const std::size_t after = g_allocations.load();
+  EXPECT_EQ(after, before)
+      << "steady-state submit -> get must not allocate after warm-up";
+  EXPECT_GE(sink, 0);  // keep the loop observable
+}
+
+}  // namespace
+}  // namespace dfr

@@ -15,6 +15,7 @@
 #include <cstring>
 #include <limits>
 #include <new>
+#include <string>
 #include <vector>
 
 #include "serve/engine.hpp"
@@ -141,15 +142,73 @@ TEST(SimdDispatch, ScalarAlwaysAvailableAndBestIsAvailable) {
 }
 
 // Run under CTest's `simd_forced_scalar` registration (ENVIRONMENT
-// DFR_SIMD=scalar) this asserts the env route end-to-end; without the env
-// var it documents the default: best available backend.
+// DFR_SIMD=scalar) this asserts the env route end-to-end, and under
+// `simd_env_fallback` (DFR_SIMD=avx512) it asserts the warn-and-fall-back
+// route for unrecognized values; without the env var it documents the
+// default: best available backend.
 TEST(SimdDispatch, EnvForcedBackendIsHonored) {
   if (const char* env = std::getenv("DFR_SIMD")) {
-    EXPECT_EQ(simd::active_backend(), simd::parse_backend(env))
-        << "DFR_SIMD=" << env << " was not honored";
+    simd::Backend requested = simd::Backend::kScalar;
+    if (simd::try_parse_backend(env, requested) &&
+        simd::backend_available(requested)) {
+      EXPECT_EQ(simd::active_backend(), requested)
+          << "DFR_SIMD=" << env << " was not honored";
+    } else {
+      // Unrecognized / unavailable values warn once and fall back.
+      EXPECT_EQ(simd::active_backend(), simd::best_backend())
+          << "DFR_SIMD=" << env << " did not fall back to the best backend";
+    }
   } else {
     EXPECT_EQ(simd::active_backend(), simd::best_backend());
   }
+}
+
+// The DFR_SIMD resolution rule itself (the env variable is read only once
+// per process, so the fallback logic is exposed for direct testing): bad
+// values resolve to best_backend() with a warning that names both the
+// rejected value and the backend actually selected.
+TEST(SimdDispatch, UnrecognizedEnvValueWarnsAndFallsBack) {
+  std::string warning;
+  EXPECT_EQ(simd::detail::resolve_env_backend("avx512", &warning),
+            simd::best_backend());
+  EXPECT_NE(warning.find("avx512"), std::string::npos)
+      << "warning must name the rejected value: " << warning;
+  EXPECT_NE(warning.find(simd::backend_name(simd::best_backend())),
+            std::string::npos)
+      << "warning must name the backend actually selected: " << warning;
+  // A recognized, available value is honored without a warning.
+  EXPECT_EQ(simd::detail::resolve_env_backend("scalar", &warning),
+            simd::Backend::kScalar);
+  EXPECT_TRUE(warning.empty()) << warning;
+}
+
+TEST(SimdDispatch, UnavailableEnvValueWarnsAndFallsBack) {
+  const char* unavailable = nullptr;
+  for (simd::Backend b : {simd::Backend::kAvx2, simd::Backend::kNeon}) {
+    if (!simd::backend_available(b)) unavailable = simd::backend_name(b);
+  }
+  if (unavailable == nullptr) {
+    GTEST_SKIP() << "every backend is available on this host/build";
+  }
+  std::string warning;
+  EXPECT_EQ(simd::detail::resolve_env_backend(unavailable, &warning),
+            simd::best_backend());
+  EXPECT_NE(warning.find(unavailable), std::string::npos) << warning;
+  EXPECT_NE(warning.find(simd::backend_name(simd::best_backend())),
+            std::string::npos)
+      << warning;
+}
+
+TEST(SimdDispatch, TryParseBackendMatchesParse) {
+  simd::Backend out = simd::Backend::kAvx2;
+  EXPECT_TRUE(simd::try_parse_backend("scalar", out));
+  EXPECT_EQ(out, simd::Backend::kScalar);
+  EXPECT_TRUE(simd::try_parse_backend("avx2", out));
+  EXPECT_EQ(out, simd::Backend::kAvx2);
+  EXPECT_TRUE(simd::try_parse_backend("neon", out));
+  EXPECT_EQ(out, simd::Backend::kNeon);
+  EXPECT_FALSE(simd::try_parse_backend("avx512", out));
+  EXPECT_FALSE(simd::try_parse_backend("", out));
 }
 
 TEST(SimdDispatch, ForcingUnavailableBackendThrows) {
