@@ -1,11 +1,14 @@
 // Serving bench: what the unified streaming inference engine
 // (serve/engine.hpp) delivers at deployment time — single-stream latency
 // percentiles (p50/p90/p99) and batch throughput across thread counts, for
-// the float, SIMD (runtime-dispatched; force with DFR_SIMD=scalar|avx2|neon)
-// and calibrated fixed-point datapaths — plus the multi-model serving rows:
-// 1/2/4 registered models behind the request-queue InferenceServer
+// the float, SIMD (runtime-dispatched; force with
+// DFR_SIMD=scalar|avx2|avx512|neon) and calibrated fixed-point datapaths
+// (quant-scalar vs the vectorized quant-<backend>, bit-identical by the
+// quantized SIMD contract) — plus the multi-model serving rows: 1/2/4
+// registered models behind the request-queue InferenceServer
 // (serve/server.hpp) under interleaved traffic, reporting request throughput
-// and end-to-end latency (queue wait + inference) per worker count.
+// and end-to-end latency (queue wait + inference) per worker count, for
+// float and per-request-routed quantized traffic (server-*-quant rows).
 //
 // The model is built directly (random mask + random readout at the paper's
 // Nx=30 shape): serving cost depends only on shapes (T, V, Nx, Ny), never on
@@ -74,10 +77,12 @@ struct ServerRunResult {
 /// One traffic wave through the request-queue server: `batch.size()` requests
 /// interleaved round-robin across `model_ids`, submitted as fast as the
 /// queue admits (futures held, so capacity = batch size: no rejections).
+/// `options` selects the per-request engine routing (float or quantized).
 ServerRunResult run_server_traffic(serve::InferenceServer& server,
                                    const std::vector<std::string>& model_ids,
                                    const std::vector<Matrix>& batch,
-                                   std::size_t repeats) {
+                                   std::size_t repeats,
+                                   serve::RequestOptions options = {}) {
   ServerRunResult result;
   Vector latencies;
   latencies.reserve(batch.size() * repeats);
@@ -88,7 +93,7 @@ ServerRunResult run_server_traffic(serve::InferenceServer& server,
     Timer t;
     for (std::size_t i = 0; i < batch.size(); ++i) {
       futures.push_back(
-          server.submit(model_ids[i % model_ids.size()], batch[i]));
+          server.submit(model_ids[i % model_ids.size()], batch[i], options));
     }
     for (serve::InferFuture& future : futures) future.wait();
     if (r == 0) continue;
@@ -198,10 +203,18 @@ int main(int argc, char** argv) {
                                  FloatEngineKind::kSimd);
          }});
     datapaths.push_back(
-        {"quant", run_single_stream(make_engine(quantized), batch, repeats),
+        {"quant-scalar",
+         run_single_stream(make_engine(quantized), batch, repeats),
          [&](unsigned threads) {
            return classify_batch(quantized, std::span<const Matrix>(batch),
-                                 threads);
+                                 threads, QuantizedEngineKind::kScalar);
+         }});
+    datapaths.push_back(
+        {"quant-" + std::string(simd::backend_name(simd::active_backend())),
+         run_single_stream(make_simd_engine(quantized), batch, repeats),
+         [&](unsigned threads) {
+           return classify_batch(quantized, std::span<const Matrix>(batch),
+                                 threads, QuantizedEngineKind::kSimd);
          }});
 
     for (const Datapath& dp : datapaths) {
@@ -233,32 +246,50 @@ int main(int argc, char** argv) {
 
     // Multi-model serving: M models behind the request-queue server, traffic
     // interleaved round-robin across them (mixed routing on every worker).
+    // Every artifact carries a calibrated quantized twin so the same
+    // registry serves the per-request quantized routing rows.
     for (std::size_t num_models : {1u, 2u, 4u}) {
       std::vector<std::string> ids;
       serve::ModelRegistry registry;
       for (std::size_t m = 0; m < num_models; ++m) {
         ids.push_back("m" + std::to_string(m));
-        registry.register_model(
-            make_serving_model(data.test, nodes, options.seed + m)
-                .artifact(ids.back()));
+        const LoadedModel served =
+            make_serving_model(data.test, nodes, options.seed + m);
+        QuantizedDfr served_quant(served, QuantizedInferenceConfig{});
+        served_quant.calibrate(data.train);
+        registry.register_model(with_quantized(
+            served.artifact(ids.back()),
+            std::make_shared<const QuantizedDfr>(std::move(served_quant))));
       }
+      struct TrafficKind {
+        const char* suffix;  // "" = float kAuto, "-quant" = quantized kAuto
+        serve::RequestOptions options;
+      };
+      const TrafficKind traffic_kinds[] = {
+          {"", serve::RequestOptions{}},
+          {"-quant", serve::RequestOptions{QuantizedEngineKind::kAuto}},
+      };
       for (std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
         serve::InferenceServer server(
             registry, {.workers = workers, .queue_capacity = batch.size()});
-        const ServerRunResult run =
-            run_server_traffic(server, ids, batch, repeats);
-        server_table.add_row(
-            {spec.id, std::to_string(num_models), std::to_string(workers),
-             fmt_double(run.requests_per_s, 0),
-             fmt_double(run.latency_us.p50, 1),
-             fmt_double(run.latency_us.p90, 1),
-             fmt_double(run.latency_us.p99, 1)});
-        csv.add_row({spec.id, "server-" + std::to_string(num_models) + "m",
-                     std::to_string(workers), std::to_string(batch.size()),
-                     fmt_double(run.latency_us.p50, 2),
-                     fmt_double(run.latency_us.p90, 2),
-                     fmt_double(run.latency_us.p99, 2), "0",
-                     fmt_double(run.requests_per_s, 1), "0"});
+        for (const TrafficKind& kind : traffic_kinds) {
+          const ServerRunResult run =
+              run_server_traffic(server, ids, batch, repeats, kind.options);
+          server_table.add_row(
+              {spec.id, std::to_string(num_models) + kind.suffix,
+               std::to_string(workers), fmt_double(run.requests_per_s, 0),
+               fmt_double(run.latency_us.p50, 1),
+               fmt_double(run.latency_us.p90, 1),
+               fmt_double(run.latency_us.p99, 1)});
+          csv.add_row({spec.id,
+                       "server-" + std::to_string(num_models) + "m" +
+                           kind.suffix,
+                       std::to_string(workers), std::to_string(batch.size()),
+                       fmt_double(run.latency_us.p50, 2),
+                       fmt_double(run.latency_us.p90, 2),
+                       fmt_double(run.latency_us.p99, 2), "0",
+                       fmt_double(run.requests_per_s, 1), "0"});
+        }
       }
     }
   }
@@ -266,7 +297,7 @@ int main(int argc, char** argv) {
   std::cout << "SIMD dispatch: " << simd::backend_name(simd::active_backend())
             << " (best available: "
             << simd::backend_name(simd::best_backend())
-            << "; override with DFR_SIMD=scalar|avx2|neon)\n\n";
+            << "; override with DFR_SIMD=scalar|avx2|avx512|neon)\n\n";
   std::cout << "single-stream latency (one engine, reused scratch):\n";
   latency_table.print();
   std::cout << "\nbatch throughput (classify_batch vs serial per-series loop; "

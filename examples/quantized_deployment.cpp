@@ -88,6 +88,27 @@ int main(int argc, char** argv) {
   std::cout << "engine over test split: " << agree << "/" << data.test.size()
             << " correct; classify_batch agrees: "
             << (batch_agree == agree ? "yes" : "NO") << '\n';
+
+  // 6. Quantized serving on the SIMD datapath. Unlike the float family's
+  // ULP contract, the quantized SIMD kernels are bit-identical to the
+  // scalar fixed-point pipeline on every backend, so QuantizedEngineKind
+  // is purely a latency knob — verify the contract on the whole split.
+  QuantizedDfr qdfr(loaded, QuantizedInferenceConfig{});
+  qdfr.calibrate(data.train);
+  SimdQuantizedInferenceEngine quant_engine = make_simd_engine(qdfr);
+  QuantizedInferenceEngine quant_scalar = make_engine(qdfr);  // scratch reused
+  std::size_t identical = 0;
+  for (const Sample& s : data.test.samples()) {
+    if (quant_engine.classify(s.series) == quant_scalar.classify(s.series)) {
+      ++identical;
+    }
+  }
+  std::cout << "quantized SIMD ("
+            << simd::backend_name(quant_engine.datapath().backend())
+            << ") vs scalar fixed-point: " << identical << "/"
+            << data.test.size() << " identical labels"
+            << (identical == data.test.size() ? "" : " — CONTRACT VIOLATION")
+            << '\n';
   std::remove(path.c_str());
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <utility>
 
+#include "fixedpoint/quantized_dfr.hpp"
 #include "serve/engine.hpp"
 #include "util/check.hpp"
 
@@ -100,7 +101,7 @@ void save_model(const TrainResult& model, const std::string& path) {
 ModelArtifactPtr make_artifact(const TrainResult& model, std::string name) {
   return std::make_shared<const ModelArtifact>(ModelArtifact{
       std::move(name), model.params, model.mask, model.nonlinearity,
-      model.readout, model.chosen_beta});
+      model.readout, model.chosen_beta, /*quantized=*/nullptr});
 }
 
 ModelArtifactPtr load_artifact(const std::string& path, std::string name) {
@@ -110,8 +111,24 @@ ModelArtifactPtr load_artifact(const std::string& path, std::string name) {
 }
 
 ModelArtifactPtr LoadedModel::artifact(std::string name) const {
-  return std::make_shared<const ModelArtifact>(ModelArtifact{
-      std::move(name), params, mask, nonlinearity, readout, chosen_beta});
+  return std::make_shared<const ModelArtifact>(
+      ModelArtifact{std::move(name), params, mask, nonlinearity, readout,
+                    chosen_beta, /*quantized=*/nullptr});
+}
+
+ModelArtifactPtr with_quantized(const ModelArtifactPtr& artifact,
+                                std::shared_ptr<const QuantizedDfr> quantized) {
+  DFR_CHECK_MSG(artifact != nullptr, "null model artifact");
+  DFR_CHECK_MSG(quantized != nullptr, "null quantized twin");
+  const LoadedModel& wrapped = quantized->model();
+  DFR_CHECK_MSG(wrapped.mask.nodes() == artifact->mask.nodes() &&
+                    wrapped.mask.channels() == artifact->mask.channels() &&
+                    wrapped.readout.num_classes() ==
+                        artifact->readout.num_classes(),
+                "quantized twin shape does not match the artifact");
+  ModelArtifact copy = *artifact;
+  copy.quantized = std::move(quantized);
+  return std::make_shared<const ModelArtifact>(std::move(copy));
 }
 
 LoadedModel load_model(const std::string& path) {

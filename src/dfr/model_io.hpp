@@ -29,20 +29,34 @@
 
 namespace dfr {
 
+class QuantizedDfr;  // fixedpoint/quantized_dfr.hpp (includes this header)
+
 /// Serialize a trained model. Throws CheckError on I/O failure.
 void save_model(const TrainResult& model, const std::string& path);
 
 /// Which float engine executes infer()/classify_batch():
 ///   kAuto   — the SIMD datapath on the best runtime-dispatched backend
-///             (AVX2 / NEON / portable scalar; honors DFR_SIMD). The default.
+///             (AVX-512 / AVX2 / NEON / portable scalar; honors DFR_SIMD).
+///             The default.
 ///   kScalar — the portable FloatDatapath (the bit-exact scalar baseline).
 ///   kSimd   — the SIMD datapath, explicitly (same as kAuto today).
 /// Results agree within the ULP contract of serve/simd_kernels.hpp.
 enum class FloatEngineKind { kAuto, kScalar, kSimd };
 
+/// Which quantized engine executes QuantizedDfr::classify/features and the
+/// quantized classify_batch — the fixed-point mirror of FloatEngineKind:
+///   kAuto   — the SIMD quantized datapath on the best runtime-dispatched
+///             backend. The default: unlike the float ULP contract, the
+///             quantized SIMD kernels are bit-identical to the scalar
+///             fixed-point pipeline (see serve/simd_kernels.hpp), so kAuto
+///             changes latency, never results.
+///   kScalar — the portable QuantizedDatapath.
+///   kSimd   — the SIMD quantized datapath, explicitly (same as kAuto).
+enum class QuantizedEngineKind { kAuto, kScalar, kSimd };
+
 /// Immutable deployed-model bundle; see the ownership model above. Only
 /// created behind `ModelArtifactPtr` (make_artifact / load_artifact /
-/// LoadedModel::artifact) and never mutated afterwards.
+/// LoadedModel::artifact / with_quantized) and never mutated afterwards.
 struct ModelArtifact {
   std::string name;  // serving id (registry key); may be empty outside serving
   DfrParams params;
@@ -50,6 +64,10 @@ struct ModelArtifact {
   Nonlinearity nonlinearity{NonlinearityKind::kIdentity};
   OutputLayer readout{2, 1};
   double chosen_beta = 0.0;
+  /// Optional calibrated fixed-point twin for quantized serving (null =
+  /// float-only artifact). Attached by with_quantized(); the serving layer
+  /// routes QuantizedEngineKind requests to it.
+  std::shared_ptr<const QuantizedDfr> quantized;
 };
 
 using ModelArtifactPtr = std::shared_ptr<const ModelArtifact>;
@@ -60,6 +78,13 @@ ModelArtifactPtr make_artifact(const TrainResult& model, std::string name = {});
 /// Deserialize a .dfrm file straight into an immutable artifact.
 /// Throws CheckError on malformed input.
 ModelArtifactPtr load_artifact(const std::string& path, std::string name = {});
+
+/// A copy of `artifact` carrying `quantized` as its calibrated fixed-point
+/// twin, so the serving layer can route per-request quantized traffic to it.
+/// Throws CheckError when either pointer is null or when the twin's wrapped
+/// model does not match the artifact's shape (nodes/channels/classes).
+ModelArtifactPtr with_quantized(const ModelArtifactPtr& artifact,
+                                std::shared_ptr<const QuantizedDfr> quantized);
 
 /// Inference-only view of a deserialized model. Mutable convenience type —
 /// see the ownership model above for how it relates to ModelArtifact.

@@ -71,21 +71,33 @@ void QuantizedDfr::calibrate(const Dataset& data, std::size_t max_samples) {
   requantize_readout();
 }
 
-Vector QuantizedDfr::features(const Matrix& series) const {
-  QuantizedInferenceEngine engine = make_engine(*this);
+Vector QuantizedDfr::features(const Matrix& series,
+                              QuantizedEngineKind kind) const {
+  if (kind == QuantizedEngineKind::kScalar) {
+    QuantizedInferenceEngine engine = make_engine(*this);
+    const std::span<const double> r = engine.features(series);
+    return Vector(r.begin(), r.end());
+  }
+  SimdQuantizedInferenceEngine engine = make_simd_engine(*this);
   const std::span<const double> r = engine.features(series);
   return Vector(r.begin(), r.end());
 }
 
-int QuantizedDfr::classify(const Matrix& series) const {
-  QuantizedInferenceEngine engine = make_engine(*this);
+int QuantizedDfr::classify(const Matrix& series,
+                           QuantizedEngineKind kind) const {
+  if (kind == QuantizedEngineKind::kScalar) {
+    QuantizedInferenceEngine engine = make_engine(*this);
+    return engine.classify(series);
+  }
+  SimdQuantizedInferenceEngine engine = make_simd_engine(*this);
   return engine.classify(series);
 }
 
 double quantized_accuracy(const QuantizedDfr& dfr, const Dataset& dataset,
-                          unsigned threads) {
+                          unsigned threads, QuantizedEngineKind engine) {
   DFR_CHECK(!dataset.empty());
-  const std::vector<int> predicted = classify_batch(dfr, dataset, threads);
+  const std::vector<int> predicted =
+      classify_batch(dfr, dataset, threads, engine);
   std::vector<int> actual(dataset.size());
   for (std::size_t i = 0; i < dataset.size(); ++i) actual[i] = dataset[i].label;
   return accuracy(predicted, actual);

@@ -166,6 +166,85 @@ void SimdFloatDatapath::finalize(Vector& r, std::size_t t_len) const {
   scale(r, dprr_time_scale(t_len));  // time-averaged DPRR (see dprr.hpp)
 }
 
+// ---- SimdQuantizedDatapath -------------------------------------------------
+
+SimdQuantizedDatapath::SimdQuantizedDatapath(const QuantizedDfr& model)
+    : SimdQuantizedDatapath(model, simd::active_backend()) {}
+
+SimdQuantizedDatapath::SimdQuantizedDatapath(const QuantizedDfr& model,
+                                             simd::Backend backend)
+    : mask_(&model.model().mask),
+      params_(model.model().params),
+      f_(model.model().nonlinearity),
+      state_format_(model.config().state_format),
+      feature_format_(model.config().feature_format),
+      state_scale_(model.scales().state),
+      feature_scale_(model.scales().feature),
+      kernels_(&simd::kernels_for(backend)),
+      readout_(&model.quantized_readout()) {
+  DFR_CHECK_MSG(mask_->nodes() > 0, "reservoir needs at least one virtual node");
+}
+
+SimdQuantizedDatapath::SimdQuantizedDatapath(
+    std::shared_ptr<const QuantizedDfr> model)
+    : SimdQuantizedDatapath(std::move(model), simd::active_backend()) {}
+
+SimdQuantizedDatapath::SimdQuantizedDatapath(
+    std::shared_ptr<const QuantizedDfr> model, simd::Backend backend)
+    : SimdQuantizedDatapath(checked_deref(model), backend) {
+  owner_ = std::move(model);
+}
+
+void SimdQuantizedDatapath::mask_into(std::span<const double> input,
+                                      std::span<double> j) const {
+  mask_->apply_into(input, j);
+  // Same ops as the scalar path: v = Q_state(v * (1/state_scale)), fused
+  // into one vectorized pass (scale_quantize is elementwise, so the pass
+  // fusion cannot change per-element rounding).
+  kernels_->scale_quantize(state_format_, 1.0 / state_scale_, j.data(),
+                           j.size());
+}
+
+void SimdQuantizedDatapath::step(std::span<const double> j,
+                                 std::span<const double> x_prev,
+                                 std::span<double> x_out) const {
+  const std::size_t nx = x_prev.size();
+  DFR_DCHECK(j.size() == nx && x_out.size() == nx);
+  DFR_DCHECK(x_out.data() != x_prev.data() && x_out.data() != j.data());
+  // Vectorized stage: x_out[n] = A * f~( Q_state(j[n] + x_prev[n]) ).
+  kernels_->quant_preadd_nonlin(f_, params_.a, state_format_, j.data(),
+                                x_prev.data(), x_out.data(), nx);
+  // Serialized quantized B-chain, head continued from x(k-1)_{Nx}. Same
+  // operation order as QuantizedDatapath::step (one multiply, one add, one
+  // round-to-format per node), so the stage rounds identically to the
+  // scalar fixed-point pipeline.
+  double prev_node = x_prev[nx - 1];
+  for (std::size_t n = 0; n < nx; ++n) {
+    const double value = x_out[n] + params_.b * prev_node;
+    prev_node = state_format_.quantize(value);
+    x_out[n] = prev_node;
+  }
+}
+
+void SimdQuantizedDatapath::dprr_add(DprrAccumulator& acc,
+                                     std::span<const double> x_k,
+                                     std::span<const double> x_km1) const {
+  DFR_DCHECK(x_k.size() == acc.nx() && x_km1.size() == acc.nx());
+  // The exact kernel: two roundings per accumulate like DprrAccumulator::add
+  // (never FMA), so quantized features carry no ULP drift to bound.
+  kernels_->dprr_add_exact(acc.raw().data(), x_k.data(), x_km1.data(),
+                           acc.nx());
+  acc.count_step();
+}
+
+void SimdQuantizedDatapath::finalize(Vector& r, std::size_t t_len) const {
+  // Time-average plus residual prescale plus feature quantization — the
+  // same per-element ops as QuantizedDatapath::finalize, one fused pass.
+  kernels_->scale_quantize(feature_format_,
+                           dprr_time_scale(t_len) / feature_scale_, r.data(),
+                           r.size());
+}
+
 // ---- BasicEngine -----------------------------------------------------------
 
 template <InferenceDatapath P>
@@ -227,6 +306,7 @@ Vector BasicEngine<P>::probabilities(const Matrix& series) {
 template class BasicEngine<FloatDatapath>;
 template class BasicEngine<QuantizedDatapath>;
 template class BasicEngine<SimdFloatDatapath>;
+template class BasicEngine<SimdQuantizedDatapath>;
 
 // ---- batch serving ---------------------------------------------------------
 
@@ -262,6 +342,26 @@ SimdInferenceEngine make_simd_engine(ModelArtifactPtr model) {
 SimdInferenceEngine make_simd_engine(ModelArtifactPtr model,
                                      simd::Backend backend) {
   return SimdInferenceEngine(SimdFloatDatapath(std::move(model), backend));
+}
+
+SimdQuantizedInferenceEngine make_simd_engine(const QuantizedDfr& model) {
+  return SimdQuantizedInferenceEngine(SimdQuantizedDatapath(model));
+}
+
+SimdQuantizedInferenceEngine make_simd_engine(const QuantizedDfr& model,
+                                              simd::Backend backend) {
+  return SimdQuantizedInferenceEngine(SimdQuantizedDatapath(model, backend));
+}
+
+SimdQuantizedInferenceEngine make_simd_engine(
+    std::shared_ptr<const QuantizedDfr> model) {
+  return SimdQuantizedInferenceEngine(SimdQuantizedDatapath(std::move(model)));
+}
+
+SimdQuantizedInferenceEngine make_simd_engine(
+    std::shared_ptr<const QuantizedDfr> model, simd::Backend backend) {
+  return SimdQuantizedInferenceEngine(
+      SimdQuantizedDatapath(std::move(model), backend));
 }
 
 namespace {
@@ -304,9 +404,16 @@ std::vector<int> classify_batch(const LoadedModel& model,
 
 std::vector<int> classify_batch(const QuantizedDfr& model,
                                 std::span<const Matrix> series,
-                                unsigned threads) {
+                                unsigned threads, QuantizedEngineKind engine) {
+  if (engine == QuantizedEngineKind::kScalar) {
+    return classify_batch_impl(
+        series.size(), threads, [&] { return make_engine(model); },
+        [&](std::size_t i) -> const Matrix& { return series[i]; });
+  }
+  // kAuto / kSimd: resolve the dispatched backend once, outside the workers.
+  const simd::Backend backend = simd::active_backend();
   return classify_batch_impl(
-      series.size(), threads, [&] { return make_engine(model); },
+      series.size(), threads, [&] { return make_simd_engine(model, backend); },
       [&](std::size_t i) -> const Matrix& { return series[i]; });
 }
 
@@ -330,9 +437,15 @@ std::vector<int> classify_batch(const LoadedModel& model, const Dataset& data,
 }
 
 std::vector<int> classify_batch(const QuantizedDfr& model, const Dataset& data,
-                                unsigned threads) {
+                                unsigned threads, QuantizedEngineKind engine) {
+  if (engine == QuantizedEngineKind::kScalar) {
+    return classify_batch_impl(
+        data.size(), threads, [&] { return make_engine(model); },
+        [&](std::size_t i) -> const Matrix& { return data[i].series; });
+  }
+  const simd::Backend backend = simd::active_backend();
   return classify_batch_impl(
-      data.size(), threads, [&] { return make_engine(model); },
+      data.size(), threads, [&] { return make_simd_engine(model, backend); },
       [&](std::size_t i) -> const Matrix& { return data[i].series; });
 }
 

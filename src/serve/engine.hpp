@@ -23,9 +23,14 @@
 // through runtime-dispatched vector kernels (serve/simd_kernels.hpp): the
 // preadd/nonlinearity and the Nx²-per-step DPRR row updates vectorize, the
 // serialized B-chain stays a scalar pass, and results match FloatDatapath
-// within the documented ULP contract. A policy may optionally provide
-// dprr_add(acc, x_k, x_km1) to own the accumulation step; the engine falls
-// back to DprrAccumulator::add otherwise.
+// within the documented ULP contract. SimdQuantizedDatapath does the same
+// for the fixed-point pipeline — vectorized round-to-format on the masked
+// input, quantized preadd + nonlinearity, exact (no-FMA) DPRR row updates,
+// and fused scale+quantize feature finalization — with a STRICTER contract:
+// bit-identical to QuantizedDatapath on every backend (fixed-point rounding
+// is exact; see the quantized contract in simd_kernels.hpp). A policy may
+// optionally provide dprr_add(acc, x_k, x_km1) to own the accumulation
+// step; the engine falls back to DprrAccumulator::add otherwise.
 //
 // Ownership: the full-inference datapaths hold a reference-counted
 // ModelArtifactPtr (see model_io.hpp), so an engine keeps its model alive
@@ -194,6 +199,59 @@ class SimdFloatDatapath {
   const OutputLayer* readout_ = nullptr;
 };
 
+/// Calibrated fixed-point datapath over runtime-dispatched SIMD kernels.
+/// Executes the same pipeline as QuantizedDatapath with the vectorizable
+/// stages (masked-input round-to-format, quantized preadd + nonlinearity,
+/// DPRR row updates, feature scale+quantize) routed through
+/// serve/simd_kernels.hpp; the quantized B-chain (which serializes through
+/// the per-node round-to-format) stays a scalar pass. Unlike the float ULP
+/// contract, every stage is BIT-IDENTICAL to the scalar QuantizedDatapath
+/// on every backend (see the quantized contract in simd_kernels.hpp;
+/// asserted EXPECT_EQ-strict by test_simd_quant.cpp). The shared_ptr
+/// constructors share ownership; the reference constructors borrow and the
+/// QuantizedDfr must outlive the datapath.
+class SimdQuantizedDatapath {
+ public:
+  /// Borrows `model`, on the active backend (simd::active_backend()).
+  explicit SimdQuantizedDatapath(const QuantizedDfr& model);
+
+  /// Borrows `model`, on an explicit backend (kernels_for semantics: throws
+  /// CheckError when unavailable).
+  SimdQuantizedDatapath(const QuantizedDfr& model, simd::Backend backend);
+
+  /// Shares ownership of `model`, on the active backend.
+  explicit SimdQuantizedDatapath(std::shared_ptr<const QuantizedDfr> model);
+
+  /// Shares ownership of `model`, on an explicit backend.
+  SimdQuantizedDatapath(std::shared_ptr<const QuantizedDfr> model,
+                        simd::Backend backend);
+
+  [[nodiscard]] std::size_t nodes() const noexcept { return mask_->nodes(); }
+  [[nodiscard]] std::size_t channels() const noexcept { return mask_->channels(); }
+  [[nodiscard]] simd::Backend backend() const noexcept { return kernels_->backend; }
+  void mask_into(std::span<const double> input, std::span<double> j) const;
+  void step(std::span<const double> j, std::span<const double> x_prev,
+            std::span<double> x_out) const;
+  /// Exact (no-FMA) vectorized DPRR accumulation hook picked up by
+  /// BasicEngine::features.
+  void dprr_add(DprrAccumulator& acc, std::span<const double> x_k,
+                std::span<const double> x_km1) const;
+  void finalize(Vector& r, std::size_t t_len) const;
+  [[nodiscard]] const OutputLayer* readout() const noexcept { return readout_; }
+
+ private:
+  std::shared_ptr<const QuantizedDfr> owner_;  // keepalive; null when borrowing
+  const Mask* mask_;
+  DfrParams params_;
+  Nonlinearity f_;
+  FixedPointFormat state_format_;
+  FixedPointFormat feature_format_;
+  double state_scale_ = 1.0;    // states divided by this (power of two)
+  double feature_scale_ = 1.0;  // residual feature prescaler (power of two)
+  const simd::Kernels* kernels_;
+  const OutputLayer* readout_;
+};
+
 /// The streaming engine: owns all scratch, classifies with zero steady-state
 /// heap allocations. One engine per stream/worker; not thread-safe.
 template <InferenceDatapath P>
@@ -230,10 +288,12 @@ class BasicEngine {
 using InferenceEngine = BasicEngine<FloatDatapath>;
 using QuantizedInferenceEngine = BasicEngine<QuantizedDatapath>;
 using SimdInferenceEngine = BasicEngine<SimdFloatDatapath>;
+using SimdQuantizedInferenceEngine = BasicEngine<SimdQuantizedDatapath>;
 
 extern template class BasicEngine<FloatDatapath>;
 extern template class BasicEngine<QuantizedDatapath>;
 extern template class BasicEngine<SimdFloatDatapath>;
+extern template class BasicEngine<SimdQuantizedDatapath>;
 
 /// Engine over a loaded float model (snapshots the model into an owned
 /// artifact — safe for any model lifetime).
@@ -261,6 +321,23 @@ extern template class BasicEngine<SimdFloatDatapath>;
 [[nodiscard]] SimdInferenceEngine make_simd_engine(ModelArtifactPtr model);
 [[nodiscard]] SimdInferenceEngine make_simd_engine(ModelArtifactPtr model,
                                                    simd::Backend backend);
+
+/// SIMD quantized engine over a calibrated model, on the active backend
+/// (model must outlive the engine). Bit-identical results to
+/// make_engine(model) — the quantized SIMD contract.
+[[nodiscard]] SimdQuantizedInferenceEngine make_simd_engine(
+    const QuantizedDfr& model);
+
+/// SIMD quantized engine on an explicit backend (throws CheckError when
+/// unavailable).
+[[nodiscard]] SimdQuantizedInferenceEngine make_simd_engine(
+    const QuantizedDfr& model, simd::Backend backend);
+
+/// SIMD quantized engines sharing ownership of a calibrated model.
+[[nodiscard]] SimdQuantizedInferenceEngine make_simd_engine(
+    std::shared_ptr<const QuantizedDfr> model);
+[[nodiscard]] SimdQuantizedInferenceEngine make_simd_engine(
+    std::shared_ptr<const QuantizedDfr> model, simd::Backend backend);
 
 /// Chunked per-worker-engine fan-out shared by classify_batch and the batch
 /// feature extractor: runs body(engine, i) once for every i in [0, n), with
@@ -303,7 +380,9 @@ std::vector<int> classify_batch(const LoadedModel& model,
                                 FloatEngineKind engine = FloatEngineKind::kAuto);
 std::vector<int> classify_batch(const QuantizedDfr& model,
                                 std::span<const Matrix> series,
-                                unsigned threads = 0);
+                                unsigned threads = 0,
+                                QuantizedEngineKind engine =
+                                    QuantizedEngineKind::kAuto);
 
 /// Dataset convenience overloads (classify every sample's series).
 std::vector<int> classify_batch(const ModelArtifactPtr& model,
@@ -313,6 +392,8 @@ std::vector<int> classify_batch(const LoadedModel& model, const Dataset& data,
                                 unsigned threads = 0,
                                 FloatEngineKind engine = FloatEngineKind::kAuto);
 std::vector<int> classify_batch(const QuantizedDfr& model, const Dataset& data,
-                                unsigned threads = 0);
+                                unsigned threads = 0,
+                                QuantizedEngineKind engine =
+                                    QuantizedEngineKind::kAuto);
 
 }  // namespace dfr

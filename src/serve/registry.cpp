@@ -37,8 +37,32 @@ bool ModelRegistry::evict(std::string_view id) {
       removed = true;
     }
   }
-  if (removed) version_.fetch_add(1, std::memory_order_release);
+  if (removed) {
+    version_.fetch_add(1, std::memory_order_release);
+    // Notify outside the model lock (listeners may read the registry or
+    // register models) but UNDER the listener lock — that is what makes
+    // unsubscribe_evictions' "never called after return" guarantee hold,
+    // and why listeners must not call evict/subscribe/unsubscribe (see the
+    // subscribe_evictions contract).
+    std::lock_guard<std::mutex> lock(listener_mutex_);
+    for (const auto& [token, listener] : listeners_) listener(id);
+  }
   return removed;
+}
+
+std::uint64_t ModelRegistry::subscribe_evictions(
+    std::function<void(std::string_view)> listener) {
+  DFR_CHECK_MSG(listener != nullptr, "null eviction listener");
+  std::lock_guard<std::mutex> lock(listener_mutex_);
+  const std::uint64_t token = next_listener_token_++;
+  listeners_.emplace_back(token, std::move(listener));
+  return token;
+}
+
+void ModelRegistry::unsubscribe_evictions(std::uint64_t token) {
+  std::lock_guard<std::mutex> lock(listener_mutex_);
+  std::erase_if(listeners_,
+                [token](const auto& entry) { return entry.first == token; });
 }
 
 ModelArtifactPtr ModelRegistry::get(std::string_view id) const {
@@ -65,30 +89,47 @@ std::size_t ModelRegistry::size() const {
 
 namespace {
 
-/// kAuto and kSimd are the same engine today; cache them under one key.
-FloatEngineKind resolve_kind(FloatEngineKind kind) noexcept {
-  return kind == FloatEngineKind::kScalar ? FloatEngineKind::kScalar
-                                          : FloatEngineKind::kSimd;
-}
+using EngineStorage =
+    std::variant<InferenceEngine, SimdInferenceEngine, QuantizedInferenceEngine,
+                 SimdQuantizedInferenceEngine>;
 
-std::variant<InferenceEngine, SimdInferenceEngine> build_engine(
-    ModelArtifactPtr artifact, FloatEngineKind kind) {
-  if (kind == FloatEngineKind::kScalar) {
-    return std::variant<InferenceEngine, SimdInferenceEngine>(
-        std::in_place_type<InferenceEngine>,
-        FloatDatapath(std::move(artifact)));
+EngineStorage build_engine(ModelArtifactPtr artifact, EngineVariant variant) {
+  switch (variant) {
+    case EngineVariant::kFloatScalar:
+      return EngineStorage(std::in_place_type<InferenceEngine>,
+                           FloatDatapath(std::move(artifact)));
+    case EngineVariant::kFloatSimd:
+      return EngineStorage(std::in_place_type<SimdInferenceEngine>,
+                           SimdFloatDatapath(std::move(artifact)));
+    case EngineVariant::kQuantScalar:
+    case EngineVariant::kQuantSimd: {
+      DFR_CHECK_MSG(artifact != nullptr, "null model artifact");
+      DFR_CHECK_MSG(artifact->quantized != nullptr,
+                    "artifact '" + artifact->name +
+                        "' has no quantized twin (attach one with "
+                        "with_quantized before quantized serving)");
+      if (variant == EngineVariant::kQuantScalar) {
+        return EngineStorage(std::in_place_type<QuantizedInferenceEngine>,
+                             QuantizedDatapath(artifact->quantized));
+      }
+      return EngineStorage(std::in_place_type<SimdQuantizedInferenceEngine>,
+                           SimdQuantizedDatapath(artifact->quantized));
+    }
   }
-  return std::variant<InferenceEngine, SimdInferenceEngine>(
-      std::in_place_type<SimdInferenceEngine>,
-      SimdFloatDatapath(std::move(artifact)));
+  DFR_CHECK_MSG(false, "unknown engine variant");
+  return EngineStorage(std::in_place_type<InferenceEngine>,
+                       FloatDatapath(std::move(artifact)));
 }
 
 }  // namespace
 
-PooledEngine::PooledEngine(ModelArtifactPtr artifact, FloatEngineKind kind)
+PooledEngine::PooledEngine(ModelArtifactPtr artifact, EngineVariant variant)
     : artifact_(std::move(artifact)),
-      kind_(resolve_kind(kind)),
-      engine_(build_engine(artifact_, kind_)) {}
+      variant_(variant),
+      engine_(build_engine(artifact_, variant_)) {}
+
+PooledEngine::PooledEngine(ModelArtifactPtr artifact, FloatEngineKind kind)
+    : PooledEngine(std::move(artifact), resolve_variant(kind)) {}
 
 std::span<const double> PooledEngine::infer(const Matrix& series) {
   return std::visit([&](auto& engine) { return engine.infer(series); },
@@ -106,34 +147,84 @@ EnginePool::EnginePool(std::size_t workers) : per_worker_(workers) {
   DFR_CHECK_MSG(workers > 0, "engine pool needs at least one worker slot");
 }
 
+void EnginePool::note_eviction(std::string_view id) {
+  std::lock_guard<std::mutex> lock(evict_mutex_);
+  for (WorkerSlot& slot : per_worker_) {
+    slot.pending_evictions.emplace_back(id);
+  }
+  eviction_version_.fetch_add(1, std::memory_order_release);
+}
+
+void EnginePool::apply_pending_evictions(WorkerSlot& slot) {
+  // Swap the pending list out under the lock, reclaim outside it: engine
+  // destruction (and the artifact release it may cascade into) must not
+  // serialize other workers' note_eviction bookkeeping.
+  std::vector<std::string> evicted;
+  {
+    std::lock_guard<std::mutex> lock(evict_mutex_);
+    evicted.swap(slot.pending_evictions);
+    slot.applied_evictions = eviction_version_.load(std::memory_order_acquire);
+  }
+  std::erase_if(slot.engines, [&](const std::unique_ptr<PooledEngine>& entry) {
+    const std::string& name = entry->artifact()->name;
+    return std::find(evicted.begin(), evicted.end(), name) != evicted.end();
+  });
+}
+
 PooledEngine& EnginePool::engine_for(std::size_t worker,
                                      const ModelArtifactPtr& artifact,
-                                     FloatEngineKind kind) {
+                                     EngineVariant variant) {
   DFR_CHECK_MSG(worker < per_worker_.size(), "worker slot out of range");
   DFR_CHECK_MSG(artifact != nullptr, "cannot build an engine on no artifact");
-  const FloatEngineKind resolved = resolve_kind(kind);
-  auto& engines = per_worker_[worker];
-  for (const std::unique_ptr<PooledEngine>& entry : engines) {
-    if (entry->kind() != resolved) continue;
+  WorkerSlot& slot = per_worker_[worker];
+  // Steady-state fast path: one relaxed load; only a registry eviction
+  // since this worker's last catch-up pays the mutex.
+  if (slot.applied_evictions !=
+      eviction_version_.load(std::memory_order_acquire)) {
+    apply_pending_evictions(slot);
+  }
+  for (std::size_t i = 0; i < slot.engines.size(); ++i) {
+    const std::unique_ptr<PooledEngine>& entry = slot.engines[i];
+    if (entry->variant() != variant) continue;
     if (entry->artifact() == artifact) return *entry;  // steady state: reuse
     if (!artifact->name.empty() &&
         entry->artifact()->name == artifact->name) {
       // Hot-swap: same model name, new artifact — rebuild into the same slot
-      // so the cache stays bounded by (models x kinds) across any number of
-      // swaps and outstanding references stay valid. Anonymous (empty-name)
-      // artifacts never alias each other: distinct ones get distinct slots
-      // rather than thrashing one slot through rebuilds.
-      *entry = PooledEngine(artifact, resolved);
+      // so the cache stays bounded by (models x variants) across any number
+      // of swaps and outstanding references stay valid. Anonymous
+      // (empty-name) artifacts never alias each other: distinct ones get
+      // distinct slots rather than thrashing one slot through rebuilds.
+      try {
+        *entry = PooledEngine(artifact, variant);
+      } catch (...) {
+        // The replacement cannot serve this variant (e.g. the new artifact
+        // dropped its quantized twin): release the stale engine before
+        // rethrowing so the swapped-out artifact is not pinned forever.
+        slot.engines.erase(slot.engines.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+        throw;
+      }
       return *entry;
     }
   }
-  // First request for this (artifact, kind): lazy build.
-  engines.push_back(std::make_unique<PooledEngine>(artifact, resolved));
-  return *engines.back();
+  // First request for this (artifact, variant): lazy build.
+  slot.engines.push_back(std::make_unique<PooledEngine>(artifact, variant));
+  return *slot.engines.back();
+}
+
+PooledEngine& EnginePool::engine_for(std::size_t worker,
+                                     const ModelArtifactPtr& artifact,
+                                     FloatEngineKind kind) {
+  return engine_for(worker, artifact, resolve_variant(kind));
 }
 
 void EnginePool::clear() {
-  for (auto& engines : per_worker_) engines.clear();
+  std::lock_guard<std::mutex> lock(evict_mutex_);
+  for (WorkerSlot& slot : per_worker_) {
+    slot.engines.clear();
+    slot.pending_evictions.clear();
+    slot.applied_evictions = eviction_version_.load(std::memory_order_acquire);
+  }
 }
 
 }  // namespace dfr::serve

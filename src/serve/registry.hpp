@@ -7,22 +7,29 @@
 // and requests already routed to the old artifact finish against it safely
 // because every engine holds a reference count on the artifact it was built
 // from. Eviction removes the id; in-flight engines again keep the artifact
-// alive until they drain.
+// alive until they drain — and eviction listeners (subscribe_evictions) let
+// the engine pool reclaim its cached engines promptly instead of waiting
+// for a same-name re-register.
 //
-// EnginePool caches one engine per (worker slot, artifact, engine kind).
+// EnginePool caches one engine per (worker slot, artifact, engine variant).
 // Engines are built lazily on first use and reused for every later request
 // with the same routing triple, so the steady-state serving path performs
 // no heap allocation per request (the engine's scratch is the only mutable
 // state, and each worker slot owns its engines exclusively). A hot-swap is
 // detected by artifact pointer identity: when the registry hands out a new
 // artifact under a cached name, the stale engine is rebuilt in place —
-// allocation happens on the swap, never per request.
+// allocation happens on the swap, never per request. Evictions reclaim
+// deferred: note_eviction() records the id thread-safely, and each worker
+// slot drops its engines for evicted ids at its next engine_for call (on
+// the worker's own thread, so an engine is never destroyed while its
+// request is in flight).
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <span>
 #include <string>
@@ -55,7 +62,9 @@ class ModelRegistry {
   ModelArtifactPtr load(std::string id, const std::string& path);
 
   /// Remove `id`. Returns false when it was not registered. Engines already
-  /// built on the artifact keep it alive until they drain.
+  /// built on the artifact keep it alive until they drain; subscribed
+  /// eviction listeners are notified (outside the registry lock) so caches
+  /// can reclaim promptly.
   bool evict(std::string_view id);
 
   /// The artifact currently serving `id`, or nullptr when unregistered.
@@ -69,17 +78,59 @@ class ModelRegistry {
     return version_.load(std::memory_order_acquire);
   }
 
+  /// Subscribe to evictions: `listener` is called with the evicted id after
+  /// each successful evict(), outside the registry's model lock but under
+  /// the listener lock (that is what makes unsubscribe_evictions' guarantee
+  /// hold). Consequently a listener may read the registry or
+  /// register_model(), but must NOT call evict(), subscribe_evictions(), or
+  /// unsubscribe_evictions() — those re-acquire the listener lock and
+  /// self-deadlock — and must not block on the evicting thread. Returns a
+  /// token for unsubscribe_evictions. The listener must stay callable until
+  /// unsubscribed.
+  std::uint64_t subscribe_evictions(
+      std::function<void(std::string_view)> listener);
+
+  /// Drop a subscription; no-op on an unknown token. After return the
+  /// listener is never called again.
+  void unsubscribe_evictions(std::uint64_t token);
+
  private:
   mutable std::shared_mutex mutex_;
   std::unordered_map<std::string, ModelArtifactPtr, StringHash, std::equal_to<>>
       models_;
   std::atomic<std::uint64_t> version_{0};
+
+  mutable std::mutex listener_mutex_;
+  std::uint64_t next_listener_token_ = 1;
+  std::vector<std::pair<std::uint64_t, std::function<void(std::string_view)>>>
+      listeners_;
 };
 
-/// One cached serving engine: an artifact reference plus the float engine
-/// built on it. `kind` is stored resolved (kAuto -> kSimd).
+/// Which datapath a pooled serving engine runs — the resolved form of the
+/// user-facing engine-kind knobs (kAuto already mapped to the SIMD variant
+/// of its family). Float variants serve the artifact's float weights;
+/// quantized variants serve its calibrated fixed-point twin
+/// (ModelArtifact::quantized, attached via with_quantized).
+enum class EngineVariant { kFloatScalar, kFloatSimd, kQuantScalar, kQuantSimd };
+
+[[nodiscard]] constexpr EngineVariant resolve_variant(
+    FloatEngineKind kind) noexcept {
+  return kind == FloatEngineKind::kScalar ? EngineVariant::kFloatScalar
+                                          : EngineVariant::kFloatSimd;
+}
+
+[[nodiscard]] constexpr EngineVariant resolve_variant(
+    QuantizedEngineKind kind) noexcept {
+  return kind == QuantizedEngineKind::kScalar ? EngineVariant::kQuantScalar
+                                              : EngineVariant::kQuantSimd;
+}
+
+/// One cached serving engine: an artifact reference plus the engine built on
+/// it. Quantized variants require the artifact to carry a quantized twin and
+/// throw CheckError otherwise (the server maps that to kInvalidArgument).
 class PooledEngine {
  public:
+  PooledEngine(ModelArtifactPtr artifact, EngineVariant variant);
   PooledEngine(ModelArtifactPtr artifact, FloatEngineKind kind);
 
   /// Logits for one series; the span aliases engine scratch. Zero heap
@@ -92,20 +143,24 @@ class PooledEngine {
   [[nodiscard]] const ModelArtifactPtr& artifact() const noexcept {
     return artifact_;
   }
-  [[nodiscard]] FloatEngineKind kind() const noexcept { return kind_; }
+  [[nodiscard]] EngineVariant variant() const noexcept { return variant_; }
 
  private:
   ModelArtifactPtr artifact_;
-  FloatEngineKind kind_;  // kScalar or kSimd, never kAuto
-  std::variant<InferenceEngine, SimdInferenceEngine> engine_;
+  EngineVariant variant_;
+  std::variant<InferenceEngine, SimdInferenceEngine, QuantizedInferenceEngine,
+               SimdQuantizedInferenceEngine>
+      engine_;
 };
 
-/// Lazily-built per-(worker, artifact, kind) engine cache. Distinct worker
-/// slots may be used from distinct threads concurrently; one slot must only
-/// ever be driven by one thread at a time (the server maps slot = worker
-/// thread). Engines for evicted models are reclaimed when the same slot
-/// later serves a replacement under the same name; a registry-wide purge is
-/// clear().
+/// Lazily-built per-(worker, artifact, variant) engine cache. Distinct
+/// worker slots may be used from distinct threads concurrently; one slot
+/// must only ever be driven by one thread at a time (the server maps
+/// slot = worker thread). Engines for evicted models are reclaimed
+/// promptly: note_eviction() (wired to ModelRegistry::subscribe_evictions
+/// by the server) records the id, and each worker drops its matching
+/// engines at its next engine_for call — on its own thread, never under an
+/// in-flight request. clear() remains the registry-wide purge.
 class EnginePool {
  public:
   explicit EnginePool(std::size_t workers);
@@ -114,23 +169,42 @@ class EnginePool {
     return per_worker_.size();
   }
 
-  /// The engine serving `artifact` on `worker` with `kind`. Cached engine
-  /// reused when the artifact pointer is unchanged; rebuilt in place when
-  /// the same model name resolves to a new artifact (hot-swap); appended on
-  /// first use. Steady state (cache hit): no allocation. The reference is
-  /// stable across later engine_for calls (entries are heap slots, and a
-  /// hot-swap rebuilds into the same slot) and is invalidated only by
-  /// clear().
+  /// The engine serving `artifact` on `worker` with `variant`. Cached
+  /// engine reused when the artifact pointer is unchanged; rebuilt in place
+  /// when the same model name resolves to a new artifact (hot-swap);
+  /// appended on first use. Steady state (cache hit): no allocation — the
+  /// pending-eviction check is one relaxed atomic load. The reference is
+  /// stable across later engine_for calls on the same worker (entries are
+  /// heap slots, and a hot-swap rebuilds into the same slot) until the next
+  /// eviction reclaim or clear() invalidates it.
+  PooledEngine& engine_for(std::size_t worker, const ModelArtifactPtr& artifact,
+                           EngineVariant variant);
   PooledEngine& engine_for(std::size_t worker, const ModelArtifactPtr& artifact,
                            FloatEngineKind kind);
+
+  /// Record an evicted model id (thread-safe, callable from any thread —
+  /// typically a ModelRegistry eviction listener). Each worker slot drops
+  /// its cached engines for the id at its next engine_for call; an id
+  /// re-registered in the meantime is simply rebuilt on first use.
+  void note_eviction(std::string_view id);
 
   /// Drop every cached engine (e.g. after bulk evictions). NOT safe while
   /// any worker is serving.
   void clear();
 
  private:
-  // unique_ptr slots keep engine_for references stable across appends.
-  std::vector<std::vector<std::unique_ptr<PooledEngine>>> per_worker_;
+  struct WorkerSlot {
+    // unique_ptr slots keep engine_for references stable across appends.
+    std::vector<std::unique_ptr<PooledEngine>> engines;
+    std::vector<std::string> pending_evictions;  // guarded by evict_mutex_
+    std::uint64_t applied_evictions = 0;         // worker-thread-owned
+  };
+
+  void apply_pending_evictions(WorkerSlot& slot);
+
+  std::vector<WorkerSlot> per_worker_;
+  std::mutex evict_mutex_;  // guards pending_evictions + eviction_version_ writes
+  std::atomic<std::uint64_t> eviction_version_{0};
 };
 
 }  // namespace dfr::serve

@@ -50,7 +50,7 @@ struct InferenceServer::Slot {
 
   std::string model_id;
   const Matrix* series = nullptr;
-  FloatEngineKind kind = FloatEngineKind::kAuto;
+  RequestOptions options;  // engine-kind routing, resolved at process time
   Timer timer;         // restarted at submit; read at completion
   InferResult result;  // logits storage reused across requests
   State state = State::kQueued;
@@ -135,14 +135,32 @@ InferenceServer::InferenceServer(ModelRegistry& registry, ServerConfig config)
   // The process-global pool stays free for classify_batch / training sweeps.
   thread_pool_ = std::make_unique<ThreadPool>(
       workers_ > 1 ? static_cast<unsigned>(workers_ - 1) : 0);
-  dispatcher_ = std::thread([this] {
-    thread_pool_->for_each_index(
-        workers_, [this](std::size_t w) { worker_loop(w); },
-        {.threads = static_cast<unsigned>(workers_)});
-  });
+  // Prompt engine reclaim for evicted models: the pool notes the id and
+  // each worker drops its cached engines at its next request. Subscribed
+  // after every other throwing setup step — a half-constructed server whose
+  // destructor never runs must not leave a dangling listener capturing
+  // `this` in the long-lived registry — and unwound by hand if the
+  // dispatcher thread itself fails to start.
+  eviction_token_ = registry_->subscribe_evictions(
+      [this](std::string_view id) { pool_.note_eviction(id); });
+  try {
+    dispatcher_ = std::thread([this] {
+      thread_pool_->for_each_index(
+          workers_, [this](std::size_t w) { worker_loop(w); },
+          {.threads = static_cast<unsigned>(workers_)});
+    });
+  } catch (...) {
+    registry_->unsubscribe_evictions(eviction_token_);
+    throw;
+  }
 }
 
-InferenceServer::~InferenceServer() { shutdown(); }
+InferenceServer::~InferenceServer() {
+  shutdown();
+  // After shutdown no worker touches the pool again; drop the subscription
+  // so the registry never calls into a destroyed server.
+  registry_->unsubscribe_evictions(eviction_token_);
+}
 
 void InferenceServer::shutdown() {
   {
@@ -163,7 +181,7 @@ bool InferenceServer::accepting() const {
 
 InferFuture InferenceServer::submit(std::string_view model_id,
                                     const Matrix& series,
-                                    FloatEngineKind engine) {
+                                    RequestOptions options) {
   RequestStatus rejection = RequestStatus::kOk;
   std::size_t slot_index = InferFuture::kNoSlot;
   {
@@ -178,7 +196,7 @@ InferFuture InferenceServer::submit(std::string_view model_id,
       Slot& slot = *slots_[slot_index];
       slot.model_id.assign(model_id);
       slot.series = &series;
-      slot.kind = engine;
+      slot.options = options;
       slot.state = Slot::State::kQueued;
       slot.abandoned = false;
       slot.timer.restart();
@@ -233,7 +251,12 @@ void InferenceServer::process(std::size_t worker, std::size_t slot_index) {
     result.status = RequestStatus::kUnknownModel;
   } else {
     try {
-      PooledEngine& engine = pool_.engine_for(worker, artifact, slot.kind);
+      // Engine-kind resolution is per request, like the id: a quantized
+      // kind routes to the artifact's fixed-point twin (kInvalidArgument
+      // via CheckError when the artifact carries none).
+      const EngineVariant variant = std::visit(
+          [](auto kind) { return resolve_variant(kind); }, slot.options.engine);
+      PooledEngine& engine = pool_.engine_for(worker, artifact, variant);
       const std::span<const double> logits = engine.infer(*slot.series);
       result.logits.assign(logits.begin(), logits.end());
       result.label = static_cast<int>(
@@ -306,11 +329,25 @@ const InferResult& InferenceServer::slot_result(std::size_t slot_index) const {
 std::vector<int> InferenceServer::classify_batch(std::string_view model_id,
                                                  std::span<const Matrix> series,
                                                  unsigned threads,
-                                                 FloatEngineKind engine) {
+                                                 RequestOptions options) {
   const ModelArtifactPtr artifact = registry_->get(model_id);
   DFR_CHECK_MSG(artifact != nullptr,
                 "unknown model id: " + std::string(model_id));
-  std::vector<int> out = dfr::classify_batch(artifact, series, threads, engine);
+  std::vector<int> out;
+  if (const auto* quant_kind =
+          std::get_if<QuantizedEngineKind>(&options.engine)) {
+    DFR_CHECK_MSG(artifact->quantized != nullptr,
+                  "artifact '" + artifact->name +
+                      "' has no quantized twin (attach one with "
+                      "with_quantized before quantized serving)");
+    // The local `artifact` shared_ptr keeps the borrowed twin alive for the
+    // duration of the fan-out.
+    out = dfr::classify_batch(*artifact->quantized, series, threads,
+                              *quant_kind);
+  } else {
+    out = dfr::classify_batch(artifact, series, threads,
+                              std::get<FloatEngineKind>(options.engine));
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     if (StatsEntry* entry = stats_entry_for(model_id, /*allow_create=*/true)) {

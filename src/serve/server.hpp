@@ -54,6 +54,7 @@
 #include <thread>
 #include <unordered_map>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "linalg/stats.hpp"
@@ -97,6 +98,19 @@ struct ServerConfig {
   /// registered-model churn. Traffic beyond the cap is served normally but
   /// not counted per-model.
   std::size_t max_tracked_models = 64;
+};
+
+/// Per-request options. `engine` picks the datapath family and
+/// implementation: a FloatEngineKind routes to the artifact's float weights
+/// (the default — kAuto is SIMD best-available), a QuantizedEngineKind
+/// routes to its calibrated fixed-point twin (ModelArtifact::quantized,
+/// attached via with_quantized; requests for an artifact without one
+/// resolve to kInvalidArgument). Like the model id, the engine kind is
+/// resolved per request at processing time, so a hot-swap that adds or
+/// drops a quantized twin takes effect on the next request.
+struct RequestOptions {
+  std::variant<FloatEngineKind, QuantizedEngineKind> engine =
+      FloatEngineKind::kAuto;
 };
 
 /// Per-model serving counters; see InferenceServer::stats.
@@ -168,18 +182,45 @@ class InferenceServer {
   /// future's destructor cancels or finishes the request, so destroying the
   /// future and then the series is always safe). Never blocks: returns an
   /// already-resolved kQueueFull / kShutdown future when the request cannot
-  /// be admitted.
-  [[nodiscard]] InferFuture submit(
-      std::string_view model_id, const Matrix& series,
-      FloatEngineKind engine = FloatEngineKind::kAuto);
+  /// be admitted. The options' engine kind routes the request per request —
+  /// see RequestOptions for the quantized path.
+  [[nodiscard]] InferFuture submit(std::string_view model_id,
+                                   const Matrix& series,
+                                   RequestOptions options = {});
+
+  /// Convenience overloads for a bare engine-kind argument.
+  [[nodiscard]] InferFuture submit(std::string_view model_id,
+                                   const Matrix& series,
+                                   FloatEngineKind engine) {
+    return submit(model_id, series, RequestOptions{engine});
+  }
+  [[nodiscard]] InferFuture submit(std::string_view model_id,
+                                   const Matrix& series,
+                                   QuantizedEngineKind engine) {
+    return submit(model_id, series, RequestOptions{engine});
+  }
 
   /// Synchronous batch path: routes by id, then fans out over the
   /// process-global pool exactly like the free classify_batch (bypasses the
   /// request queue and its capacity bound). Throws CheckError when
-  /// `model_id` is not registered.
-  [[nodiscard]] std::vector<int> classify_batch(
-      std::string_view model_id, std::span<const Matrix> series,
-      unsigned threads = 0, FloatEngineKind engine = FloatEngineKind::kAuto);
+  /// `model_id` is not registered — or when a quantized engine kind is
+  /// requested for an artifact without a quantized twin.
+  [[nodiscard]] std::vector<int> classify_batch(std::string_view model_id,
+                                                std::span<const Matrix> series,
+                                                unsigned threads = 0,
+                                                RequestOptions options = {});
+  [[nodiscard]] std::vector<int> classify_batch(std::string_view model_id,
+                                                std::span<const Matrix> series,
+                                                unsigned threads,
+                                                FloatEngineKind engine) {
+    return classify_batch(model_id, series, threads, RequestOptions{engine});
+  }
+  [[nodiscard]] std::vector<int> classify_batch(std::string_view model_id,
+                                                std::span<const Matrix> series,
+                                                unsigned threads,
+                                                QuantizedEngineKind engine) {
+    return classify_batch(model_id, series, threads, RequestOptions{engine});
+  }
 
   /// Stop admission, drain every queued request, join the workers.
   /// Idempotent; called by the destructor.
@@ -222,6 +263,7 @@ class InferenceServer {
   ModelRegistry* registry_;
   ServerConfig config_;
   std::size_t workers_ = 1;
+  std::uint64_t eviction_token_ = 0;  // registry eviction subscription
 
   // Request slots + bounded pending ring + free list; see server.cpp.
   mutable std::mutex mutex_;

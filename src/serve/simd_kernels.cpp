@@ -32,13 +32,41 @@ void dprr_add_scalar(double* r, const double* x_k, const double* x_km1,
   }
 }
 
-constexpr Kernels kScalarKernels{Backend::kScalar, &preadd_nonlin_scalar,
-                                 &dprr_add_scalar};
+void scale_quantize_scalar(const FixedPointFormat& fmt, double scale,
+                           double* values, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) values[i] = fmt.quantize(values[i] * scale);
+}
+
+void quant_preadd_nonlin_scalar(const Nonlinearity& f, double a,
+                                const FixedPointFormat& fmt, const double* j,
+                                const double* x_prev, double* out,
+                                std::size_t nx) {
+  for (std::size_t n = 0; n < nx; ++n) {
+    out[n] = a * f.value(fmt.quantize(j[n] + x_prev[n]));
+  }
+}
+
+// The scalar float accumulate already rounds twice per accumulate (plain
+// mul + add, exactly DprrAccumulator::add), so it doubles as the exact
+// quantized-family kernel.
+constexpr Kernels kScalarKernels{Backend::kScalar,          &preadd_nonlin_scalar,
+                                 &dprr_add_scalar,          &scale_quantize_scalar,
+                                 &quant_preadd_nonlin_scalar, &dprr_add_scalar};
 
 bool cpu_supports_avx2_fma() noexcept {
 #if (defined(__x86_64__) || defined(__i386__)) && \
     (defined(__GNUC__) || defined(__clang__))
   return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool cpu_supports_avx512() noexcept {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw");
 #else
   return false;
 #endif
@@ -53,6 +81,7 @@ const char* backend_name(Backend backend) noexcept {
     case Backend::kScalar: return "scalar";
     case Backend::kAvx2: return "avx2";
     case Backend::kNeon: return "neon";
+    case Backend::kAvx512: return "avx512";
   }
   return "?";
 }
@@ -64,6 +93,8 @@ bool try_parse_backend(const std::string& name, Backend& out) noexcept {
     out = Backend::kAvx2;
   } else if (name == "neon") {
     out = Backend::kNeon;
+  } else if (name == "avx512") {
+    out = Backend::kAvx512;
   } else {
     return false;
   }
@@ -74,7 +105,7 @@ Backend parse_backend(const std::string& name) {
   Backend backend = Backend::kScalar;
   DFR_CHECK_MSG(try_parse_backend(name, backend),
                 "unknown SIMD backend: \"" + name +
-                    "\" (expected scalar|avx2|neon)");
+                    "\" (expected scalar|avx2|avx512|neon)");
   return backend;
 }
 
@@ -88,11 +119,14 @@ bool backend_available(Backend backend) noexcept {
       // The NEON TU only compiles its kernels on aarch64, where Advanced
       // SIMD is architecturally mandatory — presence implies support.
       return detail::neon_kernels() != nullptr;
+    case Backend::kAvx512:
+      return detail::avx512_kernels() != nullptr && cpu_supports_avx512();
   }
   return false;
 }
 
 Backend best_backend() noexcept {
+  if (backend_available(Backend::kAvx512)) return Backend::kAvx512;
   if (backend_available(Backend::kAvx2)) return Backend::kAvx2;
   if (backend_available(Backend::kNeon)) return Backend::kNeon;
   return Backend::kScalar;
@@ -106,8 +140,8 @@ Backend resolve_env_backend(const char* value, std::string* warning) {
   if (!try_parse_backend(value, requested)) {
     if (warning) {
       *warning = std::string("DFR_SIMD=") + value +
-                 " is not a recognized backend (expected scalar|avx2|neon); "
-                 "dispatching to " +
+                 " is not a recognized backend (expected "
+                 "scalar|avx2|avx512|neon); dispatching to " +
                  backend_name(best_backend());
     }
     return best_backend();
@@ -164,6 +198,7 @@ const Kernels& kernels_for(Backend backend) {
     case Backend::kScalar: return kScalarKernels;
     case Backend::kAvx2: return *detail::avx2_kernels();
     case Backend::kNeon: return *detail::neon_kernels();
+    case Backend::kAvx512: return *detail::avx512_kernels();
   }
   return kScalarKernels;
 }

@@ -13,12 +13,12 @@
 // after the vectorized preadd/nonlinearity).
 //
 // Backends are selected at RUNTIME, not by compile flags: the ISA-specific
-// translation units (simd_kernels_avx2.cpp, simd_kernels_neon.cpp) are built
-// with per-file arch flags and register themselves; dispatch picks the best
-// kernel set the running CPU supports. The `DFR_SIMD` environment variable
-// (`scalar`, `avx2`, or `neon`, read once at first use) or force_backend()
-// (tests) override the choice; forcing an unavailable backend throws
-// CheckError.
+// translation units (simd_kernels_avx2.cpp, simd_kernels_avx512.cpp,
+// simd_kernels_neon.cpp) are built with per-file arch flags and register
+// themselves; dispatch picks the best kernel set the running CPU supports.
+// The `DFR_SIMD` environment variable (`scalar`, `avx2`, `avx512`, or
+// `neon`, read once at first use) or force_backend() (tests) override the
+// choice; forcing an unavailable backend throws CheckError.
 //
 // Equivalence contract vs the scalar FloatDatapath pipeline:
 //   * The mask stage is shared code and the preadd stage performs the same
@@ -41,17 +41,33 @@
 //     feature — cross products can cancel arbitrarily close to zero while
 //     the accumulation error scales with the summands). Asserted by
 //     test_simd.cpp across every nonlinearity and odd Nx.
+//
+// Quantized kernel family (SimdQuantizedDatapath) — EXACT contract:
+//   Unlike the float family, every quantized kernel is bit-identical to the
+//   scalar QuantizedDatapath on every backend. Fixed-point rounding makes
+//   that achievable: the vector round-to-format performs the same IEEE-754
+//   operations as FixedPointFormat::quantize lane-wise (scaling by a power
+//   of two is exact whether done by multiply or divide, vector
+//   round-to-nearest matches std::nearbyint under the current rounding
+//   mode, and saturation compares reproduce the scalar clamp), and the
+//   quantized DPRR accumulate deliberately does NOT use FMA — it rounds
+//   twice per accumulate exactly like DprrAccumulator::add, so no ULP
+//   drift exists to bound. test_simd_quant.cpp asserts EXPECT_EQ-strict
+//   equivalence across formats, nonlinearities, sizes, and backends. (On
+//   aarch64 the scalar reference TU itself may FMA-contract the B-chain;
+//   x86-64 baseline code cannot, so the strict contract is asserted there.)
 
 #include <cstddef>
 #include <string>
 
 #include "dfr/nonlinearity.hpp"
+#include "fixedpoint/fixed.hpp"
 
 namespace dfr::simd {
 
-enum class Backend { kScalar, kAvx2, kNeon };
+enum class Backend { kScalar, kAvx2, kNeon, kAvx512 };
 
-/// "scalar" / "avx2" / "neon".
+/// "scalar" / "avx2" / "neon" / "avx512".
 [[nodiscard]] const char* backend_name(Backend backend) noexcept;
 
 /// Inverse of backend_name. Throws CheckError on unknown names.
@@ -73,12 +89,37 @@ using PreaddNonlinFn = void (*)(const Nonlinearity& f, double a,
 using DprrAddFn = void (*)(double* r, const double* x_k, const double* x_km1,
                            std::size_t nx);
 
+/// In-place vector round-to-format: v[i] = fmt.quantize(v[i] * scale) for i
+/// in [0, n). Bit-identical to calling FixedPointFormat::quantize per
+/// element (round-to-nearest under the current rounding mode, saturation to
+/// the two's-complement range, NaN -> 0). Serves both quantized stages that
+/// are a pure elementwise scale+round: the masked-input quantization
+/// (scale = 1/state_scale) and the feature finalization
+/// (scale = dprr_time_scale(T)/feature_scale).
+using ScaleQuantizeFn = void (*)(const FixedPointFormat& fmt, double scale,
+                                 double* values, std::size_t n);
+
+/// Quantized masked-input preadd + nonlinearity:
+/// out[n] = a * f~( fmt.quantize(j[n] + x_prev[n]) ). The quantized B-chain
+/// (with its per-node round-to-format) serializes and stays a scalar pass —
+/// see SimdQuantizedDatapath::step.
+using QuantPreaddNonlinFn = void (*)(const Nonlinearity& f, double a,
+                                     const FixedPointFormat& fmt,
+                                     const double* j, const double* x_prev,
+                                     double* out, std::size_t nx);
+
 /// One backend's kernel set. Pointers are non-null and valid for the process
-/// lifetime.
+/// lifetime. `dprr_add` is the float-family accumulate (explicit FMA, single
+/// rounding, ULP-bounded); `dprr_add_exact` is the quantized-family twin
+/// that rounds twice per accumulate exactly like DprrAccumulator::add and is
+/// therefore bit-identical to it.
 struct Kernels {
   Backend backend;
   PreaddNonlinFn preadd_nonlin;
   DprrAddFn dprr_add;
+  ScaleQuantizeFn scale_quantize;
+  QuantPreaddNonlinFn quant_preadd_nonlin;
+  DprrAddFn dprr_add_exact;
 };
 
 /// True when `backend` can run on this CPU *and* its kernels were compiled
@@ -91,10 +132,11 @@ struct Kernels {
 
 /// The backend serving kAuto/kSimd engines: best_backend() unless overridden
 /// by the DFR_SIMD environment variable (read once at first use) or
-/// force_backend(). A DFR_SIMD value that is unrecognized (e.g. `avx512`)
-/// or unavailable on this host/build never degrades silently: one warning
-/// naming the value and the backend actually selected is logged
-/// (util/log.hpp) and dispatch falls back to best_backend().
+/// force_backend(). A DFR_SIMD value that is unrecognized (e.g. `avx999`)
+/// or unavailable on this host/build (e.g. `avx512` on a CPU without it)
+/// never degrades silently: one warning naming the value and the backend
+/// actually selected is logged (util/log.hpp) and dispatch falls back to
+/// best_backend().
 [[nodiscard]] Backend active_backend();
 
 /// Override the active backend (testing / benchmarking). Throws CheckError
@@ -124,6 +166,7 @@ namespace detail {
 /// nullptr when its TU was compiled without the matching arch flags.
 [[nodiscard]] const Kernels* avx2_kernels() noexcept;
 [[nodiscard]] const Kernels* neon_kernels() noexcept;
+[[nodiscard]] const Kernels* avx512_kernels() noexcept;
 
 /// Pure resolution of a DFR_SIMD override value: the requested backend when
 /// it is recognized AND available, best_backend() otherwise. When falling

@@ -5,8 +5,10 @@
 //
 // -ffp-contract=off matters: the preadd/nonlinearity stage must round exactly
 // like the scalar baseline, so only the *explicit* _mm256_fmadd_pd in the
-// DPRR update (where single rounding is the point, covered by the documented
-// ULP bound) may fuse.
+// float DPRR update (where single rounding is the point, covered by the
+// documented ULP bound) may fuse. The quantized kernel family never uses FMA
+// at all — its contract is bit-exactness against the scalar fixed-point
+// pipeline (see simd_kernels.hpp).
 #include "serve/simd_kernels.hpp"
 
 #if defined(DFR_SIMD_KERNELS_ISA) && defined(__AVX2__) && defined(__FMA__)
@@ -24,20 +26,49 @@ inline __m256d abs_pd(__m256d v) noexcept {
   return _mm256_andnot_pd(_mm256_set1_pd(-0.0), v);
 }
 
-// v[n] = a * f~(j[n] + x_prev[n]). The polynomial / rational nonlinearities
-// vectorize with the scalar evaluation order preserved; the libm-backed ones
-// (tanh, sine, Mackey–Glass with its pow) keep per-lane scalar calls on top
-// of the vectorized preadd semantics (j[n] + x_prev[n] is a plain IEEE add
-// either way, so the preadd stage stays bit-exact).
-void preadd_nonlin_avx2(const Nonlinearity& f, double a, const double* j,
-                        const double* x_prev, double* out, std::size_t nx) {
+/// Vector twin of FixedPointFormat::quantize, bit-identical lane-wise:
+/// multiply by 1/resolution (scaling by an exact power of two rounds
+/// identically to the scalar's division by resolution), round to nearest
+/// under the current rounding mode (vroundpd with CUR_DIRECTION ==
+/// std::nearbyint), multiply back, clamp to [-max-res, max], and zero NaN
+/// lanes (the scalar returns 0.0 for NaN).
+struct QuantizeConsts {
+  __m256d inv_res, res, hi, lo;
+  explicit QuantizeConsts(const FixedPointFormat& fmt) noexcept
+      : inv_res(_mm256_set1_pd(1.0 / fmt.resolution())),
+        res(_mm256_set1_pd(fmt.resolution())),
+        hi(_mm256_set1_pd(fmt.max_value())),
+        lo(_mm256_set1_pd(-fmt.max_value() - fmt.resolution())) {}
+};
+
+inline __m256d quantize_pd(__m256d v, const QuantizeConsts& q) noexcept {
+  const __m256d ord = _mm256_cmp_pd(v, v, _CMP_ORD_Q);  // 0 in NaN lanes
+  const __m256d scaled =
+      _mm256_round_pd(_mm256_mul_pd(v, q.inv_res),
+                      _MM_FROUND_CUR_DIRECTION | _MM_FROUND_NO_EXC);
+  __m256d out = _mm256_mul_pd(scaled, q.res);
+  out = _mm256_max_pd(_mm256_min_pd(out, q.hi), q.lo);
+  return _mm256_and_pd(out, ord);
+}
+
+// out[n] = a * f~(s_n) with s_n produced per policy: the float preadd loads
+// s = j[n] + x_prev[n], the quantized preadd additionally rounds s to the
+// state format. The polynomial / rational nonlinearities vectorize with the
+// scalar evaluation order preserved; the libm-backed ones (tanh, sine,
+// Mackey–Glass with its pow) keep per-lane scalar calls on top of the same
+// s-production semantics (a plain IEEE add — plus, for the quantized
+// family, the scalar FixedPointFormat::quantize itself — either way, so the
+// stage contract is unaffected).
+template <typename MakeS, typename MakeSScalar>
+inline void preadd_nonlin_impl(const Nonlinearity& f, double a, double* out,
+                               std::size_t nx, const MakeS& make_s,
+                               const MakeSScalar& make_s_scalar) {
   const __m256d va = _mm256_set1_pd(a);
   const std::size_t main = nx - nx % kWidth;
   switch (f.kind()) {
     case NonlinearityKind::kIdentity: {
       for (std::size_t n = 0; n < main; n += kWidth) {
-        const __m256d s =
-            _mm256_add_pd(_mm256_loadu_pd(j + n), _mm256_loadu_pd(x_prev + n));
+        const __m256d s = make_s(n);
         _mm256_storeu_pd(out + n, _mm256_mul_pd(va, s));
       }
       break;
@@ -46,8 +77,7 @@ void preadd_nonlin_avx2(const Nonlinearity& f, double a, const double* j,
       // s - s*s*s/3, evaluated as ((s*s)*s)/3 like the scalar expression.
       const __m256d third = _mm256_set1_pd(3.0);
       for (std::size_t n = 0; n < main; n += kWidth) {
-        const __m256d s =
-            _mm256_add_pd(_mm256_loadu_pd(j + n), _mm256_loadu_pd(x_prev + n));
+        const __m256d s = make_s(n);
         const __m256d cubed = _mm256_mul_pd(_mm256_mul_pd(s, s), s);
         const __m256d value = _mm256_sub_pd(s, _mm256_div_pd(cubed, third));
         _mm256_storeu_pd(out + n, _mm256_mul_pd(va, value));
@@ -57,10 +87,8 @@ void preadd_nonlin_avx2(const Nonlinearity& f, double a, const double* j,
     case NonlinearityKind::kSaturating: {
       const __m256d one = _mm256_set1_pd(1.0);
       for (std::size_t n = 0; n < main; n += kWidth) {
-        const __m256d s =
-            _mm256_add_pd(_mm256_loadu_pd(j + n), _mm256_loadu_pd(x_prev + n));
-        const __m256d value =
-            _mm256_div_pd(s, _mm256_add_pd(one, abs_pd(s)));
+        const __m256d s = make_s(n);
+        const __m256d value = _mm256_div_pd(s, _mm256_add_pd(one, abs_pd(s)));
         _mm256_storeu_pd(out + n, _mm256_mul_pd(va, value));
       }
       break;
@@ -68,16 +96,54 @@ void preadd_nonlin_avx2(const Nonlinearity& f, double a, const double* j,
     case NonlinearityKind::kMackeyGlass:
     case NonlinearityKind::kTanh:
     case NonlinearityKind::kSine: {
-      // libm-backed: fully scalar (the preadd is the same IEEE add either
-      // way, so the stage contract is unaffected).
       for (std::size_t n = 0; n < nx; ++n) {
-        out[n] = a * f.value(j[n] + x_prev[n]);
+        out[n] = a * f.value(make_s_scalar(n));
       }
       return;
     }
   }
   for (std::size_t n = main; n < nx; ++n) {
-    out[n] = a * f.value(j[n] + x_prev[n]);
+    out[n] = a * f.value(make_s_scalar(n));
+  }
+}
+
+void preadd_nonlin_avx2(const Nonlinearity& f, double a, const double* j,
+                        const double* x_prev, double* out, std::size_t nx) {
+  preadd_nonlin_impl(
+      f, a, out, nx,
+      [&](std::size_t n) {
+        return _mm256_add_pd(_mm256_loadu_pd(j + n),
+                             _mm256_loadu_pd(x_prev + n));
+      },
+      [&](std::size_t n) { return j[n] + x_prev[n]; });
+}
+
+void quant_preadd_nonlin_avx2(const Nonlinearity& f, double a,
+                              const FixedPointFormat& fmt, const double* j,
+                              const double* x_prev, double* out,
+                              std::size_t nx) {
+  const QuantizeConsts q(fmt);
+  preadd_nonlin_impl(
+      f, a, out, nx,
+      [&](std::size_t n) {
+        return quantize_pd(_mm256_add_pd(_mm256_loadu_pd(j + n),
+                                         _mm256_loadu_pd(x_prev + n)),
+                           q);
+      },
+      [&](std::size_t n) { return fmt.quantize(j[n] + x_prev[n]); });
+}
+
+void scale_quantize_avx2(const FixedPointFormat& fmt, double scale,
+                         double* values, std::size_t n) {
+  const QuantizeConsts q(fmt);
+  const __m256d vscale = _mm256_set1_pd(scale);
+  const std::size_t main = n - n % kWidth;
+  for (std::size_t i = 0; i < main; i += kWidth) {
+    const __m256d v = _mm256_mul_pd(_mm256_loadu_pd(values + i), vscale);
+    _mm256_storeu_pd(values + i, quantize_pd(v, q));
+  }
+  for (std::size_t i = main; i < n; ++i) {
+    values[i] = fmt.quantize(values[i] * scale);
   }
 }
 
@@ -104,8 +170,33 @@ void dprr_add_avx2(double* r, const double* x_k, const double* x_km1,
   }
 }
 
-constexpr Kernels kAvx2Kernels{Backend::kAvx2, &preadd_nonlin_avx2,
-                               &dprr_add_avx2};
+// The exact (quantized-family) accumulate: separate multiply and add, two
+// roundings per accumulate exactly like DprrAccumulator::add — never FMA
+// (this TU builds with -ffp-contract=off, so the tail cannot fuse either).
+void dprr_add_exact_avx2(double* r, const double* x_k, const double* x_km1,
+                         std::size_t nx) {
+  const std::size_t main = nx - nx % kWidth;
+  double* sums = r + nx * nx;
+  for (std::size_t i = 0; i < nx; ++i) {
+    const double xi = x_k[i];
+    const __m256d vxi = _mm256_set1_pd(xi);
+    double* row = r + i * nx;
+    for (std::size_t jj = 0; jj < main; jj += kWidth) {
+      const __m256d acc = _mm256_add_pd(
+          _mm256_loadu_pd(row + jj),
+          _mm256_mul_pd(vxi, _mm256_loadu_pd(x_km1 + jj)));
+      _mm256_storeu_pd(row + jj, acc);
+    }
+    for (std::size_t jj = main; jj < nx; ++jj) {
+      row[jj] += xi * x_km1[jj];
+    }
+    sums[i] += xi;
+  }
+}
+
+constexpr Kernels kAvx2Kernels{Backend::kAvx2,          &preadd_nonlin_avx2,
+                               &dprr_add_avx2,          &scale_quantize_avx2,
+                               &quant_preadd_nonlin_avx2, &dprr_add_exact_avx2};
 
 }  // namespace
 

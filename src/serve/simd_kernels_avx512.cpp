@@ -1,0 +1,219 @@
+// AVX-512 kernel set (512-bit, 8 doubles per vector). This translation unit
+// is compiled with per-file arch flags (-mavx512f -mavx512bw
+// -ffp-contract=off; see the root CMakeLists) on x86-64 builds and compiles
+// to a nullptr stub everywhere else — runtime dispatch in simd_kernels.cpp
+// gates execution on __builtin_cpu_supports("avx512f")/("avx512bw").
+//
+// Same contracts as the AVX2 TU, twice the width:
+//  * float family — the preadd/nonlinearity stage rounds exactly like the
+//    scalar baseline (-ffp-contract=off; only the explicit _mm512_fmadd_pd
+//    in the DPRR update fuses, covered by the documented ULP bound);
+//  * quantized family — bit-exact against the scalar fixed-point pipeline,
+//    no FMA anywhere (see simd_kernels.hpp).
+// Tails (nx % 8) stay scalar like the other ISA TUs: the same-operation
+// guarantee is what the equivalence contracts rest on, and the tail length
+// is bounded by one vector.
+#include "serve/simd_kernels.hpp"
+
+#if defined(DFR_SIMD_KERNELS_ISA) && defined(__AVX512F__) && \
+    defined(__AVX512BW__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace dfr::simd {
+namespace {
+
+constexpr std::size_t kWidth = 8;  // doubles per __m512d
+
+/// Vector twin of FixedPointFormat::quantize, bit-identical lane-wise:
+/// multiply by 1/resolution (scaling by an exact power of two rounds
+/// identically to the scalar's division by resolution), roundscale with
+/// imm 0x0C (MXCSR rounding mode, suppress precision exceptions ==
+/// std::nearbyint), multiply back, clamp to [-max-res, max], and zero NaN
+/// lanes (the scalar returns 0.0 for NaN).
+struct QuantizeConsts {
+  __m512d inv_res, res, hi, lo;
+  explicit QuantizeConsts(const FixedPointFormat& fmt) noexcept
+      : inv_res(_mm512_set1_pd(1.0 / fmt.resolution())),
+        res(_mm512_set1_pd(fmt.resolution())),
+        hi(_mm512_set1_pd(fmt.max_value())),
+        lo(_mm512_set1_pd(-fmt.max_value() - fmt.resolution())) {}
+};
+
+inline __m512d quantize_pd(__m512d v, const QuantizeConsts& q) noexcept {
+  const __mmask8 ord = _mm512_cmp_pd_mask(v, v, _CMP_ORD_Q);
+  const __m512d scaled = _mm512_roundscale_pd(
+      _mm512_mul_pd(v, q.inv_res),
+      _MM_FROUND_CUR_DIRECTION | _MM_FROUND_NO_EXC);
+  __m512d out = _mm512_mul_pd(scaled, q.res);
+  out = _mm512_max_pd(_mm512_min_pd(out, q.hi), q.lo);
+  // NaN lanes -> +0.0. (mask_mov from an explicit zero vector, not
+  // maskz_mov: GCC's maskz implementation reads an undefined passthrough
+  // and trips -Wmaybe-uninitialized.)
+  return _mm512_mask_mov_pd(_mm512_setzero_pd(), ord, out);
+}
+
+// out[n] = a * f~(s_n) with s_n produced per policy: the float preadd loads
+// s = j[n] + x_prev[n], the quantized preadd additionally rounds s to the
+// state format. The polynomial / rational nonlinearities vectorize with the
+// scalar evaluation order preserved; the libm-backed ones (tanh, sine,
+// Mackey–Glass with its pow) keep per-lane scalar calls on top of the same
+// s-production semantics, so the stage contracts are unaffected.
+template <typename MakeS, typename MakeSScalar>
+inline void preadd_nonlin_impl(const Nonlinearity& f, double a, double* out,
+                               std::size_t nx, const MakeS& make_s,
+                               const MakeSScalar& make_s_scalar) {
+  const __m512d va = _mm512_set1_pd(a);
+  const std::size_t main = nx - nx % kWidth;
+  switch (f.kind()) {
+    case NonlinearityKind::kIdentity: {
+      for (std::size_t n = 0; n < main; n += kWidth) {
+        const __m512d s = make_s(n);
+        _mm512_storeu_pd(out + n, _mm512_mul_pd(va, s));
+      }
+      break;
+    }
+    case NonlinearityKind::kCubic: {
+      // s - s*s*s/3, evaluated as ((s*s)*s)/3 like the scalar expression.
+      const __m512d third = _mm512_set1_pd(3.0);
+      for (std::size_t n = 0; n < main; n += kWidth) {
+        const __m512d s = make_s(n);
+        const __m512d cubed = _mm512_mul_pd(_mm512_mul_pd(s, s), s);
+        const __m512d value = _mm512_sub_pd(s, _mm512_div_pd(cubed, third));
+        _mm512_storeu_pd(out + n, _mm512_mul_pd(va, value));
+      }
+      break;
+    }
+    case NonlinearityKind::kSaturating: {
+      const __m512d one = _mm512_set1_pd(1.0);
+      for (std::size_t n = 0; n < main; n += kWidth) {
+        const __m512d s = make_s(n);
+        const __m512d value =
+            _mm512_div_pd(s, _mm512_add_pd(one, _mm512_abs_pd(s)));
+        _mm512_storeu_pd(out + n, _mm512_mul_pd(va, value));
+      }
+      break;
+    }
+    case NonlinearityKind::kMackeyGlass:
+    case NonlinearityKind::kTanh:
+    case NonlinearityKind::kSine: {
+      for (std::size_t n = 0; n < nx; ++n) {
+        out[n] = a * f.value(make_s_scalar(n));
+      }
+      return;
+    }
+  }
+  for (std::size_t n = main; n < nx; ++n) {
+    out[n] = a * f.value(make_s_scalar(n));
+  }
+}
+
+void preadd_nonlin_avx512(const Nonlinearity& f, double a, const double* j,
+                          const double* x_prev, double* out, std::size_t nx) {
+  preadd_nonlin_impl(
+      f, a, out, nx,
+      [&](std::size_t n) {
+        return _mm512_add_pd(_mm512_loadu_pd(j + n),
+                             _mm512_loadu_pd(x_prev + n));
+      },
+      [&](std::size_t n) { return j[n] + x_prev[n]; });
+}
+
+void quant_preadd_nonlin_avx512(const Nonlinearity& f, double a,
+                                const FixedPointFormat& fmt, const double* j,
+                                const double* x_prev, double* out,
+                                std::size_t nx) {
+  const QuantizeConsts q(fmt);
+  preadd_nonlin_impl(
+      f, a, out, nx,
+      [&](std::size_t n) {
+        return quantize_pd(_mm512_add_pd(_mm512_loadu_pd(j + n),
+                                         _mm512_loadu_pd(x_prev + n)),
+                           q);
+      },
+      [&](std::size_t n) { return fmt.quantize(j[n] + x_prev[n]); });
+}
+
+void scale_quantize_avx512(const FixedPointFormat& fmt, double scale,
+                           double* values, std::size_t n) {
+  const QuantizeConsts q(fmt);
+  const __m512d vscale = _mm512_set1_pd(scale);
+  const std::size_t main = n - n % kWidth;
+  for (std::size_t i = 0; i < main; i += kWidth) {
+    const __m512d v = _mm512_mul_pd(_mm512_loadu_pd(values + i), vscale);
+    _mm512_storeu_pd(values + i, quantize_pd(v, q));
+  }
+  for (std::size_t i = main; i < n; ++i) {
+    values[i] = fmt.quantize(values[i] * scale);
+  }
+}
+
+// r[i*nx + jj] += x_k[i] * x_km1[jj] with explicit FMA (single rounding per
+// accumulate — the documented ULP-bound divergence from scalar), plus the
+// r[nx^2 + i] += x_k[i] node-sum column.
+void dprr_add_avx512(double* r, const double* x_k, const double* x_km1,
+                     std::size_t nx) {
+  const std::size_t main = nx - nx % kWidth;
+  double* sums = r + nx * nx;
+  for (std::size_t i = 0; i < nx; ++i) {
+    const double xi = x_k[i];
+    const __m512d vxi = _mm512_set1_pd(xi);
+    double* row = r + i * nx;
+    for (std::size_t jj = 0; jj < main; jj += kWidth) {
+      const __m512d acc = _mm512_fmadd_pd(vxi, _mm512_loadu_pd(x_km1 + jj),
+                                          _mm512_loadu_pd(row + jj));
+      _mm512_storeu_pd(row + jj, acc);
+    }
+    for (std::size_t jj = main; jj < nx; ++jj) {
+      row[jj] = std::fma(xi, x_km1[jj], row[jj]);
+    }
+    sums[i] += xi;
+  }
+}
+
+// The exact (quantized-family) accumulate: separate multiply and add, two
+// roundings per accumulate exactly like DprrAccumulator::add — never FMA
+// (this TU builds with -ffp-contract=off, so the tail cannot fuse either).
+void dprr_add_exact_avx512(double* r, const double* x_k, const double* x_km1,
+                           std::size_t nx) {
+  const std::size_t main = nx - nx % kWidth;
+  double* sums = r + nx * nx;
+  for (std::size_t i = 0; i < nx; ++i) {
+    const double xi = x_k[i];
+    const __m512d vxi = _mm512_set1_pd(xi);
+    double* row = r + i * nx;
+    for (std::size_t jj = 0; jj < main; jj += kWidth) {
+      const __m512d acc = _mm512_add_pd(
+          _mm512_loadu_pd(row + jj),
+          _mm512_mul_pd(vxi, _mm512_loadu_pd(x_km1 + jj)));
+      _mm512_storeu_pd(row + jj, acc);
+    }
+    for (std::size_t jj = main; jj < nx; ++jj) {
+      row[jj] += xi * x_km1[jj];
+    }
+    sums[i] += xi;
+  }
+}
+
+constexpr Kernels kAvx512Kernels{
+    Backend::kAvx512,          &preadd_nonlin_avx512,
+    &dprr_add_avx512,          &scale_quantize_avx512,
+    &quant_preadd_nonlin_avx512, &dprr_add_exact_avx512};
+
+}  // namespace
+
+namespace detail {
+const Kernels* avx512_kernels() noexcept { return &kAvx512Kernels; }
+}  // namespace detail
+
+}  // namespace dfr::simd
+
+#else  // TU built without AVX-512 arch flags: register nothing.
+
+namespace dfr::simd::detail {
+const Kernels* avx512_kernels() noexcept { return nullptr; }
+}  // namespace dfr::simd::detail
+
+#endif

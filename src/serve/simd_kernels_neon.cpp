@@ -1,8 +1,10 @@
 // NEON (Advanced SIMD) kernel set for aarch64, where 2-lane double vectors
 // and vfmaq_f64 are architecturally guaranteed. Compiled with
 // -ffp-contract=off per-file (see the root CMakeLists) so only the explicit
-// FMA in the DPRR update fuses; compiles to a nullptr stub on other
-// architectures, mirroring simd_kernels_avx2.cpp.
+// FMA in the float DPRR update fuses; compiles to a nullptr stub on other
+// architectures, mirroring simd_kernels_avx2.cpp. The quantized kernel
+// family never uses FMA — its contract is bit-exactness against the scalar
+// fixed-point pipeline (see simd_kernels.hpp).
 #include "serve/simd_kernels.hpp"
 
 #if defined(DFR_SIMD_KERNELS_ISA) && defined(__aarch64__) && defined(__ARM_NEON)
@@ -16,14 +18,46 @@ namespace {
 
 constexpr std::size_t kWidth = 2;  // doubles per float64x2_t
 
-void preadd_nonlin_neon(const Nonlinearity& f, double a, const double* j,
-                        const double* x_prev, double* out, std::size_t nx) {
+/// Vector twin of FixedPointFormat::quantize, bit-identical lane-wise:
+/// multiply by 1/resolution (scaling by an exact power of two rounds
+/// identically to the scalar's division by resolution), vrndiq_f64 (round
+/// to integral, current mode == std::nearbyint), multiply back, clamp to
+/// [-max-res, max], and zero NaN lanes (the scalar returns 0.0 for NaN).
+struct QuantizeConsts {
+  float64x2_t inv_res, res, hi, lo;
+  explicit QuantizeConsts(const FixedPointFormat& fmt) noexcept
+      : inv_res(vdupq_n_f64(1.0 / fmt.resolution())),
+        res(vdupq_n_f64(fmt.resolution())),
+        hi(vdupq_n_f64(fmt.max_value())),
+        lo(vdupq_n_f64(-fmt.max_value() - fmt.resolution())) {}
+};
+
+inline float64x2_t quantize_f64(float64x2_t v, const QuantizeConsts& q) noexcept {
+  // vceqq on self is false only for NaN lanes; the mask zeroes them at the
+  // end (vminq/vmaxq propagate NaN, unlike x86 min/max, so the clamp's NaN
+  // lanes still carry NaN until the mask applies).
+  const uint64x2_t ord = vceqq_f64(v, v);
+  const float64x2_t scaled = vrndiq_f64(vmulq_f64(v, q.inv_res));
+  float64x2_t out = vmulq_f64(scaled, q.res);
+  out = vmaxq_f64(vminq_f64(out, q.hi), q.lo);
+  return vreinterpretq_f64_u64(
+      vandq_u64(vreinterpretq_u64_f64(out), ord));
+}
+
+// out[n] = a * f~(s_n) with s_n produced per policy: the float preadd loads
+// s = j[n] + x_prev[n], the quantized preadd additionally rounds s to the
+// state format. Libm-backed kinds stay per-lane scalar (same s-production
+// semantics either way, so the stage contract is unaffected).
+template <typename MakeS, typename MakeSScalar>
+inline void preadd_nonlin_impl(const Nonlinearity& f, double a, double* out,
+                               std::size_t nx, const MakeS& make_s,
+                               const MakeSScalar& make_s_scalar) {
   const float64x2_t va = vdupq_n_f64(a);
   const std::size_t main = nx - nx % kWidth;
   switch (f.kind()) {
     case NonlinearityKind::kIdentity: {
       for (std::size_t n = 0; n < main; n += kWidth) {
-        const float64x2_t s = vaddq_f64(vld1q_f64(j + n), vld1q_f64(x_prev + n));
+        const float64x2_t s = make_s(n);
         vst1q_f64(out + n, vmulq_f64(va, s));
       }
       break;
@@ -31,7 +65,7 @@ void preadd_nonlin_neon(const Nonlinearity& f, double a, const double* j,
     case NonlinearityKind::kCubic: {
       const float64x2_t third = vdupq_n_f64(3.0);
       for (std::size_t n = 0; n < main; n += kWidth) {
-        const float64x2_t s = vaddq_f64(vld1q_f64(j + n), vld1q_f64(x_prev + n));
+        const float64x2_t s = make_s(n);
         const float64x2_t cubed = vmulq_f64(vmulq_f64(s, s), s);
         const float64x2_t value = vsubq_f64(s, vdivq_f64(cubed, third));
         vst1q_f64(out + n, vmulq_f64(va, value));
@@ -41,7 +75,7 @@ void preadd_nonlin_neon(const Nonlinearity& f, double a, const double* j,
     case NonlinearityKind::kSaturating: {
       const float64x2_t one = vdupq_n_f64(1.0);
       for (std::size_t n = 0; n < main; n += kWidth) {
-        const float64x2_t s = vaddq_f64(vld1q_f64(j + n), vld1q_f64(x_prev + n));
+        const float64x2_t s = make_s(n);
         const float64x2_t value = vdivq_f64(s, vaddq_f64(one, vabsq_f64(s)));
         vst1q_f64(out + n, vmulq_f64(va, value));
       }
@@ -50,16 +84,52 @@ void preadd_nonlin_neon(const Nonlinearity& f, double a, const double* j,
     case NonlinearityKind::kMackeyGlass:
     case NonlinearityKind::kTanh:
     case NonlinearityKind::kSine: {
-      // libm-backed: fully scalar (the preadd is the same IEEE add either
-      // way, so the stage contract is unaffected).
       for (std::size_t n = 0; n < nx; ++n) {
-        out[n] = a * f.value(j[n] + x_prev[n]);
+        out[n] = a * f.value(make_s_scalar(n));
       }
       return;
     }
   }
   for (std::size_t n = main; n < nx; ++n) {
-    out[n] = a * f.value(j[n] + x_prev[n]);
+    out[n] = a * f.value(make_s_scalar(n));
+  }
+}
+
+void preadd_nonlin_neon(const Nonlinearity& f, double a, const double* j,
+                        const double* x_prev, double* out, std::size_t nx) {
+  preadd_nonlin_impl(
+      f, a, out, nx,
+      [&](std::size_t n) {
+        return vaddq_f64(vld1q_f64(j + n), vld1q_f64(x_prev + n));
+      },
+      [&](std::size_t n) { return j[n] + x_prev[n]; });
+}
+
+void quant_preadd_nonlin_neon(const Nonlinearity& f, double a,
+                              const FixedPointFormat& fmt, const double* j,
+                              const double* x_prev, double* out,
+                              std::size_t nx) {
+  const QuantizeConsts q(fmt);
+  preadd_nonlin_impl(
+      f, a, out, nx,
+      [&](std::size_t n) {
+        return quantize_f64(
+            vaddq_f64(vld1q_f64(j + n), vld1q_f64(x_prev + n)), q);
+      },
+      [&](std::size_t n) { return fmt.quantize(j[n] + x_prev[n]); });
+}
+
+void scale_quantize_neon(const FixedPointFormat& fmt, double scale,
+                         double* values, std::size_t n) {
+  const QuantizeConsts q(fmt);
+  const float64x2_t vscale = vdupq_n_f64(scale);
+  const std::size_t main = n - n % kWidth;
+  for (std::size_t i = 0; i < main; i += kWidth) {
+    const float64x2_t v = vmulq_f64(vld1q_f64(values + i), vscale);
+    vst1q_f64(values + i, quantize_f64(v, q));
+  }
+  for (std::size_t i = main; i < n; ++i) {
+    values[i] = fmt.quantize(values[i] * scale);
   }
 }
 
@@ -83,8 +153,32 @@ void dprr_add_neon(double* r, const double* x_k, const double* x_km1,
   }
 }
 
-constexpr Kernels kNeonKernels{Backend::kNeon, &preadd_nonlin_neon,
-                               &dprr_add_neon};
+// The exact (quantized-family) accumulate: separate multiply and add, two
+// roundings per accumulate exactly like DprrAccumulator::add — never FMA
+// (this TU builds with -ffp-contract=off, so the tail cannot fuse either).
+void dprr_add_exact_neon(double* r, const double* x_k, const double* x_km1,
+                         std::size_t nx) {
+  const std::size_t main = nx - nx % kWidth;
+  double* sums = r + nx * nx;
+  for (std::size_t i = 0; i < nx; ++i) {
+    const double xi = x_k[i];
+    const float64x2_t vxi = vdupq_n_f64(xi);
+    double* row = r + i * nx;
+    for (std::size_t jj = 0; jj < main; jj += kWidth) {
+      const float64x2_t acc = vaddq_f64(
+          vld1q_f64(row + jj), vmulq_f64(vxi, vld1q_f64(x_km1 + jj)));
+      vst1q_f64(row + jj, acc);
+    }
+    for (std::size_t jj = main; jj < nx; ++jj) {
+      row[jj] += xi * x_km1[jj];
+    }
+    sums[i] += xi;
+  }
+}
+
+constexpr Kernels kNeonKernels{Backend::kNeon,          &preadd_nonlin_neon,
+                               &dprr_add_neon,          &scale_quantize_neon,
+                               &quant_preadd_nonlin_neon, &dprr_add_exact_neon};
 
 }  // namespace
 

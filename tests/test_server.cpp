@@ -144,13 +144,14 @@ TEST(EnginePoolTest, CachesPerArtifactAndKindAndRebuildsOnSwap) {
 
   PooledEngine& simd = pool.engine_for(0, v1, FloatEngineKind::kAuto);
   EXPECT_EQ(simd.artifact(), v1);
-  EXPECT_EQ(simd.kind(), FloatEngineKind::kSimd);  // kAuto resolves to kSimd
+  // kAuto resolves to the SIMD float variant.
+  EXPECT_EQ(simd.variant(), serve::EngineVariant::kFloatSimd);
   // Cache hit: same entry for the same routing triple, kAuto == kSimd.
   EXPECT_EQ(&pool.engine_for(0, v1, FloatEngineKind::kSimd), &simd);
   // Distinct kind and distinct worker slot get distinct engines.
   PooledEngine& scalar = pool.engine_for(0, v1, FloatEngineKind::kScalar);
   EXPECT_NE(&scalar, &simd);
-  EXPECT_EQ(scalar.kind(), FloatEngineKind::kScalar);
+  EXPECT_EQ(scalar.variant(), serve::EngineVariant::kFloatScalar);
   EXPECT_NE(&pool.engine_for(1, v1, FloatEngineKind::kSimd), &simd);
 
   // Hot-swap: same name, new artifact — rebuilt in place, same slot entry.
@@ -173,6 +174,137 @@ TEST(EnginePoolTest, AnonymousArtifactsGetDistinctStableEngines) {
   EXPECT_EQ(second.artifact(), anon2);
   EXPECT_EQ(&pool.engine_for(0, anon1, FloatEngineKind::kSimd), &first);
   EXPECT_EQ(&pool.engine_for(0, anon2, FloatEngineKind::kSimd), &second);
+}
+
+TEST(EnginePoolTest, EvictionReclaimsCachedEnginesDeferred) {
+  EnginePool pool(2);
+  std::weak_ptr<const ModelArtifact> watch;
+  const ModelArtifactPtr other = make_model(8, 2, 3, 31).artifact("other");
+  {
+    const ModelArtifactPtr evictee = make_model(8, 2, 3, 30).artifact("m");
+    watch = evictee;
+    // Build engines for the evictee on both worker slots (and one for a
+    // second model, which must survive the reclaim).
+    pool.engine_for(0, evictee, FloatEngineKind::kSimd);
+    pool.engine_for(0, evictee, FloatEngineKind::kScalar);
+    pool.engine_for(1, evictee, FloatEngineKind::kSimd);
+    pool.engine_for(0, other, FloatEngineKind::kSimd);
+    pool.note_eviction("m");
+  }  // registry-side reference gone; only cached engines pin the artifact
+  EXPECT_FALSE(watch.expired()) << "engines should still pin the artifact";
+
+  // Worker 0 reclaims at its next engine_for; worker 1 has not run yet.
+  PooledEngine& survivor = pool.engine_for(0, other, FloatEngineKind::kSimd);
+  EXPECT_EQ(survivor.artifact(), other);
+  EXPECT_FALSE(watch.expired()) << "worker 1 still caches the evictee";
+  pool.engine_for(1, other, FloatEngineKind::kSimd);
+  EXPECT_TRUE(watch.expired())
+      << "eviction must reclaim cached engines once every worker caught up";
+}
+
+TEST(EnginePoolTest, EvictedThenReRegisteredModelRebuildsCleanly) {
+  // An eviction note for a name that was re-registered before the worker
+  // drained it must not break serving: the stale engine is dropped, the
+  // next request lazily rebuilds on the current artifact.
+  EnginePool pool(1);
+  const LoadedModel model = make_model(8, 2, 3, 33);
+  const ModelArtifactPtr v1 = model.artifact("m");
+  const ModelArtifactPtr v2 = model.artifact("m");
+  pool.engine_for(0, v1, FloatEngineKind::kSimd);
+  pool.note_eviction("m");
+  PooledEngine& rebuilt = pool.engine_for(0, v2, FloatEngineKind::kSimd);
+  EXPECT_EQ(rebuilt.artifact(), v2);
+  Rng rng(34);
+  const Matrix series = random_series(20, 2, rng);
+  expect_bit_identical(model.infer(series), rebuilt.infer(series),
+                       "rebuilt after eviction");
+}
+
+TEST(EnginePoolTest, QuantizedVariantsServeTheQuantizedTwin) {
+  const LoadedModel model = make_model(10, 2, 3, 41);
+  auto quantized = std::make_shared<const QuantizedDfr>(
+      model, QuantizedInferenceConfig{});
+  const ModelArtifactPtr artifact =
+      with_quantized(model.artifact("m"), quantized);
+  EnginePool pool(1);
+  Rng rng(42);
+  const Matrix series = random_series(25, 2, rng);
+
+  PooledEngine& quant_scalar =
+      pool.engine_for(0, artifact, serve::EngineVariant::kQuantScalar);
+  PooledEngine& quant_simd =
+      pool.engine_for(0, artifact, serve::EngineVariant::kQuantSimd);
+  EXPECT_NE(&quant_scalar, &quant_simd);
+  EXPECT_EQ(quant_scalar.variant(), serve::EngineVariant::kQuantScalar);
+  EXPECT_EQ(quant_simd.variant(), serve::EngineVariant::kQuantSimd);
+  // Both quantized variants agree bit-identically (the quantized SIMD
+  // exactness contract) and match the direct quantized engine.
+  QuantizedInferenceEngine direct = make_engine(*quantized);
+  const Vector expected(direct.infer(series).begin(),
+                        direct.infer(series).end());
+  expect_bit_identical(expected, quant_scalar.infer(series), "quant-scalar");
+  expect_bit_identical(expected, quant_simd.infer(series), "quant-simd");
+  EXPECT_EQ(quant_scalar.classify(series), direct.classify(series));
+
+  // A float-only artifact throws the typed error for quantized variants.
+  const ModelArtifactPtr bare = model.artifact("bare");
+  EXPECT_THROW(
+      (void)pool.engine_for(0, bare, serve::EngineVariant::kQuantSimd),
+      CheckError);
+}
+
+TEST(EnginePoolTest, HotSwapDroppingTheQuantizedTwinReleasesTheStaleEngine) {
+  // Re-registering a model WITHOUT its quantized twin must not leave the
+  // pool's cached quantized engine (and the swapped-out artifact it pins)
+  // alive forever: the failed rebuild drops the stale entry, and the
+  // request still gets the typed error.
+  const LoadedModel model = make_model(10, 2, 3, 45);
+  EnginePool pool(1);
+  std::weak_ptr<const ModelArtifact> watch;
+  const ModelArtifactPtr bare = model.artifact("m");  // no twin
+  {
+    const ModelArtifactPtr with_twin = with_quantized(
+        model.artifact("m"), std::make_shared<const QuantizedDfr>(
+                                 model, QuantizedInferenceConfig{}));
+    watch = with_twin;
+    pool.engine_for(0, with_twin, serve::EngineVariant::kQuantSimd);
+  }  // registry-side reference gone; only the cached engine pins v1
+  EXPECT_THROW(
+      (void)pool.engine_for(0, bare, serve::EngineVariant::kQuantSimd),
+      CheckError);
+  EXPECT_TRUE(watch.expired())
+      << "failed hot-swap rebuild must release the stale engine";
+  // The error is per-request, not sticky: float serving still works, and a
+  // twin-carrying re-register serves quantized again.
+  Rng rng(46);
+  const Matrix series = random_series(20, 2, rng);
+  EXPECT_EQ(pool.engine_for(0, bare, serve::EngineVariant::kFloatSimd)
+                .classify(series),
+            model.classify(series));
+  const ModelArtifactPtr restored = with_quantized(
+      model.artifact("m"), std::make_shared<const QuantizedDfr>(
+                               model, QuantizedInferenceConfig{}));
+  PooledEngine& rebuilt =
+      pool.engine_for(0, restored, serve::EngineVariant::kQuantSimd);
+  EXPECT_EQ(rebuilt.artifact(), restored);
+}
+
+TEST(WithQuantized, ValidatesShapeAndNullness) {
+  const LoadedModel model = make_model(10, 2, 3, 43);
+  auto quantized = std::make_shared<const QuantizedDfr>(
+      model, QuantizedInferenceConfig{});
+  EXPECT_THROW((void)with_quantized(nullptr, quantized), CheckError);
+  EXPECT_THROW((void)with_quantized(model.artifact("m"), nullptr), CheckError);
+  // Mismatched shape: a twin quantizing a different model.
+  const LoadedModel wrong = make_model(12, 2, 3, 44);
+  EXPECT_THROW(
+      (void)with_quantized(model.artifact("m"),
+                           std::make_shared<const QuantizedDfr>(
+                               wrong, QuantizedInferenceConfig{})),
+      CheckError);
+  const ModelArtifactPtr ok = with_quantized(model.artifact("m"), quantized);
+  EXPECT_EQ(ok->quantized, quantized);
+  EXPECT_EQ(ok->name, "m");
 }
 
 TEST(EnginePoolTest, EngineMatchesDirectInference) {
@@ -374,6 +506,130 @@ TEST_F(ServerRouting, SyncClassifyBatchMatchesFreeFunction) {
   }
   EXPECT_THROW((void)server.classify_batch("nope", series), CheckError);
   EXPECT_EQ(server.stats("a").completed, 2 * series.size());
+}
+
+// Per-request quantized routing: RequestOptions with a QuantizedEngineKind
+// serves the artifact's calibrated twin, bit-identical to direct quantized
+// inference for both kinds, interleaved with float traffic on the same
+// worker; a float-only artifact answers quantized requests with the typed
+// kInvalidArgument.
+TEST_F(ServerRouting, QuantizedRequestsRouteToTheQuantizedTwin) {
+  auto quantized = std::make_shared<const QuantizedDfr>(
+      *model_a_, QuantizedInferenceConfig{});
+  ModelRegistry registry;
+  registry.register_model(
+      with_quantized(model_a_->artifact("a"), quantized));
+  registry.register_model(model_b_->artifact("b"));  // float-only
+  InferenceServer server(registry, {.workers = 2, .queue_capacity = 64});
+
+  QuantizedInferenceEngine direct = make_engine(*quantized);
+  for (std::size_t i = 0; i < kSeriesPerModel; ++i) {
+    const Matrix& series = (*series_a_)[i];
+    const Vector expected(direct.infer(series).begin(),
+                          direct.infer(series).end());
+    for (serve::RequestOptions options :
+         {serve::RequestOptions{QuantizedEngineKind::kAuto},
+          serve::RequestOptions{QuantizedEngineKind::kScalar},
+          serve::RequestOptions{QuantizedEngineKind::kSimd}}) {
+      InferFuture quant_future = server.submit("a", series, options);
+      InferFuture float_future = server.submit("a", series);  // interleave
+      const InferResult& result = quant_future.get();
+      ASSERT_EQ(result.status, RequestStatus::kOk);
+      expect_bit_identical(expected, result.logits,
+                           "quantized request " + std::to_string(i));
+      EXPECT_EQ(result.label, direct.classify(series));
+      EXPECT_EQ(float_future.get().status, RequestStatus::kOk);
+    }
+  }
+  // Quantized request against a float-only artifact: typed client error.
+  const InferResult& no_twin =
+      server.submit("b", (*series_b_)[0], QuantizedEngineKind::kAuto).get();
+  EXPECT_EQ(no_twin.status, RequestStatus::kInvalidArgument);
+
+  // The sync batch path routes quantized kinds the same way.
+  const std::span<const Matrix> series(*series_a_);
+  EXPECT_EQ(server.classify_batch("a", series, 2, QuantizedEngineKind::kAuto),
+            classify_batch(*quantized, series, 1));
+  EXPECT_THROW(
+      (void)server.classify_batch("b", series, 1, QuantizedEngineKind::kAuto),
+      CheckError);
+}
+
+// ---- InferenceServer: eviction hygiene -------------------------------------
+
+// Evicting a model under traffic: in-flight requests finish (kOk on the
+// artifact they were routed to, or the typed kUnknownModel once the id is
+// gone — never a crash or dangle), and the pool's cached engines for the
+// evicted model are reclaimed promptly (the artifact dies once its last
+// in-flight holder drains) while traffic for other models keeps serving.
+TEST_F(ServerRouting, EvictionUnderTrafficReclaimsWithoutDangling) {
+  ModelRegistry registry;
+  registry.register_model(model_a_->artifact("keep"));
+  std::weak_ptr<const ModelArtifact> watch;
+  {
+    ModelArtifactPtr evictee = model_a_->artifact("evictee");
+    watch = evictee;
+    registry.register_model(std::move(evictee));
+  }
+  InferenceServer server(registry, {.workers = 2, .queue_capacity = 32});
+
+  // Mixed traffic against both ids while the evictee is registered.
+  const Vector expected = model_a_->infer((*series_a_)[0]);
+  for (int wave = 0; wave < 4; ++wave) {
+    std::vector<InferFuture> futures;
+    for (int i = 0; i < 16; ++i) {
+      futures.push_back(
+          server.submit(i % 2 == 0 ? "keep" : "evictee", (*series_a_)[0]));
+    }
+    for (InferFuture& future : futures) {
+      const InferResult& result = future.get();
+      ASSERT_EQ(result.status, RequestStatus::kOk);
+      expect_bit_identical(expected, result.logits, "pre-eviction");
+    }
+  }
+
+  ASSERT_TRUE(registry.evict("evictee"));
+  // Requests already admitted may still resolve; new ones get the typed
+  // error. Keep "keep" traffic flowing so every worker passes through
+  // engine_for and reclaims its cached evictee engines.
+  bool expired = false;
+  for (int attempt = 0; attempt < 200 && !expired; ++attempt) {
+    std::vector<InferFuture> futures;
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(server.submit("keep", (*series_a_)[0]));
+    }
+    EXPECT_EQ(server.submit("evictee", (*series_a_)[0]).get().status,
+              RequestStatus::kUnknownModel);
+    for (InferFuture& future : futures) {
+      ASSERT_EQ(future.get().status, RequestStatus::kOk);
+    }
+    expired = watch.expired();
+  }
+  EXPECT_TRUE(expired)
+      << "evicted model's engines must be reclaimed under traffic, not "
+         "linger until a same-name re-register";
+  // Serving the surviving model is unaffected.
+  const InferResult& after = server.submit("keep", (*series_a_)[0]).get();
+  ASSERT_EQ(after.status, RequestStatus::kOk);
+  expect_bit_identical(expected, after.logits, "post-eviction");
+}
+
+// A server whose registry evicts after the server was destroyed must not be
+// notified (unsubscribe on destruction) — and evictions with no server alive
+// are safe.
+TEST(ModelRegistry, EvictionListenersUnsubscribeCleanly) {
+  ModelRegistry registry;
+  const LoadedModel model = make_model(8, 2, 3, 61);
+  registry.register_model(model.artifact("m"));
+  {
+    InferenceServer server(registry, {.workers = 1, .queue_capacity = 4});
+    Rng rng(62);
+    const Matrix series = random_series(10, 2, rng);
+    EXPECT_EQ(server.submit("m", series).get().status, RequestStatus::kOk);
+  }  // server destroyed: its subscription must be gone
+  EXPECT_TRUE(registry.evict("m"));  // would crash if the listener dangled
+  registry.register_model(model.artifact("m2"));
+  EXPECT_TRUE(registry.evict("m2"));
 }
 
 // ---- InferenceServer: hot swap under traffic -------------------------------

@@ -64,10 +64,13 @@ std::uint64_t ordered_bits(double x) {
   return ua > ub ? ua - ub : ub - ua;
 }
 
+constexpr simd::Backend kAllBackends[] = {
+    simd::Backend::kScalar, simd::Backend::kAvx2, simd::Backend::kNeon,
+    simd::Backend::kAvx512};
+
 std::vector<simd::Backend> available_backends() {
   std::vector<simd::Backend> backends;
-  for (simd::Backend b : {simd::Backend::kScalar, simd::Backend::kAvx2,
-                          simd::Backend::kNeon}) {
+  for (simd::Backend b : kAllBackends) {
     if (simd::backend_available(b)) backends.push_back(b);
   }
   return backends;
@@ -117,18 +120,17 @@ constexpr NonlinearityKind kAllKinds[] = {
     NonlinearityKind::kCubic,     NonlinearityKind::kSaturating,
 };
 
-// Odd shapes: below any vector width, odd, prime, and a large non-multiple
-// of both the AVX2 (4) and NEON (2) widths.
+// Odd shapes: below any vector width, odd, prime, and large non-multiples
+// of the NEON (2), AVX2 (4), and AVX-512 (8) widths.
 constexpr std::size_t kOddSizes[] = {1, 2, 3, 5, 30, 101};
 
 // ---- dispatch plumbing -----------------------------------------------------
 
 TEST(SimdDispatch, BackendNamesRoundTrip) {
-  for (simd::Backend b : {simd::Backend::kScalar, simd::Backend::kAvx2,
-                          simd::Backend::kNeon}) {
+  for (simd::Backend b : kAllBackends) {
     EXPECT_EQ(simd::parse_backend(simd::backend_name(b)), b);
   }
-  EXPECT_THROW((void)simd::parse_backend("avx512"), CheckError);
+  EXPECT_THROW((void)simd::parse_backend("avx999"), CheckError);
   EXPECT_THROW((void)simd::parse_backend(""), CheckError);
 }
 
@@ -141,11 +143,28 @@ TEST(SimdDispatch, ScalarAlwaysAvailableAndBestIsAvailable) {
   EXPECT_EQ(simd::active_kernels().backend, simd::active_backend());
 }
 
+// AVX-512 is a real fourth backend, preferred over AVX2 when the CPU has
+// it — best_backend() must pick the widest available kernel set.
+TEST(SimdDispatch, BestBackendPrefersWiderVectors) {
+  if (simd::backend_available(simd::Backend::kAvx512)) {
+    EXPECT_EQ(simd::best_backend(), simd::Backend::kAvx512);
+  } else if (simd::backend_available(simd::Backend::kAvx2)) {
+    EXPECT_EQ(simd::best_backend(), simd::Backend::kAvx2);
+  } else if (simd::backend_available(simd::Backend::kNeon)) {
+    EXPECT_EQ(simd::best_backend(), simd::Backend::kNeon);
+  } else {
+    EXPECT_EQ(simd::best_backend(), simd::Backend::kScalar);
+  }
+}
+
 // Run under CTest's `simd_forced_scalar` registration (ENVIRONMENT
-// DFR_SIMD=scalar) this asserts the env route end-to-end, and under
-// `simd_env_fallback` (DFR_SIMD=avx512) it asserts the warn-and-fall-back
-// route for unrecognized values; without the env var it documents the
-// default: best available backend.
+// DFR_SIMD=scalar) this asserts the env route end-to-end; under
+// `simd_forced_avx512` (DFR_SIMD=avx512) it asserts either the forced
+// AVX-512 dispatch (on capable hosts) or the unavailable-backend fallback
+// (elsewhere — which is how that registration "skips cleanly" on
+// non-AVX-512 runners); under `simd_env_fallback` (DFR_SIMD=avx999) it
+// asserts the warn-and-fall-back route for unrecognized values; without the
+// env var it documents the default: best available backend.
 TEST(SimdDispatch, EnvForcedBackendIsHonored) {
   if (const char* env = std::getenv("DFR_SIMD")) {
     simd::Backend requested = simd::Backend::kScalar;
@@ -169,9 +188,9 @@ TEST(SimdDispatch, EnvForcedBackendIsHonored) {
 // rejected value and the backend actually selected.
 TEST(SimdDispatch, UnrecognizedEnvValueWarnsAndFallsBack) {
   std::string warning;
-  EXPECT_EQ(simd::detail::resolve_env_backend("avx512", &warning),
+  EXPECT_EQ(simd::detail::resolve_env_backend("avx999", &warning),
             simd::best_backend());
-  EXPECT_NE(warning.find("avx512"), std::string::npos)
+  EXPECT_NE(warning.find("avx999"), std::string::npos)
       << "warning must name the rejected value: " << warning;
   EXPECT_NE(warning.find(simd::backend_name(simd::best_backend())),
             std::string::npos)
@@ -182,9 +201,12 @@ TEST(SimdDispatch, UnrecognizedEnvValueWarnsAndFallsBack) {
   EXPECT_TRUE(warning.empty()) << warning;
 }
 
+// A recognized backend the CPU/build cannot run (e.g. DFR_SIMD=avx512 on a
+// pre-AVX-512 host) warns and falls back, naming the detected best backend.
 TEST(SimdDispatch, UnavailableEnvValueWarnsAndFallsBack) {
   const char* unavailable = nullptr;
-  for (simd::Backend b : {simd::Backend::kAvx2, simd::Backend::kNeon}) {
+  for (simd::Backend b : {simd::Backend::kAvx2, simd::Backend::kNeon,
+                          simd::Backend::kAvx512}) {
     if (!simd::backend_available(b)) unavailable = simd::backend_name(b);
   }
   if (unavailable == nullptr) {
@@ -207,13 +229,16 @@ TEST(SimdDispatch, TryParseBackendMatchesParse) {
   EXPECT_EQ(out, simd::Backend::kAvx2);
   EXPECT_TRUE(simd::try_parse_backend("neon", out));
   EXPECT_EQ(out, simd::Backend::kNeon);
-  EXPECT_FALSE(simd::try_parse_backend("avx512", out));
+  EXPECT_TRUE(simd::try_parse_backend("avx512", out));
+  EXPECT_EQ(out, simd::Backend::kAvx512);
+  EXPECT_FALSE(simd::try_parse_backend("avx999", out));
   EXPECT_FALSE(simd::try_parse_backend("", out));
 }
 
 TEST(SimdDispatch, ForcingUnavailableBackendThrows) {
   bool found_unavailable = false;
-  for (simd::Backend b : {simd::Backend::kAvx2, simd::Backend::kNeon}) {
+  for (simd::Backend b : {simd::Backend::kAvx2, simd::Backend::kNeon,
+                          simd::Backend::kAvx512}) {
     if (!simd::backend_available(b)) {
       found_unavailable = true;
       EXPECT_THROW(simd::force_backend(b), CheckError);
