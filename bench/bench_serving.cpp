@@ -4,11 +4,22 @@
 // the float, SIMD (runtime-dispatched; force with
 // DFR_SIMD=scalar|avx2|avx512|neon) and calibrated fixed-point datapaths
 // (quant-scalar vs the vectorized quant-<backend>, bit-identical by the
-// quantized SIMD contract) — plus the multi-model serving rows: 1/2/4
-// registered models behind the request-queue InferenceServer
-// (serve/server.hpp) under interleaved traffic, reporting request throughput
-// and end-to-end latency (queue wait + inference) per worker count, for
-// float and per-request-routed quantized traffic (server-*-quant rows).
+// quantized SIMD contract) — plus the cross-request batched SoA engine rows
+// (batched-<backend> / batched-quant-<backend>: one BatchedEngine running
+// `--lanes` concurrent series per step, per-series latency = batch time /
+// lanes, speedup vs the single-series simd-<backend> serial loop) — plus
+// the multi-model serving rows: 1/2/4 registered models behind the
+// request-queue InferenceServer (serve/server.hpp) under interleaved
+// traffic, reporting request throughput and end-to-end latency (queue wait
+// + inference) per worker count, for float and per-request-routed quantized
+// traffic (server-*-quant rows), and the same traffic through a
+// micro-batching server (server-batched-* rows, max_batch = --lanes).
+//
+// Thread-sweep and multi-worker rows are only meaningful when the host has
+// the cores to run them: on hosts with fewer than 4 cores, rows that would
+// oversubscribe (threads/workers > cores) are emitted as explicit
+// `skipped(ncores=N)` markers instead of misleading numbers — CSV consumers
+// (the CI perf rollup) treat the marker as "not measured", never as zero.
 //
 // The model is built directly (random mask + random readout at the paper's
 // Nx=30 shape): serving cost depends only on shapes (T, V, Nx, Ny), never on
@@ -19,8 +30,10 @@
 //
 // Usage: bench_serving [--datasets ECG,JPVOW] [--cap N] [--batch 256]
 //                      [--repeats 3] [--csv serving.csv]
+#include <algorithm>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -31,6 +44,7 @@
 #include "linalg/stats.hpp"
 #include "serve/engine.hpp"
 #include "serve/server.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -108,6 +122,39 @@ ServerRunResult run_server_traffic(serve::InferenceServer& server,
   return result;
 }
 
+/// Cross-request batched SoA engine over `batch`, `lanes` series per call:
+/// per-series latency is the batch call's time divided by its lane count
+/// (each recorded once per lane so percentiles weight series, not chunks).
+template <typename Engine>
+StreamResult run_batched_stream(Engine engine, const std::vector<Matrix>& batch,
+                                std::size_t lanes, std::size_t repeats) {
+  std::vector<const Matrix*> ptrs(lanes, nullptr);
+  const auto run_chunk = [&](std::size_t start) {
+    const std::size_t n = std::min(lanes, batch.size() - start);
+    for (std::size_t l = 0; l < n; ++l) ptrs[l] = &batch[start + l];
+    engine.infer(std::span<const Matrix* const>(ptrs.data(), n));
+    return n;
+  };
+  for (std::size_t s = 0; s < batch.size(); s += lanes) run_chunk(s);  // warmup
+  StreamResult result;
+  Vector latencies;
+  latencies.reserve(batch.size() * repeats);
+  Timer total;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    for (std::size_t s = 0; s < batch.size(); s += lanes) {
+      Timer t;
+      const std::size_t n = run_chunk(s);
+      const double per_series =
+          static_cast<double>(t.elapsed_ns()) * 1e-3 / static_cast<double>(n);
+      for (std::size_t l = 0; l < n; ++l) latencies.push_back(per_series);
+    }
+  }
+  result.serial_sps =
+      static_cast<double>(batch.size() * repeats) / total.elapsed_seconds();
+  result.latency_us = summarize(latencies);
+  return result;
+}
+
 /// Single-stream latencies + serial-loop throughput over `batch`.
 template <typename Engine>
 StreamResult run_single_stream(Engine engine, const std::vector<Matrix>& batch,
@@ -142,6 +189,7 @@ int main(int argc, char** argv) {
   cli.add_option("nodes", "virtual nodes Nx", "30");
   cli.add_option("batch", "batch size for throughput runs", "256");
   cli.add_option("repeats", "latency passes over the batch", "3");
+  cli.add_option("lanes", "batched-engine lanes / server max_batch", "8");
   try {
     cli.parse(argc, argv);
   } catch (const CliError& e) {
@@ -156,6 +204,16 @@ int main(int argc, char** argv) {
   const std::size_t nodes = cli.get_u64("nodes");
   const std::size_t batch_size = cli.get_u64("batch");
   const std::size_t repeats = std::max<std::size_t>(1, cli.get_u64("repeats"));
+  const std::size_t lanes = std::clamp<std::size_t>(
+      cli.get_u64("lanes"), 1, dfr::simd::kBatchedMaxLanes);
+  const unsigned ncores = dfr::hardware_threads();
+  // Oversubscribed rows on small hosts are noise, not data (satellite of the
+  // perf-trajectory fix): mark them instead of timing them.
+  const auto skip_marker = [&](unsigned want) {
+    return (ncores < 4 && want > ncores)
+               ? "skipped(ncores=" + std::to_string(ncores) + ")"
+               : std::string();
+  };
 
   std::vector<DatasetSpec> specs;
   if (cli.get("datasets").empty()) {
@@ -179,8 +237,11 @@ int main(int argc, char** argv) {
     const DatasetPair data = prepare_dataset(spec, options);
     const LoadedModel model =
         make_serving_model(data.test, nodes, options.seed);
-    QuantizedDfr quantized(model, QuantizedInferenceConfig{});
-    quantized.calibrate(data.train);
+    // Held by shared_ptr so the batched quantized engine can share ownership.
+    auto quantized_ptr =
+        std::make_shared<QuantizedDfr>(model, QuantizedInferenceConfig{});
+    quantized_ptr->calibrate(data.train);
+    const QuantizedDfr& quantized = *quantized_ptr;
     const std::vector<Matrix> batch = make_batch(data.test, batch_size);
 
     struct Datapath {
@@ -226,6 +287,16 @@ int main(int argc, char** argv) {
            fmt_double(lat.max, 1)});
 
       for (unsigned threads : thread_sweep) {
+        const std::string marker = skip_marker(threads);
+        if (!marker.empty()) {
+          throughput_table.add_row(
+              {spec.id, dp.name, std::to_string(threads), marker, marker});
+          csv.add_row({spec.id, dp.name, std::to_string(threads),
+                       std::to_string(batch.size()), fmt_double(lat.p50, 2),
+                       fmt_double(lat.p90, 2), fmt_double(lat.p99, 2),
+                       fmt_double(dp.stream.serial_sps, 1), marker, marker});
+          continue;
+        }
         // Untimed warm-up: the first threaded run pays the lazy creation of
         // the process-wide pool, which must not land in a recorded cell.
         dp.run_batch(threads);
@@ -241,6 +312,48 @@ int main(int argc, char** argv) {
                      fmt_double(lat.p90, 2), fmt_double(lat.p99, 2),
                      fmt_double(dp.stream.serial_sps, 1), fmt_double(sps, 1),
                      fmt_double(speedup, 3)});
+      }
+    }
+
+    // Cross-request batched SoA engine: one engine, `lanes` concurrent
+    // series per call. The speedup column is the headline batched metric —
+    // batched series/s over the single-series simd-<backend> serial loop
+    // (same backend, same model), i.e. what coalescing alone buys.
+    {
+      const std::string backend(simd::backend_name(simd::active_backend()));
+      const ModelArtifactPtr artifact = model.artifact("bench");
+      struct BatchedRow {
+        std::string name;
+        StreamResult stream;
+        double baseline_sps;  // single-series simd serial loop, same family
+      };
+      const BatchedRow batched_rows[] = {
+          {"batched-" + backend,
+           run_batched_stream(make_batched_engine(artifact, lanes), batch,
+                              lanes, repeats),
+           datapaths[1].stream.serial_sps},
+          {"batched-quant-" + backend,
+           run_batched_stream(make_batched_engine(quantized_ptr, lanes), batch,
+                              lanes, repeats),
+           datapaths[3].stream.serial_sps},
+      };
+      for (const BatchedRow& row : batched_rows) {
+        const Summary& lat = row.stream.latency_us;
+        const double batch_speedup = row.stream.serial_sps / row.baseline_sps;
+        latency_table.add_row(
+            {spec.id, row.name, std::to_string(data.test.length()),
+             std::to_string(data.test.channels()), fmt_double(lat.p50, 1),
+             fmt_double(lat.p90, 1), fmt_double(lat.p99, 1),
+             fmt_double(lat.max, 1)});
+        throughput_table.add_row({spec.id, row.name,
+                                  "1x" + std::to_string(lanes) + "lanes",
+                                  fmt_double(row.stream.serial_sps, 0),
+                                  fmt_double(batch_speedup, 2)});
+        csv.add_row({spec.id, row.name, "1", std::to_string(lanes),
+                     fmt_double(lat.p50, 2), fmt_double(lat.p90, 2),
+                     fmt_double(lat.p99, 2), fmt_double(row.baseline_sps, 1),
+                     fmt_double(row.stream.serial_sps, 1),
+                     fmt_double(batch_speedup, 3)});
       }
     }
 
@@ -270,17 +383,48 @@ int main(int argc, char** argv) {
           {"-quant", serve::RequestOptions{QuantizedEngineKind::kAuto}},
       };
       for (std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+        const std::string marker = skip_marker(static_cast<unsigned>(workers));
+        if (!marker.empty()) {
+          for (const TrafficKind& kind : traffic_kinds) {
+            server_table.add_row(
+                {spec.id, std::to_string(num_models) + kind.suffix,
+                 std::to_string(workers), marker, marker, marker, marker});
+            csv.add_row({spec.id,
+                         "server-" + std::to_string(num_models) + "m" +
+                             kind.suffix,
+                         std::to_string(workers), std::to_string(batch.size()),
+                         marker, marker, marker, "0", marker, "0"});
+          }
+          continue;
+        }
         serve::InferenceServer server(
             registry, {.workers = workers, .queue_capacity = batch.size()});
+        // Same registry and traffic through a micro-batching server: queued
+        // neighbors for one (model, variant, shape) coalesce into SoA
+        // batches of up to `lanes` lanes.
+        serve::InferenceServer batched_server(
+            registry, {.workers = workers,
+                       .queue_capacity = batch.size(),
+                       .max_batch = lanes,
+                       .batch_window_us = 200});
         for (const TrafficKind& kind : traffic_kinds) {
           const ServerRunResult run =
               run_server_traffic(server, ids, batch, repeats, kind.options);
+          const ServerRunResult batched_run = run_server_traffic(
+              batched_server, ids, batch, repeats, kind.options);
           server_table.add_row(
               {spec.id, std::to_string(num_models) + kind.suffix,
                std::to_string(workers), fmt_double(run.requests_per_s, 0),
                fmt_double(run.latency_us.p50, 1),
                fmt_double(run.latency_us.p90, 1),
                fmt_double(run.latency_us.p99, 1)});
+          server_table.add_row(
+              {spec.id, std::to_string(num_models) + kind.suffix + "+batch",
+               std::to_string(workers),
+               fmt_double(batched_run.requests_per_s, 0),
+               fmt_double(batched_run.latency_us.p50, 1),
+               fmt_double(batched_run.latency_us.p90, 1),
+               fmt_double(batched_run.latency_us.p99, 1)});
           csv.add_row({spec.id,
                        "server-" + std::to_string(num_models) + "m" +
                            kind.suffix,
@@ -289,6 +433,14 @@ int main(int argc, char** argv) {
                        fmt_double(run.latency_us.p90, 2),
                        fmt_double(run.latency_us.p99, 2), "0",
                        fmt_double(run.requests_per_s, 1), "0"});
+          csv.add_row({spec.id,
+                       "server-batched-" + std::to_string(num_models) + "m" +
+                           kind.suffix,
+                       std::to_string(workers), std::to_string(batch.size()),
+                       fmt_double(batched_run.latency_us.p50, 2),
+                       fmt_double(batched_run.latency_us.p90, 2),
+                       fmt_double(batched_run.latency_us.p99, 2), "0",
+                       fmt_double(batched_run.requests_per_s, 1), "0"});
         }
       }
     }

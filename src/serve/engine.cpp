@@ -245,6 +245,240 @@ void SimdQuantizedDatapath::finalize(Vector& r, std::size_t t_len) const {
                            r.size());
 }
 
+// ---- BatchedFloatDatapath --------------------------------------------------
+
+BatchedFloatDatapath::BatchedFloatDatapath(ModelArtifactPtr model)
+    : BatchedFloatDatapath(std::move(model), simd::active_backend()) {}
+
+BatchedFloatDatapath::BatchedFloatDatapath(ModelArtifactPtr model,
+                                           simd::Backend backend)
+    : artifact_(checked_artifact(std::move(model))),
+      mask_(&artifact_->mask),
+      params_(artifact_->params),
+      f_(artifact_->nonlinearity),
+      kernels_(&simd::kernels_for(backend)),
+      readout_(&artifact_->readout) {
+  DFR_CHECK_MSG(artifact_->mask.nodes() > 0,
+                "reservoir needs at least one virtual node");
+}
+
+void BatchedFloatDatapath::mask_soa(const double* u, double* j,
+                                    std::size_t lanes) const {
+  kernels_->batched_mask(mask_->weights().data(), mask_->nodes(),
+                         mask_->channels(), u, j, lanes);
+}
+
+void BatchedFloatDatapath::quantize_masked(double*, std::size_t) const {}
+
+void BatchedFloatDatapath::preadd(const double* j, const double* x_prev,
+                                  double* x_out, std::size_t count) const {
+  // Pure per-element map, so running it over the whole SoA block performs
+  // exactly the per-lane operations of the single-series preadd stage.
+  kernels_->preadd_nonlin(f_, params_.a, j, x_prev, x_out, count);
+}
+
+void BatchedFloatDatapath::bchain(const double* head, double* x, std::size_t nx,
+                                  std::size_t lanes) const {
+  kernels_->batched_bchain(params_.b, head, x, nx, lanes);
+}
+
+void BatchedFloatDatapath::dprr_add(double* r, const double* x_k,
+                                    const double* x_km1, std::size_t nx,
+                                    std::size_t lanes) const {
+  kernels_->batched_dprr_add(r, x_k, x_km1, nx, lanes);
+}
+
+void BatchedFloatDatapath::finalize(double* r, std::size_t count,
+                                    std::size_t t_len) const {
+  scale(std::span<double>(r, count), dprr_time_scale(t_len));
+}
+
+// ---- BatchedQuantizedDatapath ----------------------------------------------
+
+BatchedQuantizedDatapath::BatchedQuantizedDatapath(
+    std::shared_ptr<const QuantizedDfr> model)
+    : BatchedQuantizedDatapath(std::move(model), simd::active_backend()) {}
+
+BatchedQuantizedDatapath::BatchedQuantizedDatapath(
+    std::shared_ptr<const QuantizedDfr> model, simd::Backend backend)
+    : owner_((checked_deref(model), std::move(model))),
+      mask_(&owner_->model().mask),
+      params_(owner_->model().params),
+      f_(owner_->model().nonlinearity),
+      state_format_(owner_->config().state_format),
+      feature_format_(owner_->config().feature_format),
+      state_scale_(owner_->scales().state),
+      feature_scale_(owner_->scales().feature),
+      kernels_(&simd::kernels_for(backend)),
+      readout_(&owner_->quantized_readout()) {
+  DFR_CHECK_MSG(mask_->nodes() > 0, "reservoir needs at least one virtual node");
+}
+
+void BatchedQuantizedDatapath::mask_soa(const double* u, double* j,
+                                        std::size_t lanes) const {
+  kernels_->batched_mask(mask_->weights().data(), mask_->nodes(),
+                         mask_->channels(), u, j, lanes);
+}
+
+void BatchedQuantizedDatapath::quantize_masked(double* j,
+                                               std::size_t count) const {
+  // Same ops as the scalar path per element: v = Q_state(v * (1/state_scale)).
+  kernels_->scale_quantize(state_format_, 1.0 / state_scale_, j, count);
+}
+
+void BatchedQuantizedDatapath::preadd(const double* j, const double* x_prev,
+                                      double* x_out, std::size_t count) const {
+  kernels_->quant_preadd_nonlin(f_, params_.a, state_format_, j, x_prev, x_out,
+                                count);
+}
+
+void BatchedQuantizedDatapath::bchain(const double* head, double* x,
+                                      std::size_t nx, std::size_t lanes) const {
+  kernels_->batched_quant_bchain(params_.b, state_format_, head, x, nx, lanes);
+}
+
+void BatchedQuantizedDatapath::dprr_add(double* r, const double* x_k,
+                                        const double* x_km1, std::size_t nx,
+                                        std::size_t lanes) const {
+  kernels_->batched_dprr_add_exact(r, x_k, x_km1, nx, lanes);
+}
+
+void BatchedQuantizedDatapath::finalize(double* r, std::size_t count,
+                                        std::size_t t_len) const {
+  kernels_->scale_quantize(feature_format_,
+                           dprr_time_scale(t_len) / feature_scale_, r, count);
+}
+
+// ---- BatchedEngine ---------------------------------------------------------
+
+template <typename P>
+BatchedEngine<P>::BatchedEngine(P datapath, std::size_t max_lanes)
+    : datapath_(std::move(datapath)),
+      max_lanes_(max_lanes),
+      u_soa_(datapath_.channels() * max_lanes, 0.0),
+      j_(datapath_.nodes() * max_lanes, 0.0),
+      x_prev_(datapath_.nodes() * max_lanes, 0.0),
+      x_cur_(datapath_.nodes() * max_lanes, 0.0),
+      r_(dprr_dim(datapath_.nodes()) * max_lanes, 0.0),
+      feat_(dprr_dim(datapath_.nodes()), 0.0),
+      logits_(
+          (datapath_.readout()
+               ? static_cast<std::size_t>(datapath_.readout()->num_classes())
+               : 0) *
+              max_lanes,
+          0.0),
+      labels_(max_lanes, -1) {
+  DFR_CHECK_MSG(max_lanes_ >= 1, "batched engine needs at least one lane");
+  DFR_CHECK_MSG(max_lanes_ <= simd::kBatchedMaxLanes,
+                "batched engine lane count exceeds kBatchedMaxLanes");
+}
+
+template <typename P>
+void BatchedEngine<P>::infer(std::span<const Matrix* const> series) {
+  const std::size_t n = series.size();
+  DFR_CHECK_MSG(n >= 1, "batched infer needs at least one lane");
+  DFR_CHECK_MSG(n <= max_lanes_,
+                "batch size exceeds the engine's lane count");
+  for (const Matrix* s : series) {
+    DFR_CHECK_MSG(s != nullptr, "null series in batch");
+    DFR_CHECK_MSG(s->rows() == series[0]->rows() &&
+                      s->cols() == series[0]->cols(),
+                  "batched lanes must share one series shape");
+  }
+  DFR_CHECK_MSG(series[0]->cols() == datapath_.channels(),
+                "series channel count != mask width");
+  DFR_CHECK_MSG(series[0]->rows() >= 1, "series needs at least one time step");
+  const OutputLayer* out = datapath_.readout();
+  DFR_CHECK_MSG(out != nullptr, "batched datapath has no readout");
+
+  const std::size_t nx = datapath_.nodes();
+  const std::size_t t_len = series[0]->rows();
+  const std::size_t count = nx * n;  // SoA stride = actual batch size
+  const std::size_t feat_count = dprr_dim(nx) * n;
+  batch_size_ = n;
+  std::fill(x_prev_.begin(), x_prev_.begin() + count, 0.0);  // x(0) = 0
+  std::fill(r_.begin(), r_.begin() + feat_count, 0.0);
+
+  const std::size_t channels = datapath_.channels();
+  for (std::size_t k = 0; k < t_len; ++k) {
+    // Gather this time step's raw inputs into SoA (channels*n cheap copies),
+    // then mask all lanes at once: j_[i*n + l] = (M u_l(k))_i. The batched
+    // mask kernel preserves the scalar dot() order per lane, so this stage
+    // stays bit-identical to per-lane Mask::apply_into.
+    for (std::size_t l = 0; l < n; ++l) {
+      const auto row = series[l]->row(k);
+      for (std::size_t v = 0; v < channels; ++v) u_soa_[v * n + l] = row[v];
+    }
+    datapath_.mask_soa(u_soa_.data(), j_.data(), n);
+    datapath_.quantize_masked(j_.data(), count);
+    datapath_.preadd(j_.data(), x_prev_.data(), x_cur_.data(), count);
+    datapath_.bchain(x_prev_.data() + (nx - 1) * n, x_cur_.data(), nx, n);
+    datapath_.dprr_add(r_.data(), x_cur_.data(), x_prev_.data(), nx, n);
+    std::swap(x_prev_, x_cur_);  // pointer swap: no allocation
+  }
+  datapath_.finalize(r_.data(), feat_count, t_len);
+
+  const std::size_t ny = static_cast<std::size_t>(out->num_classes());
+  for (std::size_t l = 0; l < n; ++l) {
+    for (std::size_t f = 0; f < feat_.size(); ++f) feat_[f] = r_[f * n + l];
+    const std::span<double> lane(logits_.data() + l * ny, ny);
+    out->logits_into(feat_, lane);
+    labels_[l] = static_cast<int>(
+        std::max_element(lane.begin(), lane.end()) - lane.begin());
+  }
+}
+
+template <typename P>
+std::span<const double> BatchedEngine<P>::lane_logits(std::size_t lane) const {
+  DFR_CHECK_MSG(lane < batch_size_, "lane index beyond the last batch size");
+  const std::size_t ny = logits_.size() / max_lanes_;
+  return std::span<const double>(logits_.data() + lane * ny, ny);
+}
+
+template <typename P>
+int BatchedEngine<P>::lane_label(std::size_t lane) const {
+  DFR_CHECK_MSG(lane < batch_size_, "lane index beyond the last batch size");
+  return labels_[lane];
+}
+
+template <typename P>
+std::span<const double> BatchedEngine<P>::lane_features(std::size_t lane) {
+  DFR_CHECK_MSG(lane < batch_size_, "lane index beyond the last batch size");
+  for (std::size_t f = 0; f < feat_.size(); ++f) {
+    feat_[f] = r_[f * batch_size_ + lane];
+  }
+  return feat_;
+}
+
+template class BatchedEngine<BatchedFloatDatapath>;
+template class BatchedEngine<BatchedQuantizedDatapath>;
+
+BatchedInferenceEngine make_batched_engine(ModelArtifactPtr model,
+                                           std::size_t max_lanes) {
+  return BatchedInferenceEngine(BatchedFloatDatapath(std::move(model)),
+                                max_lanes);
+}
+
+BatchedInferenceEngine make_batched_engine(ModelArtifactPtr model,
+                                           std::size_t max_lanes,
+                                           simd::Backend backend) {
+  return BatchedInferenceEngine(BatchedFloatDatapath(std::move(model), backend),
+                                max_lanes);
+}
+
+BatchedQuantizedInferenceEngine make_batched_engine(
+    std::shared_ptr<const QuantizedDfr> model, std::size_t max_lanes) {
+  return BatchedQuantizedInferenceEngine(
+      BatchedQuantizedDatapath(std::move(model)), max_lanes);
+}
+
+BatchedQuantizedInferenceEngine make_batched_engine(
+    std::shared_ptr<const QuantizedDfr> model, std::size_t max_lanes,
+    simd::Backend backend) {
+  return BatchedQuantizedInferenceEngine(
+      BatchedQuantizedDatapath(std::move(model), backend), max_lanes);
+}
+
 // ---- BasicEngine -----------------------------------------------------------
 
 template <InferenceDatapath P>

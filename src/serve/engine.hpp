@@ -252,6 +252,176 @@ class SimdQuantizedDatapath {
   const OutputLayer* readout_;
 };
 
+/// Batched (SoA) float datapath: the stage set BatchedEngine drives over up
+/// to simd::kBatchedMaxLanes concurrent series transposed into
+/// structure-of-arrays form (state buffers indexed [node*lanes + lane]).
+/// Every vector operation spans independent lanes, so the B-chain that
+/// serializes the single-series SIMD path vectorizes ACROSS requests and
+/// lanes stay full at any Nx. Per-lane equivalence: bit-identical states to
+/// FloatDatapath on x86-64 (the batched B-chain never uses FMA), finalized
+/// features within simd_feature_ulp_bound of the scalar pipeline — the same
+/// contract as SimdFloatDatapath, and bit-identical per lane to the
+/// single-series SIMD engine (both FMA once per DPRR accumulate). Shares
+/// ownership of the artifact.
+class BatchedFloatDatapath {
+ public:
+  /// Active backend (simd::active_backend()).
+  explicit BatchedFloatDatapath(ModelArtifactPtr model);
+
+  /// Explicit backend (kernels_for semantics: throws when unavailable).
+  BatchedFloatDatapath(ModelArtifactPtr model, simd::Backend backend);
+
+  [[nodiscard]] std::size_t nodes() const noexcept { return mask_->nodes(); }
+  [[nodiscard]] std::size_t channels() const noexcept { return mask_->channels(); }
+  [[nodiscard]] simd::Backend backend() const noexcept { return kernels_->backend; }
+  /// Batched input mask over one time step's SoA input block
+  /// (`u[v*lanes + l]` = lane l's channel v): j[i*lanes + l] accumulates
+  /// in the scalar dot() order per lane, so the stage is bit-identical to
+  /// the unbatched mask on every backend.
+  void mask_soa(const double* u, double* j, std::size_t lanes) const;
+  /// Post-mask masked-input transform over the whole SoA block
+  /// (`count` = nx*lanes). No-op for the float family.
+  void quantize_masked(double* j, std::size_t count) const;
+  /// Elementwise preadd + nonlinearity over the whole SoA block.
+  void preadd(const double* j, const double* x_prev, double* x_out,
+              std::size_t count) const;
+  /// Cross-lane-vectorized B-chain (see BatchedBChainFn).
+  void bchain(const double* head, double* x, std::size_t nx,
+              std::size_t lanes) const;
+  /// Batched DPRR accumulate into the SoA feature block.
+  void dprr_add(double* r, const double* x_k, const double* x_km1,
+                std::size_t nx, std::size_t lanes) const;
+  /// Feature finalization over the whole SoA block (`count` =
+  /// dprr_dim(nx)*lanes).
+  void finalize(double* r, std::size_t count, std::size_t t_len) const;
+  [[nodiscard]] const OutputLayer* readout() const noexcept { return readout_; }
+  [[nodiscard]] const ModelArtifactPtr& artifact() const noexcept {
+    return artifact_;
+  }
+
+ private:
+  ModelArtifactPtr artifact_;  // keepalive
+  const Mask* mask_;
+  DfrParams params_;
+  Nonlinearity f_;
+  const simd::Kernels* kernels_;
+  const OutputLayer* readout_ = nullptr;
+};
+
+/// Batched (SoA) fixed-point datapath: the quantized twin of
+/// BatchedFloatDatapath with the STRICT contract — every stage rounds
+/// exactly like the scalar QuantizedDatapath per lane (no FMA anywhere), so
+/// batched quantized lanes are BIT-IDENTICAL to the scalar pipeline on every
+/// backend (asserted EXPECT_EQ-strict by test_batched.cpp). Shares ownership
+/// of the calibrated model.
+class BatchedQuantizedDatapath {
+ public:
+  /// Active backend (simd::active_backend()).
+  explicit BatchedQuantizedDatapath(std::shared_ptr<const QuantizedDfr> model);
+
+  /// Explicit backend (kernels_for semantics: throws when unavailable).
+  BatchedQuantizedDatapath(std::shared_ptr<const QuantizedDfr> model,
+                           simd::Backend backend);
+
+  [[nodiscard]] std::size_t nodes() const noexcept { return mask_->nodes(); }
+  [[nodiscard]] std::size_t channels() const noexcept { return mask_->channels(); }
+  [[nodiscard]] simd::Backend backend() const noexcept { return kernels_->backend; }
+  void mask_soa(const double* u, double* j, std::size_t lanes) const;
+  /// Vectorized round-to-state-format over the whole SoA block.
+  void quantize_masked(double* j, std::size_t count) const;
+  void preadd(const double* j, const double* x_prev, double* x_out,
+              std::size_t count) const;
+  void bchain(const double* head, double* x, std::size_t nx,
+              std::size_t lanes) const;
+  void dprr_add(double* r, const double* x_k, const double* x_km1,
+                std::size_t nx, std::size_t lanes) const;
+  void finalize(double* r, std::size_t count, std::size_t t_len) const;
+  [[nodiscard]] const OutputLayer* readout() const noexcept { return readout_; }
+
+ private:
+  std::shared_ptr<const QuantizedDfr> owner_;  // keepalive
+  const Mask* mask_;
+  DfrParams params_;
+  Nonlinearity f_;
+  FixedPointFormat state_format_;
+  FixedPointFormat feature_format_;
+  double state_scale_ = 1.0;    // states divided by this (power of two)
+  double feature_scale_ = 1.0;  // residual feature prescaler (power of two)
+  const simd::Kernels* kernels_;
+  const OutputLayer* readout_;
+};
+
+/// Cross-request batched engine: runs one series per lane through the SoA
+/// pipeline, up to `max_lanes` lanes per call. All scratch (SoA state
+/// blocks, the DPRR block, per-lane logits) is preallocated for `max_lanes`
+/// at construction, so infer() performs zero heap allocations in steady
+/// state regardless of the batch size actually submitted. Lanes are
+/// independent: lane l's results depend only on series[l] (asserted by
+/// test_batched.cpp against varying batchmates). One engine per worker; not
+/// thread-safe.
+template <typename P>
+class BatchedEngine {
+ public:
+  /// `max_lanes` in [1, simd::kBatchedMaxLanes].
+  BatchedEngine(P datapath, std::size_t max_lanes);
+
+  /// Run series[l] through lane l. All pointers must be non-null and every
+  /// series must share one (rows, cols) shape with cols == channels()
+  /// (the server's micro-batcher only coalesces same-shape requests).
+  /// Throws CheckError otherwise. Results are read per lane via
+  /// lane_logits/lane_label and stay valid until the next infer() call.
+  void infer(std::span<const Matrix* const> series);
+
+  /// Lane l's logits from the last infer() (lane < that call's batch size).
+  [[nodiscard]] std::span<const double> lane_logits(std::size_t lane) const;
+
+  /// Lane l's argmax label from the last infer().
+  [[nodiscard]] int lane_label(std::size_t lane) const;
+
+  /// Lane l's finalized feature vector, gathered from the SoA block into a
+  /// shared scratch row: the span is invalidated by the next lane_features
+  /// or infer call. Exposed for equivalence tests.
+  [[nodiscard]] std::span<const double> lane_features(std::size_t lane);
+
+  [[nodiscard]] std::size_t max_lanes() const noexcept { return max_lanes_; }
+  [[nodiscard]] const P& datapath() const noexcept { return datapath_; }
+
+ private:
+  P datapath_;
+  std::size_t max_lanes_;
+  std::size_t batch_size_ = 0;  // lanes used by the last infer()
+  Vector u_soa_;       // SoA raw-input block, size channels*max_lanes
+  Vector j_;           // SoA masked-input block, size Nx*max_lanes
+  Vector x_prev_;      // SoA x(k-1) block, ping-ponged with x_cur_
+  Vector x_cur_;       // SoA x(k) block
+  Vector r_;           // SoA DPRR block, size dprr_dim(Nx)*max_lanes
+  Vector feat_;        // per-lane gather row, size dprr_dim(Nx)
+  Vector logits_;      // per-lane logits, size Ny*max_lanes
+  std::vector<int> labels_;  // per-lane argmax, size max_lanes
+};
+
+using BatchedInferenceEngine = BatchedEngine<BatchedFloatDatapath>;
+using BatchedQuantizedInferenceEngine = BatchedEngine<BatchedQuantizedDatapath>;
+
+extern template class BatchedEngine<BatchedFloatDatapath>;
+extern template class BatchedEngine<BatchedQuantizedDatapath>;
+
+/// Batched float engine sharing ownership of an immutable artifact, on the
+/// active backend (or an explicit one).
+[[nodiscard]] BatchedInferenceEngine make_batched_engine(ModelArtifactPtr model,
+                                                         std::size_t max_lanes);
+[[nodiscard]] BatchedInferenceEngine make_batched_engine(ModelArtifactPtr model,
+                                                         std::size_t max_lanes,
+                                                         simd::Backend backend);
+
+/// Batched quantized engine sharing ownership of a calibrated model.
+/// Bit-identical per-lane results to the scalar QuantizedDatapath.
+[[nodiscard]] BatchedQuantizedInferenceEngine make_batched_engine(
+    std::shared_ptr<const QuantizedDfr> model, std::size_t max_lanes);
+[[nodiscard]] BatchedQuantizedInferenceEngine make_batched_engine(
+    std::shared_ptr<const QuantizedDfr> model, std::size_t max_lanes,
+    simd::Backend backend);
+
 /// The streaming engine: owns all scratch, classifies with zero steady-state
 /// heap allocations. One engine per stream/worker; not thread-safe.
 template <InferenceDatapath P>

@@ -141,6 +141,79 @@ int PooledEngine::classify(const Matrix& series) {
                     engine_);
 }
 
+// ---- PooledBatchedEngine ---------------------------------------------------
+
+namespace {
+
+using BatchedEngineStorage =
+    std::variant<BatchedInferenceEngine, BatchedQuantizedInferenceEngine>;
+
+BatchedEngineStorage build_batched_engine(ModelArtifactPtr artifact,
+                                          EngineVariant variant,
+                                          std::size_t max_lanes) {
+  // Scalar variants pin the scalar kernel set (their batched results must
+  // stay bit-identical to the scalar single-series pipeline per lane); SIMD
+  // variants take the active backend exactly like build_engine.
+  switch (variant) {
+    case EngineVariant::kFloatScalar:
+      return BatchedEngineStorage(
+          std::in_place_type<BatchedInferenceEngine>,
+          BatchedFloatDatapath(std::move(artifact), simd::Backend::kScalar),
+          max_lanes);
+    case EngineVariant::kFloatSimd:
+      return BatchedEngineStorage(std::in_place_type<BatchedInferenceEngine>,
+                                  BatchedFloatDatapath(std::move(artifact)),
+                                  max_lanes);
+    case EngineVariant::kQuantScalar:
+    case EngineVariant::kQuantSimd: {
+      DFR_CHECK_MSG(artifact != nullptr, "null model artifact");
+      DFR_CHECK_MSG(artifact->quantized != nullptr,
+                    "artifact '" + artifact->name +
+                        "' has no quantized twin (attach one with "
+                        "with_quantized before quantized serving)");
+      if (variant == EngineVariant::kQuantScalar) {
+        return BatchedEngineStorage(
+            std::in_place_type<BatchedQuantizedInferenceEngine>,
+            BatchedQuantizedDatapath(artifact->quantized,
+                                     simd::Backend::kScalar),
+            max_lanes);
+      }
+      return BatchedEngineStorage(
+          std::in_place_type<BatchedQuantizedInferenceEngine>,
+          BatchedQuantizedDatapath(artifact->quantized), max_lanes);
+    }
+  }
+  DFR_CHECK_MSG(false, "unknown engine variant");
+  return BatchedEngineStorage(std::in_place_type<BatchedInferenceEngine>,
+                              BatchedFloatDatapath(std::move(artifact)),
+                              max_lanes);
+}
+
+}  // namespace
+
+PooledBatchedEngine::PooledBatchedEngine(ModelArtifactPtr artifact,
+                                         EngineVariant variant,
+                                         std::size_t max_lanes)
+    : artifact_(std::move(artifact)),
+      variant_(variant),
+      max_lanes_(max_lanes),
+      engine_(build_batched_engine(artifact_, variant_, max_lanes_)) {}
+
+void PooledBatchedEngine::infer(std::span<const Matrix* const> series) {
+  std::visit([&](auto& engine) { engine.infer(series); }, engine_);
+}
+
+std::span<const double> PooledBatchedEngine::lane_logits(
+    std::size_t lane) const {
+  return std::visit(
+      [&](const auto& engine) { return engine.lane_logits(lane); }, engine_);
+}
+
+int PooledBatchedEngine::lane_label(std::size_t lane) const {
+  return std::visit([&](const auto& engine) { return engine.lane_label(lane); },
+                    engine_);
+}
+
 // ---- EnginePool ------------------------------------------------------------
 
 EnginePool::EnginePool(std::size_t workers) : per_worker_(workers) {
@@ -169,6 +242,12 @@ void EnginePool::apply_pending_evictions(WorkerSlot& slot) {
     const std::string& name = entry->artifact()->name;
     return std::find(evicted.begin(), evicted.end(), name) != evicted.end();
   });
+  std::erase_if(slot.batched_engines,
+                [&](const std::unique_ptr<PooledBatchedEngine>& entry) {
+                  const std::string& name = entry->artifact()->name;
+                  return std::find(evicted.begin(), evicted.end(), name) !=
+                         evicted.end();
+                });
 }
 
 PooledEngine& EnginePool::engine_for(std::size_t worker,
@@ -218,10 +297,46 @@ PooledEngine& EnginePool::engine_for(std::size_t worker,
   return engine_for(worker, artifact, resolve_variant(kind));
 }
 
+PooledBatchedEngine& EnginePool::batched_engine_for(
+    std::size_t worker, const ModelArtifactPtr& artifact, EngineVariant variant,
+    std::size_t max_lanes) {
+  DFR_CHECK_MSG(worker < per_worker_.size(), "worker slot out of range");
+  DFR_CHECK_MSG(artifact != nullptr, "cannot build an engine on no artifact");
+  WorkerSlot& slot = per_worker_[worker];
+  if (slot.applied_evictions !=
+      eviction_version_.load(std::memory_order_acquire)) {
+    apply_pending_evictions(slot);
+  }
+  for (std::size_t i = 0; i < slot.batched_engines.size(); ++i) {
+    const std::unique_ptr<PooledBatchedEngine>& entry = slot.batched_engines[i];
+    if (entry->variant() != variant) continue;
+    if (entry->artifact() == artifact && entry->max_lanes() == max_lanes) {
+      return *entry;  // steady state: reuse
+    }
+    if (!artifact->name.empty() && entry->artifact()->name == artifact->name) {
+      // Hot-swap (or a lane-count change): rebuild into the same slot so the
+      // cache stays bounded by (models x variants) across swaps. Same
+      // erase-on-failed-rebuild unwind as the unbatched cache.
+      try {
+        *entry = PooledBatchedEngine(artifact, variant, max_lanes);
+      } catch (...) {
+        slot.batched_engines.erase(slot.batched_engines.begin() +
+                                   static_cast<std::ptrdiff_t>(i));
+        throw;
+      }
+      return *entry;
+    }
+  }
+  slot.batched_engines.push_back(
+      std::make_unique<PooledBatchedEngine>(artifact, variant, max_lanes));
+  return *slot.batched_engines.back();
+}
+
 void EnginePool::clear() {
   std::lock_guard<std::mutex> lock(evict_mutex_);
   for (WorkerSlot& slot : per_worker_) {
     slot.engines.clear();
+    slot.batched_engines.clear();
     slot.pending_evictions.clear();
     slot.applied_evictions = eviction_version_.load(std::memory_order_acquire);
   }

@@ -153,6 +153,39 @@ class PooledEngine {
       engine_;
 };
 
+/// One cached batched serving engine: an artifact reference plus the
+/// cross-request SoA engine built on it (serve/engine.hpp BatchedEngine).
+/// Scalar variants run the scalar kernel set; SIMD variants run the active
+/// backend. Quantized variants require the artifact to carry a quantized
+/// twin and throw CheckError otherwise (the server maps that to
+/// kInvalidArgument for every coalesced lane).
+class PooledBatchedEngine {
+ public:
+  PooledBatchedEngine(ModelArtifactPtr artifact, EngineVariant variant,
+                      std::size_t max_lanes);
+
+  /// Run one series per lane (same contract as BatchedEngine::infer). Zero
+  /// heap allocations in steady state.
+  void infer(std::span<const Matrix* const> series);
+
+  /// Lane accessors for the last infer(); spans alias engine scratch.
+  [[nodiscard]] std::span<const double> lane_logits(std::size_t lane) const;
+  [[nodiscard]] int lane_label(std::size_t lane) const;
+
+  [[nodiscard]] const ModelArtifactPtr& artifact() const noexcept {
+    return artifact_;
+  }
+  [[nodiscard]] EngineVariant variant() const noexcept { return variant_; }
+  [[nodiscard]] std::size_t max_lanes() const noexcept { return max_lanes_; }
+
+ private:
+  ModelArtifactPtr artifact_;
+  EngineVariant variant_;
+  std::size_t max_lanes_;
+  std::variant<BatchedInferenceEngine, BatchedQuantizedInferenceEngine>
+      engine_;
+};
+
 /// Lazily-built per-(worker, artifact, variant) engine cache. Distinct
 /// worker slots may be used from distinct threads concurrently; one slot
 /// must only ever be driven by one thread at a time (the server maps
@@ -182,6 +215,18 @@ class EnginePool {
   PooledEngine& engine_for(std::size_t worker, const ModelArtifactPtr& artifact,
                            FloatEngineKind kind);
 
+  /// The batched engine serving `artifact` on `worker` with `variant` and
+  /// `max_lanes` lanes. Same caching, hot-swap-rebuild, and
+  /// eviction-reclaim semantics as engine_for; batched engines live in
+  /// their own per-worker cache so mixed batched/unbatched traffic never
+  /// thrashes either. A `max_lanes` mismatch on a cached entry rebuilds it
+  /// (the server passes its fixed ServerConfig::max_batch, so this never
+  /// triggers in steady state).
+  PooledBatchedEngine& batched_engine_for(std::size_t worker,
+                                          const ModelArtifactPtr& artifact,
+                                          EngineVariant variant,
+                                          std::size_t max_lanes);
+
   /// Record an evicted model id (thread-safe, callable from any thread —
   /// typically a ModelRegistry eviction listener). Each worker slot drops
   /// its cached engines for the id at its next engine_for call; an id
@@ -196,6 +241,7 @@ class EnginePool {
   struct WorkerSlot {
     // unique_ptr slots keep engine_for references stable across appends.
     std::vector<std::unique_ptr<PooledEngine>> engines;
+    std::vector<std::unique_ptr<PooledBatchedEngine>> batched_engines;
     std::vector<std::string> pending_evictions;  // guarded by evict_mutex_
     std::uint64_t applied_evictions = 0;         // worker-thread-owned
   };

@@ -1,6 +1,8 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
 #include <exception>
 #include <utility>
 
@@ -119,6 +121,18 @@ InferenceServer::InferenceServer(ModelRegistry& registry, ServerConfig config)
       pool_(workers_ == 0 ? 1 : workers_) {
   DFR_CHECK_MSG(config_.queue_capacity > 0,
                 "queue capacity must be positive");
+  // Micro-batch knobs fail loudly at construction instead of being clamped:
+  // a max_batch beyond the kernel lane count or a zero window with batching
+  // enabled is a config bug, not a preference.
+  DFR_CHECK_MSG(config_.max_batch > 0,
+                "max_batch must be positive (1 disables micro-batching)");
+  DFR_CHECK_MSG(config_.max_batch <= simd::kBatchedMaxLanes,
+                "max_batch exceeds the batched kernel lane count "
+                "(simd::kBatchedMaxLanes = " +
+                    std::to_string(simd::kBatchedMaxLanes) + ")");
+  DFR_CHECK_MSG(config_.max_batch == 1 || config_.batch_window_us > 0,
+                "micro-batching (max_batch > 1) requires a positive "
+                "batch_window_us");
   slots_.reserve(config_.queue_capacity);
   for (std::size_t i = 0; i < config_.queue_capacity; ++i) {
     auto slot = std::make_unique<Slot>();
@@ -202,6 +216,7 @@ InferFuture InferenceServer::submit(std::string_view model_id,
       slot.timer.restart();
       pending_[(pending_head_ + pending_count_) % pending_.size()] = slot_index;
       ++pending_count_;
+      ++submit_seq_;  // wakes batch-window waiters exactly once per admission
     }
   }
   if (rejection != RequestStatus::kOk) {
@@ -214,15 +229,30 @@ InferFuture InferenceServer::submit(std::string_view model_id,
 
 // ---- InferenceServer: workers ----------------------------------------------
 
+namespace {
+
+/// The engine variant a request's options resolve to (per request, at
+/// processing time — the hot-swap contract).
+EngineVariant variant_for(const RequestOptions& options) {
+  return std::visit([](auto kind) { return resolve_variant(kind); },
+                    options.engine);
+}
+
+}  // namespace
+
 void InferenceServer::worker_loop(std::size_t worker) {
+  // Reused across iterations (reserve once: the batch path allocates
+  // nothing per request).
+  std::vector<std::size_t> batch;
+  batch.reserve(config_.max_batch);
   for (;;) {
-    std::size_t slot_index;
+    batch.clear();
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock,
                     [&] { return stop_workers_ || pending_count_ > 0; });
       if (pending_count_ == 0) return;  // stopping and fully drained
-      slot_index = pending_[pending_head_];
+      const std::size_t slot_index = pending_[pending_head_];
       pending_head_ = (pending_head_ + 1) % pending_.size();
       --pending_count_;
       Slot& slot = *slots_[slot_index];
@@ -232,9 +262,139 @@ void InferenceServer::worker_loop(std::size_t worker) {
         continue;
       }
       slot.state = Slot::State::kExecuting;
+      batch.push_back(slot_index);
+      if (config_.max_batch > 1) collect_batch(lock, batch);
+      // Requests we inspected but did not claim stay pending; hand them to
+      // another worker rather than leaving them for our next iteration.
+      if (pending_count_ > 0) work_cv_.notify_one();
     }
-    process(worker, slot_index);
+    if (batch.size() == 1) {
+      process(worker, batch[0]);  // singleton fast path: unbatched datapath
+    } else {
+      process_batch(worker, batch);
+    }
   }
+}
+
+void InferenceServer::claim_batchmates(std::vector<std::size_t>& batch) {
+  // Caller holds mutex_. The batch head defines the coalescing key; scan the
+  // pending ring in FIFO order, claiming matches and compacting keepers
+  // (abandoned slots are freed exactly like the dequeue path frees them).
+  // Reading a queued slot's series shape here is safe: the slot is not
+  // abandoned, so its future — and therefore the caller's series — is alive,
+  // and abandonment transitions happen under this same mutex.
+  const Slot& head = *slots_[batch.front()];
+  const EngineVariant head_variant = variant_for(head.options);
+  const std::size_t count = pending_count_;
+  std::size_t kept = 0;
+  for (std::size_t p = 0; p < count; ++p) {
+    const std::size_t index = pending_[(pending_head_ + p) % pending_.size()];
+    Slot& slot = *slots_[index];
+    if (slot.abandoned) {
+      slot.abandoned = false;
+      free_.push_back(index);
+      continue;
+    }
+    if (batch.size() < config_.max_batch && slot.model_id == head.model_id &&
+        variant_for(slot.options) == head_variant &&
+        slot.series->rows() == head.series->rows() &&
+        slot.series->cols() == head.series->cols()) {
+      slot.state = Slot::State::kExecuting;
+      batch.push_back(index);
+      continue;
+    }
+    pending_[(pending_head_ + kept) % pending_.size()] = index;
+    ++kept;
+  }
+  pending_count_ = kept;
+}
+
+void InferenceServer::collect_batch(std::unique_lock<std::mutex>& lock,
+                                    std::vector<std::size_t>& batch) {
+  claim_batchmates(batch);
+  if (batch.size() >= config_.max_batch || stop_workers_) return;
+  // Batch window: wait for more matching arrivals, re-scanning once per
+  // admission (submit_seq_), until the batch fills or the window closes.
+  // Shutdown launches the claimed batch immediately — claimed slots are
+  // kExecuting and must drain through processing.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(config_.batch_window_us);
+  std::uint64_t seen = submit_seq_;
+  while (batch.size() < config_.max_batch) {
+    const bool signaled = work_cv_.wait_until(lock, deadline, [&] {
+      return stop_workers_ || submit_seq_ != seen;
+    });
+    if (!signaled || stop_workers_) break;  // window closed or shutting down
+    seen = submit_seq_;
+    claim_batchmates(batch);
+  }
+}
+
+void InferenceServer::process_batch(std::size_t worker,
+                                    const std::vector<std::size_t>& batch) {
+  const std::size_t lanes = batch.size();
+  std::array<const Matrix*, simd::kBatchedMaxLanes> series;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    Slot& slot = *slots_[batch[l]];
+    slot.result.label = -1;
+    slot.result.logits.clear();  // keeps capacity: no allocation
+    series[l] = slot.series;
+  }
+  Slot& head = *slots_[batch.front()];
+
+  // One routing decision for the whole batch, made NOW (dequeue time): the
+  // coalescing key guarantees every lane asked for the same model id and
+  // engine variant, so all lanes serve the artifact this lookup returns —
+  // bit-identical routing to the unbatched path, where each of these
+  // requests would have resolved the same registry state.
+  const ModelArtifactPtr artifact = registry_->get(head.model_id);
+  if (artifact == nullptr) {
+    for (std::size_t l = 0; l < lanes; ++l) {
+      slots_[batch[l]]->result.status = RequestStatus::kUnknownModel;
+    }
+  } else {
+    try {
+      PooledBatchedEngine& engine = pool_.batched_engine_for(
+          worker, artifact, variant_for(head.options), config_.max_batch);
+      engine.infer(std::span<const Matrix* const>(series.data(), lanes));
+      for (std::size_t l = 0; l < lanes; ++l) {
+        InferResult& result = slots_[batch[l]]->result;
+        const std::span<const double> logits = engine.lane_logits(l);
+        result.logits.assign(logits.begin(), logits.end());
+        result.label = engine.lane_label(l);
+        result.status = RequestStatus::kOk;
+      }
+    } catch (const CheckError&) {  // engine rejected the batch: client error
+      for (std::size_t l = 0; l < lanes; ++l) {
+        InferResult& result = slots_[batch[l]]->result;
+        result.logits.clear();
+        result.label = -1;
+        result.status = RequestStatus::kInvalidArgument;
+      }
+    } catch (const std::exception& e) {  // server-side failure: not the client
+      log_error("batched inference for model '", head.model_id,
+                "' failed internally: ", e.what());
+      for (std::size_t l = 0; l < lanes; ++l) {
+        InferResult& result = slots_[batch[l]]->result;
+        result.logits.clear();
+        result.label = -1;
+        result.status = RequestStatus::kInternalError;
+      }
+    }
+  }
+  for (std::size_t l = 0; l < lanes; ++l) {
+    Slot& slot = *slots_[batch[l]];
+    slot.result.latency_us = static_cast<double>(slot.timer.elapsed_ns()) * 1e-3;
+    record_outcome(slot.model_id, slot.result,
+                   /*id_is_registered=*/artifact != nullptr);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      slots_[batch[l]]->state = Slot::State::kReady;
+    }
+  }
+  done_cv_.notify_all();
 }
 
 void InferenceServer::process(std::size_t worker, std::size_t slot_index) {

@@ -30,6 +30,18 @@
 //    while in-flight ones finish on the artifact they were routed to
 //    (shared ownership, see model_io.hpp). Requests never cross-route.
 //
+//  * Opportunistic micro-batching (ServerConfig::max_batch > 1). A worker
+//    that dequeues a request claims already-queued requests for the same
+//    (model id, engine variant, series shape), waits up to
+//    ServerConfig::batch_window_us for more matching arrivals, and runs the
+//    coalesced set as ONE cross-request SoA inference (BatchedEngine: one
+//    request per vector lane, so the serialized B-chain vectorizes across
+//    requests). Each lane's result routes back to its own InferFuture;
+//    singleton traffic falls back to the per-request path. The batch is
+//    routed ONCE at dequeue time — all lanes serve the artifact the head
+//    resolved, which is what makes hot-swap semantics identical to the
+//    unbatched path.
+//
 //  * Clean shutdown. shutdown() stops admission (kShutdown rejections),
 //    drains every queued request, joins the workers, and is idempotent;
 //    the destructor calls it.
@@ -98,6 +110,22 @@ struct ServerConfig {
   /// registered-model churn. Traffic beyond the cap is served normally but
   /// not counted per-model.
   std::size_t max_tracked_models = 64;
+  /// Opportunistic micro-batching: a worker that dequeues a request
+  /// coalesces up to `max_batch` already-queued requests for the same
+  /// (model id, engine variant, series shape) into one cross-request SoA
+  /// inference (serve/engine.hpp BatchedEngine), routing each lane's result
+  /// to its own InferFuture. 1 (the default) disables batching — every
+  /// request takes the single-series path. Validated at construction:
+  /// must be in [1, simd::kBatchedMaxLanes], and `batch_window_us` must be
+  /// positive when batching is enabled (typed CheckError, not a clamp).
+  std::size_t max_batch = 1;
+  /// How long a worker holding a non-full batch waits for more matching
+  /// arrivals before launching, in microseconds, measured from the moment
+  /// the batch head is dequeued. Singleton traffic therefore pays up to one
+  /// window of extra latency when batching is enabled; a full batch, a
+  /// non-matching queue, or shutdown launches immediately. Ignored (and
+  /// allowed to stay 0) when max_batch == 1.
+  std::size_t batch_window_us = 0;
 };
 
 /// Per-request options. `engine` picks the datapath family and
@@ -248,6 +276,18 @@ class InferenceServer {
 
   void worker_loop(std::size_t worker);
   void process(std::size_t worker, std::size_t slot_index);
+  /// Under mutex_: claim queued requests matching the batch head (same
+  /// model id, engine variant, and series shape) into `batch`, compacting
+  /// the pending ring and freeing abandoned slots along the way.
+  void claim_batchmates(std::vector<std::size_t>& batch);
+  /// Under mutex_ (lock passed in): fill `batch` up to max_batch, waiting
+  /// out the batch window for more matching arrivals.
+  void collect_batch(std::unique_lock<std::mutex>& lock,
+                     std::vector<std::size_t>& batch);
+  /// Run one coalesced batch through the pooled batched engine, fanning the
+  /// per-lane results (or a shared error) to every slot.
+  void process_batch(std::size_t worker,
+                     const std::vector<std::size_t>& batch);
   void release_slot(std::size_t slot_index);
   void record_outcome(std::string_view model_id, const InferResult& result,
                       bool id_is_registered);
@@ -276,6 +316,7 @@ class InferenceServer {
   std::vector<std::size_t> free_;
   bool accepting_ = true;
   bool stop_workers_ = false;
+  std::uint64_t submit_seq_ = 0;  // bumped per admission; batch-window wakeups
 
   // Per-model counters, keyed by id.
   mutable std::mutex stats_mutex_;

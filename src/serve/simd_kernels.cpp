@@ -46,12 +46,80 @@ void quant_preadd_nonlin_scalar(const Nonlinearity& f, double a,
   }
 }
 
-// The scalar float accumulate already rounds twice per accumulate (plain
-// mul + add, exactly DprrAccumulator::add), so it doubles as the exact
-// quantized-family kernel.
-constexpr Kernels kScalarKernels{Backend::kScalar,          &preadd_nonlin_scalar,
-                                 &dprr_add_scalar,          &scale_quantize_scalar,
-                                 &quant_preadd_nonlin_scalar, &dprr_add_scalar};
+// Batched SoA B-chain (see simd_kernels.hpp): row n of the state block is
+// finished before row n+1 reads it, so `prev` can simply trail one row — no
+// temporary per-lane carry needed. One multiply + one add per node per lane
+// in node order, exactly the scalar B-chain's rounding (this TU builds
+// without FMA-capable arch flags, so no contraction is possible).
+void batched_bchain_scalar(double b, const double* head, double* x,
+                           std::size_t nx, std::size_t lanes) {
+  const double* prev = head;
+  for (std::size_t n = 0; n < nx; ++n) {
+    double* row = x + n * lanes;
+    for (std::size_t l = 0; l < lanes; ++l) row[l] = row[l] + b * prev[l];
+    prev = row;
+  }
+}
+
+void batched_quant_bchain_scalar(double b, const FixedPointFormat& fmt,
+                                 const double* head, double* x, std::size_t nx,
+                                 std::size_t lanes) {
+  const double* prev = head;
+  for (std::size_t n = 0; n < nx; ++n) {
+    double* row = x + n * lanes;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      row[l] = fmt.quantize(row[l] + b * prev[l]);
+    }
+    prev = row;
+  }
+}
+
+// Batched SoA DPRR accumulate; like dprr_add_scalar this rounds twice per
+// accumulate, so it doubles as the exact quantized-family kernel.
+void batched_dprr_add_scalar(double* r, const double* x_k, const double* x_km1,
+                             std::size_t nx, std::size_t lanes) {
+  double* sums = r + nx * nx * lanes;
+  for (std::size_t i = 0; i < nx; ++i) {
+    const double* xi = x_k + i * lanes;
+    for (std::size_t j = 0; j < nx; ++j) {
+      double* row = r + (i * nx + j) * lanes;
+      const double* xj = x_km1 + j * lanes;
+      for (std::size_t l = 0; l < lanes; ++l) row[l] += xi[l] * xj[l];
+    }
+    double* sum_row = sums + i * lanes;
+    for (std::size_t l = 0; l < lanes; ++l) sum_row[l] += xi[l];
+  }
+}
+
+void batched_mask_scalar(const double* weights, std::size_t nx,
+                         std::size_t channels, const double* u, double* j,
+                         std::size_t lanes) {
+  for (std::size_t i = 0; i < nx; ++i) {
+    const double* wi = weights + i * channels;
+    double* row = j + i * lanes;
+    for (std::size_t l = 0; l < lanes; ++l) row[l] = 0.0;
+    for (std::size_t v = 0; v < channels; ++v) {
+      const double w = wi[v];
+      const double* uv = u + v * lanes;
+      for (std::size_t l = 0; l < lanes; ++l) row[l] += w * uv[l];
+    }
+  }
+}
+
+// The scalar float accumulates already round twice per accumulate (plain
+// mul + add, exactly DprrAccumulator::add), so they double as the exact
+// quantized-family kernels.
+constexpr Kernels kScalarKernels{Backend::kScalar,
+                                 &preadd_nonlin_scalar,
+                                 &dprr_add_scalar,
+                                 &scale_quantize_scalar,
+                                 &quant_preadd_nonlin_scalar,
+                                 &dprr_add_scalar,
+                                 &batched_bchain_scalar,
+                                 &batched_quant_bchain_scalar,
+                                 &batched_dprr_add_scalar,
+                                 &batched_dprr_add_scalar,
+                                 &batched_mask_scalar};
 
 bool cpu_supports_avx2_fma() noexcept {
 #if (defined(__x86_64__) || defined(__i386__)) && \

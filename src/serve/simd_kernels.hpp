@@ -108,11 +108,78 @@ using QuantPreaddNonlinFn = void (*)(const Nonlinearity& f, double a,
                                      const double* j, const double* x_prev,
                                      double* out, std::size_t nx);
 
+// ---- batched (SoA, one lane per concurrent series) kernel family -----------
+//
+// The single-series kernels above vectorize WITHIN one series, so the B-chain
+// serializes and Nx < vector-width reservoirs leave lanes empty. The batched
+// family transposes up to kBatchedMaxLanes concurrent series into
+// structure-of-arrays form — state buffers are indexed [node*lanes + lane],
+// DPRR accumulators [(i*nx + j)*lanes + lane] — so every vector operation
+// spans INDEPENDENT series: the per-node B-chain dependence crosses rows,
+// never lanes, and lanes stay full at any Nx.
+//
+// Per-lane equivalence contract (x86-64; the aarch64 caveat above applies):
+//   * batched_bchain performs one multiply and one add per node per lane in
+//     node order, exactly like the scalar B-chain — never FMA — so batched
+//     float states are bit-identical per lane to the single-series path on
+//     every backend.
+//   * batched_dprr_add uses explicit FMA per accumulate, exactly like the
+//     single-series float dprr_add; batched float features therefore match
+//     the single-series SIMD engine bit-identically per lane and the scalar
+//     FloatDatapath within simd_feature_ulp_bound (same contract as above).
+//   * batched_quant_bchain and batched_dprr_add_exact never use FMA and
+//     round exactly like the scalar fixed-point pipeline: batched quantized
+//     lanes are BIT-IDENTICAL to the scalar QuantizedDatapath on every
+//     backend (asserted EXPECT_EQ-strict by test_batched.cpp).
+// The elementwise stages (preadd_nonlin, quant_preadd_nonlin,
+// scale_quantize) are reused unchanged over nx*lanes-element SoA blocks —
+// they are pure per-element maps, so the SoA layout cannot change rounding.
+
+/// Hard cap on concurrent lanes a batched engine transposes into SoA form.
+/// ServerConfig::max_batch is validated against it at server construction.
+inline constexpr std::size_t kBatchedMaxLanes = 16;
+
+/// Batched SoA B-chain over `lanes` independent series. On entry
+/// x[n*lanes + l] holds the preadd/nonlinearity output v_n for lane l and
+/// head[l] holds lane l's previous-step closing state x(k-1)_{Nx}; on exit
+/// x[n*lanes + l] = x(k)_n for lane l via x_n = v_n + b * x_{n-1} (one
+/// multiply, one add per node — never FMA, so each lane rounds exactly like
+/// the scalar B-chain). `head` must not alias `x`.
+using BatchedBChainFn = void (*)(double b, const double* head, double* x,
+                                 std::size_t nx, std::size_t lanes);
+
+/// Quantized twin of BatchedBChainFn: x_n = fmt.quantize(v_n + b * x_{n-1})
+/// per lane, bit-identical to the scalar quantized B-chain.
+using BatchedQuantBChainFn = void (*)(double b, const FixedPointFormat& fmt,
+                                      const double* head, double* x,
+                                      std::size_t nx, std::size_t lanes);
+
+/// Batched SoA DPRR accumulate: for every lane l,
+/// r[(i*nx + j)*lanes + l] += x_k[i*lanes + l] * x_km1[j*lanes + l] and
+/// r[(nx*nx + i)*lanes + l] += x_k[i*lanes + l]. `r` holds
+/// dprr_dim(nx) * lanes entries. The float-family kernel uses explicit FMA
+/// (single rounding per accumulate); the exact-family twin rounds twice
+/// like DprrAccumulator::add.
+using BatchedDprrAddFn = void (*)(double* r, const double* x_k,
+                                  const double* x_km1, std::size_t nx,
+                                  std::size_t lanes);
+
+/// Batched SoA input mask: for every lane l,
+/// j[i*lanes + l] = sum_v weights[i*channels + v] * u[v*lanes + l],
+/// accumulated from 0.0 in ascending v with separate multiply and add
+/// (never FMA). That is exactly the scalar Mask::apply_into -> matvec_into
+/// -> dot() evaluation order per lane, so every lane is bit-identical to
+/// the unbatched mask stage regardless of backend.
+using BatchedMaskFn = void (*)(const double* weights, std::size_t nx,
+                               std::size_t channels, const double* u,
+                               double* j, std::size_t lanes);
+
 /// One backend's kernel set. Pointers are non-null and valid for the process
 /// lifetime. `dprr_add` is the float-family accumulate (explicit FMA, single
 /// rounding, ULP-bounded); `dprr_add_exact` is the quantized-family twin
 /// that rounds twice per accumulate exactly like DprrAccumulator::add and is
-/// therefore bit-identical to it.
+/// therefore bit-identical to it. The batched_* members follow the same
+/// float/exact split over the SoA layout documented above.
 struct Kernels {
   Backend backend;
   PreaddNonlinFn preadd_nonlin;
@@ -120,6 +187,11 @@ struct Kernels {
   ScaleQuantizeFn scale_quantize;
   QuantPreaddNonlinFn quant_preadd_nonlin;
   DprrAddFn dprr_add_exact;
+  BatchedBChainFn batched_bchain;
+  BatchedQuantBChainFn batched_quant_bchain;
+  BatchedDprrAddFn batched_dprr_add;
+  BatchedDprrAddFn batched_dprr_add_exact;
+  BatchedMaskFn batched_mask;
 };
 
 /// True when `backend` can run on this CPU *and* its kernels were compiled

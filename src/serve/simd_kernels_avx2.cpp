@@ -194,9 +194,164 @@ void dprr_add_exact_avx2(double* r, const double* x_k, const double* x_km1,
   }
 }
 
-constexpr Kernels kAvx2Kernels{Backend::kAvx2,          &preadd_nonlin_avx2,
-                               &dprr_add_avx2,          &scale_quantize_avx2,
-                               &quant_preadd_nonlin_avx2, &dprr_add_exact_avx2};
+// ---- batched (SoA) kernels: vectors span lanes, i.e. independent series ----
+// The B-chain dependence runs across node rows, never across lanes, so the
+// chain that serializes the single-series path becomes full-width
+// multiply+adds per node row here (no FMA — each lane must round exactly like
+// the scalar B-chain; see the batched contract in simd_kernels.hpp).
+
+void batched_bchain_avx2(double b, const double* head, double* x,
+                         std::size_t nx, std::size_t lanes) {
+  const __m256d vb = _mm256_set1_pd(b);
+  const std::size_t main = lanes - lanes % kWidth;
+  const double* prev = head;
+  for (std::size_t n = 0; n < nx; ++n) {
+    double* row = x + n * lanes;
+    for (std::size_t l = 0; l < main; l += kWidth) {
+      const __m256d value =
+          _mm256_add_pd(_mm256_loadu_pd(row + l),
+                        _mm256_mul_pd(vb, _mm256_loadu_pd(prev + l)));
+      _mm256_storeu_pd(row + l, value);
+    }
+    for (std::size_t l = main; l < lanes; ++l) row[l] = row[l] + b * prev[l];
+    prev = row;
+  }
+}
+
+void batched_quant_bchain_avx2(double b, const FixedPointFormat& fmt,
+                               const double* head, double* x, std::size_t nx,
+                               std::size_t lanes) {
+  const QuantizeConsts q(fmt);
+  const __m256d vb = _mm256_set1_pd(b);
+  const std::size_t main = lanes - lanes % kWidth;
+  const double* prev = head;
+  for (std::size_t n = 0; n < nx; ++n) {
+    double* row = x + n * lanes;
+    for (std::size_t l = 0; l < main; l += kWidth) {
+      const __m256d value =
+          _mm256_add_pd(_mm256_loadu_pd(row + l),
+                        _mm256_mul_pd(vb, _mm256_loadu_pd(prev + l)));
+      _mm256_storeu_pd(row + l, quantize_pd(value, q));
+    }
+    for (std::size_t l = main; l < lanes; ++l) {
+      row[l] = fmt.quantize(row[l] + b * prev[l]);
+    }
+    prev = row;
+  }
+}
+
+// Batched SoA DPRR accumulate: every (i, j) cross product is a full-width
+// FMA over the lane dimension — nx^2 vector ops per step with no serial
+// chain, full lanes at any Nx.
+void batched_dprr_add_avx2(double* r, const double* x_k, const double* x_km1,
+                           std::size_t nx, std::size_t lanes) {
+  const std::size_t main = lanes - lanes % kWidth;
+  double* sums = r + nx * nx * lanes;
+  for (std::size_t i = 0; i < nx; ++i) {
+    const double* xi = x_k + i * lanes;
+    double* block = r + i * nx * lanes;
+    // Lane blocks outside j so the x_k[i] lane vector loads once per block
+    // (two loads + one store per FMA); each element is still touched once.
+    for (std::size_t l = 0; l < main; l += kWidth) {
+      const __m256d vxi = _mm256_loadu_pd(xi + l);
+      for (std::size_t j = 0; j < nx; ++j) {
+        double* row = block + j * lanes + l;
+        const __m256d acc = _mm256_fmadd_pd(
+            vxi, _mm256_loadu_pd(x_km1 + j * lanes + l), _mm256_loadu_pd(row));
+        _mm256_storeu_pd(row, acc);
+      }
+    }
+    for (std::size_t l = main; l < lanes; ++l) {
+      const double xil = xi[l];
+      for (std::size_t j = 0; j < nx; ++j) {
+        double* row = block + j * lanes + l;
+        *row = std::fma(xil, x_km1[j * lanes + l], *row);
+      }
+    }
+    double* sum_row = sums + i * lanes;
+    for (std::size_t l = 0; l < main; l += kWidth) {
+      _mm256_storeu_pd(sum_row + l, _mm256_add_pd(_mm256_loadu_pd(sum_row + l),
+                                                  _mm256_loadu_pd(xi + l)));
+    }
+    for (std::size_t l = main; l < lanes; ++l) sum_row[l] += xi[l];
+  }
+}
+
+// Exact (quantized-family) batched accumulate: two roundings per accumulate
+// like DprrAccumulator::add, never FMA.
+void batched_dprr_add_exact_avx2(double* r, const double* x_k,
+                                 const double* x_km1, std::size_t nx,
+                                 std::size_t lanes) {
+  const std::size_t main = lanes - lanes % kWidth;
+  double* sums = r + nx * nx * lanes;
+  for (std::size_t i = 0; i < nx; ++i) {
+    const double* xi = x_k + i * lanes;
+    double* block = r + i * nx * lanes;
+    for (std::size_t l = 0; l < main; l += kWidth) {
+      const __m256d vxi = _mm256_loadu_pd(xi + l);
+      for (std::size_t j = 0; j < nx; ++j) {
+        double* row = block + j * lanes + l;
+        const __m256d acc = _mm256_add_pd(
+            _mm256_loadu_pd(row),
+            _mm256_mul_pd(vxi, _mm256_loadu_pd(x_km1 + j * lanes + l)));
+        _mm256_storeu_pd(row, acc);
+      }
+    }
+    for (std::size_t l = main; l < lanes; ++l) {
+      const double xil = xi[l];
+      for (std::size_t j = 0; j < nx; ++j) {
+        block[j * lanes + l] += xil * x_km1[j * lanes + l];
+      }
+    }
+    double* sum_row = sums + i * lanes;
+    for (std::size_t l = 0; l < main; l += kWidth) {
+      _mm256_storeu_pd(sum_row + l, _mm256_add_pd(_mm256_loadu_pd(sum_row + l),
+                                                  _mm256_loadu_pd(xi + l)));
+    }
+    for (std::size_t l = main; l < lanes; ++l) sum_row[l] += xi[l];
+  }
+}
+
+// Batched SoA mask: broadcast one weight, multiply by the channel's lane
+// vector, accumulate with separate mul + add in ascending v — the scalar
+// dot() order per lane, so every lane is bit-identical to Mask::apply_into.
+void batched_mask_avx2(const double* weights, std::size_t nx,
+                       std::size_t channels, const double* u, double* j,
+                       std::size_t lanes) {
+  const std::size_t main = lanes - lanes % kWidth;
+  for (std::size_t i = 0; i < nx; ++i) {
+    const double* wi = weights + i * channels;
+    double* row = j + i * lanes;
+    for (std::size_t l = 0; l < main; l += kWidth) {
+      __m256d acc = _mm256_setzero_pd();
+      for (std::size_t v = 0; v < channels; ++v) {
+        acc = _mm256_add_pd(
+            acc, _mm256_mul_pd(_mm256_set1_pd(wi[v]),
+                               _mm256_loadu_pd(u + v * lanes + l)));
+      }
+      _mm256_storeu_pd(row + l, acc);
+    }
+    for (std::size_t l = main; l < lanes; ++l) {
+      double acc = 0.0;
+      for (std::size_t v = 0; v < channels; ++v) {
+        acc += wi[v] * u[v * lanes + l];
+      }
+      row[l] = acc;
+    }
+  }
+}
+
+constexpr Kernels kAvx2Kernels{Backend::kAvx2,
+                               &preadd_nonlin_avx2,
+                               &dprr_add_avx2,
+                               &scale_quantize_avx2,
+                               &quant_preadd_nonlin_avx2,
+                               &dprr_add_exact_avx2,
+                               &batched_bchain_avx2,
+                               &batched_quant_bchain_avx2,
+                               &batched_dprr_add_avx2,
+                               &batched_dprr_add_exact_avx2,
+                               &batched_mask_avx2};
 
 }  // namespace
 

@@ -197,10 +197,162 @@ void dprr_add_exact_avx512(double* r, const double* x_k, const double* x_km1,
   }
 }
 
+// ---- batched (SoA) kernels: vectors span lanes, i.e. independent series ----
+// The B-chain dependence runs across node rows, never across lanes, so the
+// chain that serializes the single-series path becomes one full-width
+// multiply+add per node row here (no FMA — each lane must round exactly like
+// the scalar B-chain; see the batched contract in simd_kernels.hpp).
+
+void batched_bchain_avx512(double b, const double* head, double* x,
+                           std::size_t nx, std::size_t lanes) {
+  const __m512d vb = _mm512_set1_pd(b);
+  const std::size_t main = lanes - lanes % kWidth;
+  const double* prev = head;
+  for (std::size_t n = 0; n < nx; ++n) {
+    double* row = x + n * lanes;
+    for (std::size_t l = 0; l < main; l += kWidth) {
+      const __m512d value =
+          _mm512_add_pd(_mm512_loadu_pd(row + l),
+                        _mm512_mul_pd(vb, _mm512_loadu_pd(prev + l)));
+      _mm512_storeu_pd(row + l, value);
+    }
+    for (std::size_t l = main; l < lanes; ++l) row[l] = row[l] + b * prev[l];
+    prev = row;
+  }
+}
+
+void batched_quant_bchain_avx512(double b, const FixedPointFormat& fmt,
+                                 const double* head, double* x, std::size_t nx,
+                                 std::size_t lanes) {
+  const QuantizeConsts q(fmt);
+  const __m512d vb = _mm512_set1_pd(b);
+  const std::size_t main = lanes - lanes % kWidth;
+  const double* prev = head;
+  for (std::size_t n = 0; n < nx; ++n) {
+    double* row = x + n * lanes;
+    for (std::size_t l = 0; l < main; l += kWidth) {
+      const __m512d value =
+          _mm512_add_pd(_mm512_loadu_pd(row + l),
+                        _mm512_mul_pd(vb, _mm512_loadu_pd(prev + l)));
+      _mm512_storeu_pd(row + l, quantize_pd(value, q));
+    }
+    for (std::size_t l = main; l < lanes; ++l) {
+      row[l] = fmt.quantize(row[l] + b * prev[l]);
+    }
+    prev = row;
+  }
+}
+
+// Batched SoA DPRR accumulate: every (i, j) cross product is one full-width
+// FMA over the lane dimension — nx^2 vector ops per step with no serial
+// chain, full lanes at any Nx.
+// Lane blocks are the outer loop over j so the x_k[i] lane vector loads
+// once per block instead of once per (i, j): two loads + one store per
+// FMA, matching the single-series kernel's traffic. Each (i, j, l) element
+// is touched exactly once either way, so results are unchanged.
+void batched_dprr_add_avx512(double* r, const double* x_k, const double* x_km1,
+                             std::size_t nx, std::size_t lanes) {
+  const std::size_t main = lanes - lanes % kWidth;
+  double* sums = r + nx * nx * lanes;
+  for (std::size_t i = 0; i < nx; ++i) {
+    const double* xi = x_k + i * lanes;
+    double* block = r + i * nx * lanes;
+    for (std::size_t l = 0; l < main; l += kWidth) {
+      const __m512d vxi = _mm512_loadu_pd(xi + l);
+      for (std::size_t j = 0; j < nx; ++j) {
+        double* row = block + j * lanes + l;
+        const __m512d acc = _mm512_fmadd_pd(
+            vxi, _mm512_loadu_pd(x_km1 + j * lanes + l), _mm512_loadu_pd(row));
+        _mm512_storeu_pd(row, acc);
+      }
+    }
+    for (std::size_t l = main; l < lanes; ++l) {
+      const double xil = xi[l];
+      for (std::size_t j = 0; j < nx; ++j) {
+        double* row = block + j * lanes + l;
+        *row = std::fma(xil, x_km1[j * lanes + l], *row);
+      }
+    }
+    double* sum_row = sums + i * lanes;
+    for (std::size_t l = 0; l < main; l += kWidth) {
+      _mm512_storeu_pd(sum_row + l, _mm512_add_pd(_mm512_loadu_pd(sum_row + l),
+                                                  _mm512_loadu_pd(xi + l)));
+    }
+    for (std::size_t l = main; l < lanes; ++l) sum_row[l] += xi[l];
+  }
+}
+
+// Exact (quantized-family) batched accumulate: two roundings per accumulate
+// like DprrAccumulator::add, never FMA.
+void batched_dprr_add_exact_avx512(double* r, const double* x_k,
+                                   const double* x_km1, std::size_t nx,
+                                   std::size_t lanes) {
+  const std::size_t main = lanes - lanes % kWidth;
+  double* sums = r + nx * nx * lanes;
+  for (std::size_t i = 0; i < nx; ++i) {
+    const double* xi = x_k + i * lanes;
+    double* block = r + i * nx * lanes;
+    for (std::size_t l = 0; l < main; l += kWidth) {
+      const __m512d vxi = _mm512_loadu_pd(xi + l);
+      for (std::size_t j = 0; j < nx; ++j) {
+        double* row = block + j * lanes + l;
+        const __m512d acc = _mm512_add_pd(
+            _mm512_loadu_pd(row),
+            _mm512_mul_pd(vxi, _mm512_loadu_pd(x_km1 + j * lanes + l)));
+        _mm512_storeu_pd(row, acc);
+      }
+    }
+    for (std::size_t l = main; l < lanes; ++l) {
+      const double xil = xi[l];
+      for (std::size_t j = 0; j < nx; ++j) {
+        block[j * lanes + l] += xil * x_km1[j * lanes + l];
+      }
+    }
+    double* sum_row = sums + i * lanes;
+    for (std::size_t l = 0; l < main; l += kWidth) {
+      _mm512_storeu_pd(sum_row + l, _mm512_add_pd(_mm512_loadu_pd(sum_row + l),
+                                                  _mm512_loadu_pd(xi + l)));
+    }
+    for (std::size_t l = main; l < lanes; ++l) sum_row[l] += xi[l];
+  }
+}
+
+// Batched SoA mask: broadcast one weight, multiply by the channel's lane
+// vector, accumulate with separate mul + add in ascending v — the scalar
+// dot() order per lane, so every lane is bit-identical to Mask::apply_into.
+void batched_mask_avx512(const double* weights, std::size_t nx,
+                         std::size_t channels, const double* u, double* j,
+                         std::size_t lanes) {
+  const std::size_t main = lanes - lanes % kWidth;
+  for (std::size_t i = 0; i < nx; ++i) {
+    const double* wi = weights + i * channels;
+    double* row = j + i * lanes;
+    for (std::size_t l = 0; l < main; l += kWidth) {
+      __m512d acc = _mm512_setzero_pd();
+      for (std::size_t v = 0; v < channels; ++v) {
+        acc = _mm512_add_pd(
+            acc, _mm512_mul_pd(_mm512_set1_pd(wi[v]),
+                               _mm512_loadu_pd(u + v * lanes + l)));
+      }
+      _mm512_storeu_pd(row + l, acc);
+    }
+    for (std::size_t l = main; l < lanes; ++l) {
+      double acc = 0.0;
+      for (std::size_t v = 0; v < channels; ++v) {
+        acc += wi[v] * u[v * lanes + l];
+      }
+      row[l] = acc;
+    }
+  }
+}
+
 constexpr Kernels kAvx512Kernels{
     Backend::kAvx512,          &preadd_nonlin_avx512,
     &dprr_add_avx512,          &scale_quantize_avx512,
-    &quant_preadd_nonlin_avx512, &dprr_add_exact_avx512};
+    &quant_preadd_nonlin_avx512, &dprr_add_exact_avx512,
+    &batched_bchain_avx512,    &batched_quant_bchain_avx512,
+    &batched_dprr_add_avx512,  &batched_dprr_add_exact_avx512,
+    &batched_mask_avx512};
 
 }  // namespace
 

@@ -176,9 +176,161 @@ void dprr_add_exact_neon(double* r, const double* x_k, const double* x_km1,
   }
 }
 
-constexpr Kernels kNeonKernels{Backend::kNeon,          &preadd_nonlin_neon,
-                               &dprr_add_neon,          &scale_quantize_neon,
-                               &quant_preadd_nonlin_neon, &dprr_add_exact_neon};
+// ---- batched (SoA) kernels: vectors span lanes, i.e. independent series ----
+// The B-chain dependence runs across node rows, never across lanes, so the
+// chain that serializes the single-series path becomes full-width
+// multiply+adds per node row here (no FMA — each lane must round exactly like
+// the scalar B-chain; see the batched contract in simd_kernels.hpp).
+
+void batched_bchain_neon(double b, const double* head, double* x,
+                         std::size_t nx, std::size_t lanes) {
+  const float64x2_t vb = vdupq_n_f64(b);
+  const std::size_t main = lanes - lanes % kWidth;
+  const double* prev = head;
+  for (std::size_t n = 0; n < nx; ++n) {
+    double* row = x + n * lanes;
+    for (std::size_t l = 0; l < main; l += kWidth) {
+      const float64x2_t value =
+          vaddq_f64(vld1q_f64(row + l), vmulq_f64(vb, vld1q_f64(prev + l)));
+      vst1q_f64(row + l, value);
+    }
+    for (std::size_t l = main; l < lanes; ++l) row[l] = row[l] + b * prev[l];
+    prev = row;
+  }
+}
+
+void batched_quant_bchain_neon(double b, const FixedPointFormat& fmt,
+                               const double* head, double* x, std::size_t nx,
+                               std::size_t lanes) {
+  const QuantizeConsts q(fmt);
+  const float64x2_t vb = vdupq_n_f64(b);
+  const std::size_t main = lanes - lanes % kWidth;
+  const double* prev = head;
+  for (std::size_t n = 0; n < nx; ++n) {
+    double* row = x + n * lanes;
+    for (std::size_t l = 0; l < main; l += kWidth) {
+      const float64x2_t value =
+          vaddq_f64(vld1q_f64(row + l), vmulq_f64(vb, vld1q_f64(prev + l)));
+      vst1q_f64(row + l, quantize_f64(value, q));
+    }
+    for (std::size_t l = main; l < lanes; ++l) {
+      row[l] = fmt.quantize(row[l] + b * prev[l]);
+    }
+    prev = row;
+  }
+}
+
+// Batched SoA DPRR accumulate: every (i, j) cross product is a full-width
+// FMA over the lane dimension — nx^2 vector ops per step with no serial
+// chain, full lanes at any Nx.
+void batched_dprr_add_neon(double* r, const double* x_k, const double* x_km1,
+                           std::size_t nx, std::size_t lanes) {
+  const std::size_t main = lanes - lanes % kWidth;
+  double* sums = r + nx * nx * lanes;
+  for (std::size_t i = 0; i < nx; ++i) {
+    const double* xi = x_k + i * lanes;
+    double* block = r + i * nx * lanes;
+    // Lane blocks outside j so the x_k[i] lane vector loads once per block
+    // (two loads + one store per FMA); each element is still touched once.
+    for (std::size_t l = 0; l < main; l += kWidth) {
+      const float64x2_t vxi = vld1q_f64(xi + l);
+      for (std::size_t j = 0; j < nx; ++j) {
+        double* row = block + j * lanes + l;
+        const float64x2_t acc =
+            vfmaq_f64(vld1q_f64(row), vxi, vld1q_f64(x_km1 + j * lanes + l));
+        vst1q_f64(row, acc);
+      }
+    }
+    for (std::size_t l = main; l < lanes; ++l) {
+      const double xil = xi[l];
+      for (std::size_t j = 0; j < nx; ++j) {
+        double* row = block + j * lanes + l;
+        *row = std::fma(xil, x_km1[j * lanes + l], *row);
+      }
+    }
+    double* sum_row = sums + i * lanes;
+    for (std::size_t l = 0; l < main; l += kWidth) {
+      vst1q_f64(sum_row + l,
+                vaddq_f64(vld1q_f64(sum_row + l), vld1q_f64(xi + l)));
+    }
+    for (std::size_t l = main; l < lanes; ++l) sum_row[l] += xi[l];
+  }
+}
+
+// Exact (quantized-family) batched accumulate: two roundings per accumulate
+// like DprrAccumulator::add, never FMA (this TU builds with
+// -ffp-contract=off, so the tail cannot fuse either).
+void batched_dprr_add_exact_neon(double* r, const double* x_k,
+                                 const double* x_km1, std::size_t nx,
+                                 std::size_t lanes) {
+  const std::size_t main = lanes - lanes % kWidth;
+  double* sums = r + nx * nx * lanes;
+  for (std::size_t i = 0; i < nx; ++i) {
+    const double* xi = x_k + i * lanes;
+    double* block = r + i * nx * lanes;
+    for (std::size_t l = 0; l < main; l += kWidth) {
+      const float64x2_t vxi = vld1q_f64(xi + l);
+      for (std::size_t j = 0; j < nx; ++j) {
+        double* row = block + j * lanes + l;
+        const float64x2_t acc = vaddq_f64(
+            vld1q_f64(row), vmulq_f64(vxi, vld1q_f64(x_km1 + j * lanes + l)));
+        vst1q_f64(row, acc);
+      }
+    }
+    for (std::size_t l = main; l < lanes; ++l) {
+      const double xil = xi[l];
+      for (std::size_t j = 0; j < nx; ++j) {
+        block[j * lanes + l] += xil * x_km1[j * lanes + l];
+      }
+    }
+    double* sum_row = sums + i * lanes;
+    for (std::size_t l = 0; l < main; l += kWidth) {
+      vst1q_f64(sum_row + l,
+                vaddq_f64(vld1q_f64(sum_row + l), vld1q_f64(xi + l)));
+    }
+    for (std::size_t l = main; l < lanes; ++l) sum_row[l] += xi[l];
+  }
+}
+
+// Batched SoA mask: broadcast one weight, multiply by the channel's lane
+// vector, accumulate with separate mul + add in ascending v — the scalar
+// dot() order per lane, so every lane is bit-identical to Mask::apply_into.
+void batched_mask_neon(const double* weights, std::size_t nx,
+                       std::size_t channels, const double* u, double* j,
+                       std::size_t lanes) {
+  const std::size_t main = lanes - lanes % kWidth;
+  for (std::size_t i = 0; i < nx; ++i) {
+    const double* wi = weights + i * channels;
+    double* row = j + i * lanes;
+    for (std::size_t l = 0; l < main; l += kWidth) {
+      float64x2_t acc = vdupq_n_f64(0.0);
+      for (std::size_t v = 0; v < channels; ++v) {
+        acc = vaddq_f64(acc, vmulq_f64(vdupq_n_f64(wi[v]),
+                                       vld1q_f64(u + v * lanes + l)));
+      }
+      vst1q_f64(row + l, acc);
+    }
+    for (std::size_t l = main; l < lanes; ++l) {
+      double acc = 0.0;
+      for (std::size_t v = 0; v < channels; ++v) {
+        acc += wi[v] * u[v * lanes + l];
+      }
+      row[l] = acc;
+    }
+  }
+}
+
+constexpr Kernels kNeonKernels{Backend::kNeon,
+                               &preadd_nonlin_neon,
+                               &dprr_add_neon,
+                               &scale_quantize_neon,
+                               &quant_preadd_nonlin_neon,
+                               &dprr_add_exact_neon,
+                               &batched_bchain_neon,
+                               &batched_quant_bchain_neon,
+                               &batched_dprr_add_neon,
+                               &batched_dprr_add_exact_neon,
+                               &batched_mask_neon};
 
 }  // namespace
 

@@ -823,5 +823,286 @@ TEST_F(ServerRouting, SubmitPathAllocationFreeInSteadyState) {
   EXPECT_GE(sink, 0);  // keep the loop observable
 }
 
+// ---- InferenceServer: micro-batching ---------------------------------------
+
+// Micro-batch knobs are validated at construction with typed errors, like
+// queue_capacity: silent clamping would hide a misconfigured deployment.
+TEST(ServerConfigValidation, MicroBatchKnobsThrowTypedErrors) {
+  ModelRegistry registry;
+  // batching enabled without a window: a zero window would degenerate to
+  // head-of-queue-only coalescing while claiming to batch.
+  EXPECT_THROW(InferenceServer(registry, {.workers = 1,
+                                          .queue_capacity = 4,
+                                          .max_batch = 4}),
+               CheckError);
+  // zero lanes is meaningless (1 is the documented "disabled" setting).
+  EXPECT_THROW(InferenceServer(registry, {.workers = 1,
+                                          .queue_capacity = 4,
+                                          .max_batch = 0,
+                                          .batch_window_us = 50}),
+               CheckError);
+  // beyond the batched kernel family's lane bound.
+  EXPECT_THROW(
+      InferenceServer(registry, {.workers = 1,
+                                 .queue_capacity = 4,
+                                 .max_batch = simd::kBatchedMaxLanes + 1,
+                                 .batch_window_us = 50}),
+      CheckError);
+  // valid: batching enabled with a window; and disabled with window unset.
+  InferenceServer batched(registry, {.workers = 1,
+                                     .queue_capacity = 4,
+                                     .max_batch = simd::kBatchedMaxLanes,
+                                     .batch_window_us = 50});
+  InferenceServer unbatched(registry, {.workers = 1, .queue_capacity = 4});
+  EXPECT_TRUE(batched.accepting());
+  EXPECT_TRUE(unbatched.accepting());
+}
+
+// The batched contract end to end: with micro-batching enabled, every reply
+// is bit-identical to the unbatched server's reply for the same request —
+// for both models, float and quantized kinds, at 1 and 8 workers. (Batched
+// lanes run the same per-element kernel operations as the single-series
+// engines, so coalescing must be invisible in the results.)
+TEST_F(ServerRouting, MicroBatchedResultsBitIdenticalToUnbatched) {
+  auto quantized = std::make_shared<const QuantizedDfr>(
+      *model_a_, QuantizedInferenceConfig{});
+  ModelRegistry registry;
+  registry.register_model(with_quantized(model_a_->artifact("a"), quantized));
+  registry.register_model(model_b_->artifact("b"));
+
+  struct Request {
+    const char* id;
+    const Matrix* series;
+    serve::RequestOptions options;
+  };
+  std::vector<Request> requests;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < kSeriesPerModel; ++i) {
+      requests.push_back({"a", &(*series_a_)[i],
+                          serve::RequestOptions{FloatEngineKind::kAuto}});
+      requests.push_back({"a", &(*series_a_)[i],
+                          serve::RequestOptions{FloatEngineKind::kScalar}});
+      requests.push_back({"a", &(*series_a_)[i],
+                          serve::RequestOptions{QuantizedEngineKind::kAuto}});
+      requests.push_back({"b", &(*series_b_)[i],
+                          serve::RequestOptions{FloatEngineKind::kAuto}});
+    }
+  }
+
+  // Reference replies from an unbatched server (max_batch = 1 default).
+  std::vector<Vector> expected_logits;
+  std::vector<int> expected_labels;
+  {
+    InferenceServer reference(registry, {.workers = 1, .queue_capacity = 256});
+    for (const Request& r : requests) {
+      const InferResult& result =
+          reference.submit(r.id, *r.series, r.options).get();
+      ASSERT_EQ(result.status, RequestStatus::kOk);
+      expected_logits.push_back(result.logits);
+      expected_labels.push_back(result.label);
+    }
+  }
+
+  for (std::size_t workers : {std::size_t{1}, std::size_t{8}}) {
+    InferenceServer server(registry, {.workers = workers,
+                                      .queue_capacity = 256,
+                                      .max_batch = 8,
+                                      .batch_window_us = 200});
+    // One submission wave so queued neighbors actually coalesce.
+    std::vector<InferFuture> futures;
+    futures.reserve(requests.size());
+    for (const Request& r : requests) {
+      futures.push_back(server.submit(r.id, *r.series, r.options));
+    }
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const InferResult& result = futures[i].get();
+      ASSERT_EQ(result.status, RequestStatus::kOk)
+          << "workers=" << workers << " request " << i;
+      expect_bit_identical(expected_logits[i], result.logits,
+                           "workers=" + std::to_string(workers) +
+                               " request " + std::to_string(i));
+      EXPECT_EQ(result.label, expected_labels[i]);
+    }
+  }
+}
+
+// A quantized request for a float-only artifact fails with the typed client
+// error for EVERY coalesced lane — the whole batch maps to kInvalidArgument,
+// not a crash or a partial batch.
+TEST_F(ServerRouting, MicroBatchedMissingTwinFailsEveryLaneTyped) {
+  ModelRegistry registry;
+  registry.register_model(model_b_->artifact("b"));  // float-only
+  InferenceServer server(registry, {.workers = 1,
+                                    .queue_capacity = 32,
+                                    .max_batch = 8,
+                                    .batch_window_us = 200});
+  std::vector<InferFuture> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(
+        server.submit("b", (*series_b_)[0], QuantizedEngineKind::kAuto));
+  }
+  for (InferFuture& future : futures) {
+    const InferResult& result = future.get();
+    EXPECT_EQ(result.status, RequestStatus::kInvalidArgument);
+    EXPECT_EQ(result.label, -1);
+    EXPECT_TRUE(result.logits.empty());
+  }
+  // The server keeps serving float traffic on the same model afterwards.
+  EXPECT_EQ(server.submit("b", (*series_b_)[0]).get().status,
+            RequestStatus::kOk);
+}
+
+// Hot-swapping under batched traffic: the whole batch routes to the artifact
+// resolved once at dequeue time, so every reply is bit-identical to one of
+// the two versions — never torn within a request, never cross-routed.
+TEST_F(ServerRouting, HotSwapMidBatchServesTheDequeueTimeArtifact) {
+  const LoadedModel swapped_model = make_model(10, 2, 3, 99);  // same shape
+  const Matrix& probe_a = (*series_a_)[0];
+  const Matrix& probe_b = (*series_b_)[0];
+  const Vector expect_a_v1 = model_a_->infer(probe_a);
+  const Vector expect_a_v2 = swapped_model.infer(probe_a);
+  const Vector expect_b = model_b_->infer(probe_b);
+  ASSERT_NE(expect_a_v1, expect_a_v2);
+
+  ModelRegistry registry;
+  registry.register_model(model_a_->artifact("a"));
+  registry.register_model(model_b_->artifact("b"));
+  InferenceServer server(registry, {.workers = 2,
+                                    .queue_capacity = 64,
+                                    .max_batch = 8,
+                                    .batch_window_us = 100});
+
+  constexpr int kWaves = 60;
+  std::atomic<int> mismatches{0};
+  auto client = [&](const char* id, const Matrix& series,
+                    const Vector* allowed1, const Vector* allowed2) {
+    for (int wave = 0; wave < kWaves; ++wave) {
+      // Submit a burst so queued neighbors coalesce mid-swap.
+      std::vector<InferFuture> futures;
+      for (int i = 0; i < 6; ++i) futures.push_back(server.submit(id, series));
+      for (InferFuture& future : futures) {
+        const InferResult& result = future.get();
+        if (result.status != RequestStatus::kOk) {
+          ++mismatches;
+          continue;
+        }
+        const bool matches1 = allowed1 != nullptr && result.logits == *allowed1;
+        const bool matches2 = allowed2 != nullptr && result.logits == *allowed2;
+        if (!matches1 && !matches2) ++mismatches;
+      }
+    }
+  };
+  std::thread client_a(client, "a", std::cref(probe_a), &expect_a_v1,
+                       &expect_a_v2);
+  std::thread client_b(client, "b", std::cref(probe_b), &expect_b, nullptr);
+  for (int swap = 0; swap < 40; ++swap) {
+    registry.register_model(swap % 2 == 0 ? swapped_model.artifact("a")
+                                          : model_a_->artifact("a"));
+    std::this_thread::yield();
+  }
+  client_a.join();
+  client_b.join();
+  EXPECT_EQ(mismatches.load(), 0)
+      << "a batched hot swap produced a torn or cross-routed result";
+}
+
+// Evicting under batched traffic: coalesced requests resolve the registry at
+// dequeue time, so each reply is either a full kOk against the artifact (the
+// batch dequeued before the evict) or the typed kUnknownModel — and the
+// server keeps serving after a re-register.
+TEST_F(ServerRouting, EvictionMidBatchFailsLanesTypedAndRecovers) {
+  ModelRegistry registry;
+  registry.register_model(model_a_->artifact("a"));
+  InferenceServer server(registry, {.workers = 1,
+                                    .queue_capacity = 64,
+                                    .max_batch = 8,
+                                    .batch_window_us = 200});
+  const Vector expected = model_a_->infer((*series_a_)[0]);
+
+  // Queue a burst, then evict while (some of) it is still pending.
+  std::vector<InferFuture> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(server.submit("a", (*series_a_)[0]));
+  }
+  ASSERT_TRUE(registry.evict("a"));
+  std::size_t ok = 0, unknown = 0;
+  for (InferFuture& future : futures) {
+    const InferResult& result = future.get();
+    if (result.status == RequestStatus::kOk) {
+      expect_bit_identical(expected, result.logits, "pre-eviction batch lane");
+      ++ok;
+    } else {
+      ASSERT_EQ(result.status, RequestStatus::kUnknownModel);
+      ++unknown;
+    }
+  }
+  EXPECT_EQ(ok + unknown, 32u);
+  EXPECT_EQ(server.submit("a", (*series_a_)[0]).get().status,
+            RequestStatus::kUnknownModel);
+
+  registry.register_model(model_a_->artifact("a"));
+  const InferResult& revived = server.submit("a", (*series_a_)[0]).get();
+  ASSERT_EQ(revived.status, RequestStatus::kOk);
+  expect_bit_identical(expected, revived.logits, "post-re-register");
+}
+
+// Abandoned futures under batching recycle their slots: dropped-while-queued
+// requests are freed during batch collection (never inferred), and a future
+// dropped while its lane is in flight blocks until the lane completes — so
+// capacity always comes back and no lane reads a dead series.
+TEST_F(ServerRouting, AbandonedFuturesRecycleSlotsUnderBatching) {
+  ModelRegistry registry;
+  registry.register_model(model_a_->artifact("a"));
+  InferenceServer server(registry, {.workers = 1,
+                                    .queue_capacity = 4,
+                                    .max_batch = 4,
+                                    .batch_window_us = 100});
+  for (int i = 0; i < 50; ++i) {
+    (void)server.submit("a", (*series_a_)[0]);  // dropped immediately
+  }
+  bool accepted = false;
+  for (int attempt = 0; attempt < 1000 && !accepted; ++attempt) {
+    InferFuture future = server.submit("a", (*series_a_)[0]);
+    accepted = future.get().status == RequestStatus::kOk;
+    if (!accepted) std::this_thread::yield();
+  }
+  EXPECT_TRUE(accepted) << "abandoned futures leaked slots under batching";
+
+  // The destroy-future-then-series pattern stays safe with lanes in flight
+  // (ASan in CI turns any violation into a hard failure).
+  Rng rng(78);
+  for (int i = 0; i < 200; ++i) {
+    Matrix ephemeral = random_series(25, 2, rng);
+    {
+      InferFuture future = server.submit("a", ephemeral);
+    }
+    ephemeral = Matrix();
+  }
+  SUCCEED();
+}
+
+// Shutdown with batching enabled drains every admitted request: batch
+// windows cut short, claimed lanes complete, nothing hangs or is dropped.
+TEST_F(ServerRouting, ShutdownDrainsBatchedRequests) {
+  ModelRegistry registry;
+  registry.register_model(model_a_->artifact("a"));
+  auto server = std::make_unique<InferenceServer>(
+      registry, ServerConfig{.workers = 2,
+                             .queue_capacity = 64,
+                             .max_batch = 8,
+                             .batch_window_us = 500});
+  std::vector<InferFuture> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(server->submit("a", (*series_a_)[i % kSeriesPerModel]));
+  }
+  server->shutdown();
+  for (InferFuture& future : futures) {
+    EXPECT_TRUE(future.ready()) << "shutdown returned before draining";
+    EXPECT_EQ(future.get().status, RequestStatus::kOk);
+  }
+  EXPECT_EQ(server->submit("a", (*series_a_)[0]).get().status,
+            RequestStatus::kShutdown);
+}
+
 }  // namespace
 }  // namespace dfr
