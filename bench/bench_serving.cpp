@@ -13,7 +13,16 @@
 // traffic, reporting request throughput and end-to-end latency (queue wait
 // + inference) per worker count, for float and per-request-routed quantized
 // traffic (server-*-quant rows), and the same traffic through a
-// micro-batching server (server-batched-* rows, max_batch = --lanes).
+// micro-batching server (server-batched-* rows, max_batch = --lanes) — plus
+// the model-fleet rows (fleet-{mmap,copy}-<N>m for N = 16/256/1024 ids
+// through an ArtifactStore: cold-load p50, warm-hit p50, and the VmRSS
+// delta of the cold sweep, contrasting the zero-copy mmap loader against
+// the copying baseline; 16 distinct .dfrm v2 files are cycled across the
+// ids so the 1024-id sweep stays I/O-light) — plus the offered-deadline
+// shed row (shed-deadline: one worker, every request submitted with a
+// deadline a few service times wide, reporting the fraction the server
+// shed with kDeadlineExceeded before spending engine time; the CSV row
+// carries the shed fraction in the shed_frac column).
 //
 // Thread-sweep and multi-worker rows are only meaningful when the host has
 // the cores to run them: on hosts with fewer than 4 cores, rows that would
@@ -30,7 +39,11 @@
 //
 // Usage: bench_serving [--datasets ECG,JPVOW] [--cap N] [--batch 256]
 //                      [--repeats 3] [--csv serving.csv]
+#include <unistd.h>
+
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
@@ -40,8 +53,10 @@
 
 #include "bench_common.hpp"
 #include "dfr/dprr.hpp"
+#include "dfr/model_io.hpp"
 #include "fixedpoint/quantized_dfr.hpp"
 #include "linalg/stats.hpp"
+#include "serve/artifact_store.hpp"
 #include "serve/engine.hpp"
 #include "serve/server.hpp"
 #include "util/parallel.hpp"
@@ -155,6 +170,88 @@ StreamResult run_batched_stream(Engine engine, const std::vector<Matrix>& batch,
   return result;
 }
 
+/// Current VmRSS in kilobytes from /proc/self/status (0 when unavailable,
+/// e.g. non-Linux — fleet rows then report a 0 MB delta, never garbage).
+std::size_t vm_rss_kb() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return static_cast<std::size_t>(std::stoull(line.substr(6)));
+    }
+  }
+  return 0;
+}
+
+/// Write `count` distinct .dfrm v2 files (different weight seeds, same
+/// shape) under `dir`, returning their paths. Fleet sweeps cycle ids over
+/// these, so a 1024-id sweep needs 16 files, not 1024.
+std::vector<std::string> write_fleet_files(const std::filesystem::path& dir,
+                                           const Dataset& data,
+                                           std::size_t nodes,
+                                           std::uint64_t seed,
+                                           std::size_t count) {
+  std::vector<std::string> paths;
+  paths.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const LoadedModel model = make_serving_model(data, nodes, seed + i);
+    TrainResult trained;
+    trained.params = model.params;
+    trained.mask = model.mask;
+    trained.nonlinearity = model.nonlinearity;
+    trained.readout = model.readout;
+    trained.chosen_beta = model.chosen_beta;
+    paths.push_back((dir / ("fleet" + std::to_string(i) + ".dfrm")).string());
+    save_model(trained, paths.back());
+  }
+  return paths;
+}
+
+struct FleetResult {
+  Summary cold_us;      // per-get fault-in latency, first pass
+  Summary warm_us;      // per-get hit latency, second pass
+  double rss_delta_mb = 0.0;  // VmRSS growth across the cold sweep
+};
+
+/// One fleet sweep: `num_models` ids (cycling `files`) through a fresh
+/// ArtifactStore in `mode`, cold pass then warm pass, VmRSS delta around
+/// the cold pass.
+FleetResult run_fleet(serve::ModelRegistry& registry,
+                      const std::vector<std::string>& files,
+                      std::size_t num_models, serve::LoadMode mode) {
+  serve::ArtifactStore store(registry,
+                             serve::ArtifactStoreConfig{.mode = mode});
+  std::vector<std::string> ids;
+  ids.reserve(num_models);
+  for (std::size_t m = 0; m < num_models; ++m) {
+    ids.push_back("f" + std::to_string(m));
+    store.add(ids.back(), files[m % files.size()]);
+  }
+  FleetResult result;
+  Vector cold, warm;
+  cold.reserve(num_models);
+  warm.reserve(num_models);
+  const std::size_t rss_before = vm_rss_kb();
+  for (const std::string& id : ids) {
+    Timer t;
+    (void)store.get(id);
+    cold.push_back(static_cast<double>(t.elapsed_ns()) * 1e-3);
+  }
+  const std::size_t rss_after = vm_rss_kb();
+  for (const std::string& id : ids) {
+    Timer t;
+    (void)store.get(id);
+    warm.push_back(static_cast<double>(t.elapsed_ns()) * 1e-3);
+  }
+  result.cold_us = summarize(cold);
+  result.warm_us = summarize(warm);
+  result.rss_delta_mb =
+      static_cast<double>(rss_after - std::min(rss_before, rss_after)) / 1024.0;
+  // Tear the fleet down before the next mode measures its own RSS delta.
+  for (const std::string& id : ids) store.erase(id);
+  return result;
+}
+
 /// Single-stream latencies + serial-loop throughput over `batch`.
 template <typename Engine>
 StreamResult run_single_stream(Engine engine, const std::vector<Matrix>& batch,
@@ -230,8 +327,14 @@ int main(int argc, char** argv) {
       {"dataset", "datapath", "threads", "series/s", "speedup"});
   ConsoleTable server_table({"dataset", "models", "workers", "req/s",
                              "p50 us", "p90 us", "p99 us"});
+  ConsoleTable fleet_table({"dataset", "mode", "models", "cold p50 us",
+                            "warm p50 us", "rss_delta_mb"});
+  // load_p50_us / resident_mb are filled by the fleet rows, shed_frac by the
+  // shed-deadline row; every other row carries zeros in those columns.
   BenchCsv csv(cli, {"dataset", "datapath", "threads", "batch", "p50_us",
-                     "p90_us", "p99_us", "serial_sps", "batch_sps", "speedup"});
+                     "p90_us", "p99_us", "serial_sps", "batch_sps", "speedup",
+                     "load_p50_us", "resident_mb", "shed_frac"});
+  std::vector<std::string> shed_lines;  // printed after the tables
 
   for (const DatasetSpec& spec : specs) {
     const DatasetPair data = prepare_dataset(spec, options);
@@ -294,7 +397,8 @@ int main(int argc, char** argv) {
           csv.add_row({spec.id, dp.name, std::to_string(threads),
                        std::to_string(batch.size()), fmt_double(lat.p50, 2),
                        fmt_double(lat.p90, 2), fmt_double(lat.p99, 2),
-                       fmt_double(dp.stream.serial_sps, 1), marker, marker});
+                       fmt_double(dp.stream.serial_sps, 1), marker, marker,
+                       "0", "0", "0"});
           continue;
         }
         // Untimed warm-up: the first threaded run pays the lazy creation of
@@ -311,7 +415,7 @@ int main(int argc, char** argv) {
                      std::to_string(batch.size()), fmt_double(lat.p50, 2),
                      fmt_double(lat.p90, 2), fmt_double(lat.p99, 2),
                      fmt_double(dp.stream.serial_sps, 1), fmt_double(sps, 1),
-                     fmt_double(speedup, 3)});
+                     fmt_double(speedup, 3), "0", "0", "0"});
       }
     }
 
@@ -353,7 +457,7 @@ int main(int argc, char** argv) {
                      fmt_double(lat.p50, 2), fmt_double(lat.p90, 2),
                      fmt_double(lat.p99, 2), fmt_double(row.baseline_sps, 1),
                      fmt_double(row.stream.serial_sps, 1),
-                     fmt_double(batch_speedup, 3)});
+                     fmt_double(batch_speedup, 3), "0", "0", "0"});
       }
     }
 
@@ -393,7 +497,8 @@ int main(int argc, char** argv) {
                          "server-" + std::to_string(num_models) + "m" +
                              kind.suffix,
                          std::to_string(workers), std::to_string(batch.size()),
-                         marker, marker, marker, "0", marker, "0"});
+                         marker, marker, marker, "0", marker, "0", "0", "0",
+                         "0"});
           }
           continue;
         }
@@ -432,7 +537,7 @@ int main(int argc, char** argv) {
                        fmt_double(run.latency_us.p50, 2),
                        fmt_double(run.latency_us.p90, 2),
                        fmt_double(run.latency_us.p99, 2), "0",
-                       fmt_double(run.requests_per_s, 1), "0"});
+                       fmt_double(run.requests_per_s, 1), "0", "0", "0", "0"});
           csv.add_row({spec.id,
                        "server-batched-" + std::to_string(num_models) + "m" +
                            kind.suffix,
@@ -440,9 +545,96 @@ int main(int argc, char** argv) {
                        fmt_double(batched_run.latency_us.p50, 2),
                        fmt_double(batched_run.latency_us.p90, 2),
                        fmt_double(batched_run.latency_us.p99, 2), "0",
-                       fmt_double(batched_run.requests_per_s, 1), "0"});
+                       fmt_double(batched_run.requests_per_s, 1), "0", "0",
+                       "0", "0"});
         }
       }
+    }
+
+    // Model-fleet sweep through the ArtifactStore: N ids (cycling 16
+    // distinct .dfrm v2 files) cold-faulted then warm-hit, zero-copy mmap
+    // vs the copying loader. The cold-sweep VmRSS delta is the headline
+    // zero-copy number: mmap loads touch only the pages validation reads,
+    // the copying loader heap-allocates every weight per id.
+    {
+      std::error_code ec;
+      const std::filesystem::path dir =
+          std::filesystem::temp_directory_path() /
+          ("dfr_fleet_" + spec.id + "_" + std::to_string(::getpid()));
+      std::filesystem::create_directories(dir, ec);
+      const std::vector<std::string> files =
+          write_fleet_files(dir, data.test, nodes, options.seed, 16);
+      serve::ModelRegistry fleet_registry;
+      struct ModeRow {
+        const char* name;
+        serve::LoadMode mode;
+      };
+      const ModeRow modes[] = {{"mmap", serve::LoadMode::kMmap},
+                               {"copy", serve::LoadMode::kCopy}};
+      for (std::size_t num_models : {16u, 256u, 1024u}) {
+        for (const ModeRow& m : modes) {
+          const FleetResult fleet =
+              run_fleet(fleet_registry, files, num_models, m.mode);
+          fleet_table.add_row({spec.id, m.name, std::to_string(num_models),
+                               fmt_double(fleet.cold_us.p50, 1),
+                               fmt_double(fleet.warm_us.p50, 2),
+                               fmt_double(fleet.rss_delta_mb, 2)});
+          csv.add_row({spec.id,
+                       "fleet-" + std::string(m.name) + "-" +
+                           std::to_string(num_models) + "m",
+                       "1", std::to_string(num_models),
+                       fmt_double(fleet.warm_us.p50, 2),
+                       fmt_double(fleet.warm_us.p90, 2),
+                       fmt_double(fleet.warm_us.p99, 2), "0", "0", "0",
+                       fmt_double(fleet.cold_us.p50, 2),
+                       fmt_double(fleet.rss_delta_mb, 3), "0"});
+        }
+      }
+      std::filesystem::remove_all(dir, ec);
+    }
+
+    // Offered-deadline shed: one worker, every request submitted with a
+    // deadline a few single-stream service times wide, so most of the
+    // queue cannot make it. The server sheds late requests with typed
+    // kDeadlineExceeded before spending engine time on them; the fraction
+    // shed rides in the CSV shed_frac column.
+    {
+      serve::ModelRegistry shed_registry;
+      shed_registry.register_model(model.artifact("shed"));
+      serve::InferenceServer shed_server(
+          shed_registry, {.workers = 1, .queue_capacity = batch.size()});
+      serve::RequestOptions shed_opts;
+      shed_opts.deadline_us = static_cast<std::uint64_t>(
+          std::max(100.0, 4.0 * datapaths[0].stream.latency_us.p50));
+      std::vector<serve::InferFuture> futures;
+      futures.reserve(batch.size());
+      for (const Matrix& series : batch) {
+        futures.push_back(shed_server.submit("shed", series, shed_opts));
+      }
+      std::size_t shed = 0;
+      Vector completed_us;
+      for (serve::InferFuture& future : futures) {
+        const serve::InferResult& r = future.get();
+        if (r.status == serve::RequestStatus::kDeadlineExceeded) {
+          ++shed;
+        } else if (r.status == serve::RequestStatus::kOk) {
+          completed_us.push_back(r.latency_us);
+        }
+      }
+      const double frac =
+          static_cast<double>(shed) / static_cast<double>(futures.size());
+      const Summary lat =
+          completed_us.empty() ? Summary{} : summarize(completed_us);
+      shed_lines.push_back(
+          "shed-deadline (" + spec.id + "): offered=" +
+          std::to_string(futures.size()) + " completed=" +
+          std::to_string(completed_us.size()) + " shed=" +
+          std::to_string(shed) + " shed_frac=" + fmt_double(frac, 2) +
+          " deadline_us=" + std::to_string(shed_opts.deadline_us));
+      csv.add_row({spec.id, "shed-deadline", "1", std::to_string(batch.size()),
+                   fmt_double(lat.p50, 2), fmt_double(lat.p90, 2),
+                   fmt_double(lat.p99, 2), "0", "0", "0", "0", "0",
+                   fmt_double(frac, 3)});
     }
   }
 
@@ -458,6 +650,11 @@ int main(int argc, char** argv) {
   std::cout << "\nmulti-model serving (request-queue InferenceServer, "
                "round-robin traffic; latency = queue wait + inference):\n";
   server_table.print();
+  std::cout << "\nmodel fleet through the ArtifactStore (cold fault-in vs "
+               "warm hit; rss_delta_mb = VmRSS growth of the cold sweep):\n";
+  fleet_table.print();
+  std::cout << "\nSLO-aware admission (deadline shed before engine time):\n";
+  for (const std::string& line : shed_lines) std::cout << line << '\n';
   csv.report();
   return 0;
 }

@@ -7,10 +7,14 @@
 //
 // The tour:
 //   1. train two models (different channel counts and class counts);
-//   2. save/load through .dfrm into shared immutable ModelArtifacts;
+//   2. deploy through an ArtifactStore: .dfrm v2 files mmapped zero-copy
+//      into shared immutable ModelArtifacts, fleet residency LRU-capped;
 //   3. submit interleaved requests with per-model routing;
 //   4. atomically re-register ("hot-swap") one model while traffic runs;
-//   5. read the per-model latency/throughput counters.
+//   5. read the per-model latency/throughput counters;
+//   6. shed late work with RequestOptions::deadline_us and jump the queue
+//      with RequestOptions::priority;
+//   7. export one scrapeable stats page for traffic AND residency.
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -19,6 +23,7 @@
 #include "data/preprocess.hpp"
 #include "data/synth.hpp"
 #include "dfr/trainer.hpp"
+#include "serve/artifact_store.hpp"
 #include "serve/server.hpp"
 #include "util/cli.hpp"
 
@@ -63,19 +68,28 @@ int main(int argc, char** argv) {
   const dfr::TrainResult vowel_model =
       dfr::Trainer(config).fit(vowel_like.train);
 
-  // 2. Deploy through .dfrm files into shared immutable artifacts, exactly
-  // as a production rollout would (registry.load = load_artifact+register).
+  // 2. Deploy through an ArtifactStore: save_model writes the 64-byte-
+  // aligned .dfrm v2 container, add() tracks the files without loading,
+  // and the first get() faults each model in by mmapping it zero-copy
+  // (the registry's artifact borrows the mapped pages; max_resident_bytes
+  // caps the fleet and evicts least-recently-used models past it).
   const std::string ecg_path = "multi_model_ecg.dfrm";
   const std::string vowel_path = "multi_model_vowel.dfrm";
   dfr::save_model(ecg_model, ecg_path);
   dfr::save_model(vowel_model, vowel_path);
 
   dfr::serve::ModelRegistry registry;
-  registry.load("ecg", ecg_path);
-  registry.load("vowel", vowel_path);
+  dfr::serve::ArtifactStore store(
+      registry, {.max_resident_bytes = 64u << 20});  // demo fleet cap: 64 MiB
+  store.add("ecg", ecg_path);
+  store.add("vowel", vowel_path);
+  (void)store.get("ecg");    // fault-in: mmap + register
+  (void)store.get("vowel");
+  const dfr::serve::ArtifactStoreCounters faulted = store.counters();
   std::cout << "registered models:";
   for (const std::string& id : registry.ids()) std::cout << ' ' << id;
-  std::cout << '\n';
+  std::cout << "  (" << faulted.faults << " cold loads, "
+            << faulted.resident_bytes << " resident bytes)\n";
 
   // 3. Serve interleaved traffic with per-model routing.
   dfr::serve::InferenceServer server(
@@ -107,9 +121,47 @@ int main(int argc, char** argv) {
   for (const auto& [id, stats] : server.stats()) {
     std::cout << "model '" << id << "': completed=" << stats.completed
               << " errors=" << stats.errors << " rejected=" << stats.rejected
+              << " shed=" << stats.shed
               << "  latency p50=" << stats.latency_us.p50
               << "us p99=" << stats.latency_us.p99 << "us\n";
   }
+
+  // 6. SLO-aware admission. Flood the queue with normal traffic, then
+  // submit requests whose 1 us completion budget is already blown: the
+  // server sheds them with a typed kDeadlineExceeded at dequeue time,
+  // before any engine work. A generous-deadline, high-priority request
+  // jumps the backlog and completes.
+  futures.clear();  // collected futures still hold queue slots until dropped
+  std::vector<dfr::serve::InferFuture> wave;
+  for (std::size_t i = 0; i < 32; ++i) {
+    wave.push_back(
+        server.submit("ecg", ecg_like.test[i % ecg_like.test.size()].series));
+  }
+  for (std::size_t i = 0; i < 16; ++i) {
+    wave.push_back(server.submit("vowel",
+                                 vowel_like.test[i % vowel_like.test.size()].series,
+                                 {.deadline_us = 1}));
+  }
+  dfr::serve::InferFuture urgent = server.submit(
+      "ecg", ecg_like.test[0].series,
+      {.deadline_us = 60'000'000, .priority = 5});  // 60 s budget, front of queue
+  std::size_t shed = 0;
+  for (dfr::serve::InferFuture& future : wave) {
+    if (future.get().status == dfr::serve::RequestStatus::kDeadlineExceeded)
+      ++shed;
+  }
+  const dfr::serve::InferResult& urgent_result = urgent.get();
+  std::cout << "\ndeadline wave: shed " << shed
+            << "/16 expired requests before engine time; urgent request "
+            << (urgent_result.status == dfr::serve::RequestStatus::kOk
+                    ? "completed"
+                    : "failed")
+            << " in " << urgent_result.latency_us << "us\n";
+
+  // 7. One scrape page covering traffic (server) and residency (store).
+  std::cout << "\nscrapeable stats (export_stats):\n";
+  server.export_stats(std::cout);
+  store.export_stats(std::cout);
 
   server.shutdown();
   std::remove(ecg_path.c_str());

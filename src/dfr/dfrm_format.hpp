@@ -1,0 +1,65 @@
+#pragma once
+// On-disk layout of the .dfrm model container, shared by the stream writer
+// (dfr/model_io.cpp) and the mmap reader (serve/artifact_store.cpp).
+//
+// v1 (legacy, stream-packed)
+// --------------------------
+//   "DFRM" u32=1 | a f64 | b f64 | nonlin i32 | mg_p f64 | beta f64
+//   | mask:    rows u64, cols u64, row-major f64 payload
+//   | readout: rows u64, cols u64, row-major f64 payload
+//   | bias:    len u64, f64 payload
+// Nothing is aligned (the mask payload starts at byte 60), so v1 files can
+// only be loaded by copying into owned matrices.
+//
+// v2 (aligned, mmap-friendly)
+// ---------------------------
+// A fixed self-describing header (V2Header below) followed by the three f64
+// payloads, each placed at a 64-byte-aligned file offset recorded in the
+// header. mmap returns page-aligned (>= 4096) base addresses, so a 64-byte
+// file alignment guarantees every payload is 64-byte aligned in memory and
+// `ModelArtifact` matrices can borrow the mapped pages directly (zero-copy,
+// cache-line/AVX-512-friendly). `file_size` pins the exact expected length so
+// truncation is detected before any payload is touched. All fields are
+// little-endian; files are not portable to big-endian hosts (none in
+// deployment scope).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dfr::dfrm {
+
+inline constexpr char kMagic[4] = {'D', 'F', 'R', 'M'};
+inline constexpr std::uint32_t kVersion1 = 1;
+inline constexpr std::uint32_t kVersion2 = 2;
+/// Alignment of every payload section in a v2 file.
+inline constexpr std::size_t kV2Align = 64;
+
+/// Fixed v2 file header at offset 0. Explicitly padded so the layout is
+/// identical on every ABI; static_asserts below pin it.
+struct V2Header {
+  char magic[4];            // "DFRM"
+  std::uint32_t version;    // 2
+  double a;                 // DfrParams
+  double b;
+  std::int32_t nonlin_kind; // NonlinearityKind
+  std::uint32_t reserved;   // zero
+  double mg_exponent;
+  double chosen_beta;
+  std::uint64_t mask_rows, mask_cols, mask_offset;
+  std::uint64_t readout_rows, readout_cols, readout_offset;
+  std::uint64_t bias_len, bias_offset;
+  std::uint64_t file_size;  // exact total size in bytes
+};
+
+static_assert(sizeof(V2Header) == 120, "V2Header layout is part of the file format");
+static_assert(alignof(V2Header) == 8, "V2Header must be plain 8-byte-aligned POD");
+
+/// Round `offset` up to the next payload-section boundary.
+[[nodiscard]] constexpr std::uint64_t v2_align_up(std::uint64_t offset) noexcept {
+  return (offset + kV2Align - 1) / kV2Align * kV2Align;
+}
+
+/// First payload offset: the header padded out to one section boundary.
+inline constexpr std::uint64_t kV2PayloadStart = v2_align_up(sizeof(V2Header));
+
+}  // namespace dfr::dfrm

@@ -22,6 +22,7 @@
 // serving. Engines built from a `LoadedModel` snapshot it internally, so
 // they never dangle even if the `LoadedModel` goes out of scope.
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -31,8 +32,14 @@ namespace dfr {
 
 class QuantizedDfr;  // fixedpoint/quantized_dfr.hpp (includes this header)
 
-/// Serialize a trained model. Throws CheckError on I/O failure.
-void save_model(const TrainResult& model, const std::string& path);
+/// Serialize a trained model. `format_version` selects the .dfrm container
+/// layout (dfr/dfrm_format.hpp): 2 (default) writes the 64-byte-aligned
+/// mmap-friendly layout consumed zero-copy by serve/artifact_store.hpp;
+/// 1 writes the legacy stream-packed layout for interop with old readers.
+/// Both versions load through every loader. Throws CheckError on I/O failure
+/// or an unknown version.
+void save_model(const TrainResult& model, const std::string& path,
+                std::uint32_t format_version = 2);
 
 /// Which float engine executes infer()/classify_batch():
 ///   kAuto   — the SIMD datapath on the best runtime-dispatched backend
@@ -68,6 +75,13 @@ struct ModelArtifact {
   /// float-only artifact). Attached by with_quantized(); the serving layer
   /// routes QuantizedEngineKind requests to it.
   std::shared_ptr<const QuantizedDfr> quantized;
+  /// Keep-alive for zero-copy artifacts: when the mask/readout matrices
+  /// borrow pages of an mmap'ed .dfrm v2 file (serve/artifact_store.hpp),
+  /// this holds the refcounted mapping so the file stays mapped until the
+  /// last artifact reference drops. Null for artifacts that own their
+  /// weights. Copied along by with_quantized(), so derived artifacts keep
+  /// the mapping alive too.
+  std::shared_ptr<const void> backing;
 };
 
 using ModelArtifactPtr = std::shared_ptr<const ModelArtifact>;

@@ -24,6 +24,7 @@ Vector Matrix::col(std::size_t c) const {
 }
 
 void Matrix::resize(std::size_t rows, std::size_t cols) {
+  DFR_CHECK_MSG(!borrowed(), "mutating a borrowed Matrix view");
   rows_ = rows;
   cols_ = cols;
   data_.assign(rows * cols, 0.0);
@@ -31,6 +32,7 @@ void Matrix::resize(std::size_t rows, std::size_t cols) {
 
 void Matrix::set_row(std::size_t r, std::span<const double> values) {
   DFR_CHECK(r < rows_ && values.size() == cols_);
+  DFR_CHECK_MSG(!borrowed(), "mutating a borrowed Matrix view");
   std::copy(values.begin(), values.end(), data_.begin() + r * cols_);
 }
 
@@ -44,19 +46,22 @@ Matrix Matrix::transposed() const {
 
 double Matrix::frobenius_norm() const noexcept {
   double sum = 0.0;
-  for (double v : data_) sum += v * v;
+  const double* p = data();
+  for (std::size_t i = 0; i < size(); ++i) sum += p[i] * p[i];
   return std::sqrt(sum);
 }
 
 double Matrix::max_abs() const noexcept {
   double m = 0.0;
-  for (double v : data_) m = std::max(m, std::fabs(v));
+  const double* p = data();
+  for (std::size_t i = 0; i < size(); ++i) m = std::max(m, std::fabs(p[i]));
   return m;
 }
 
 bool Matrix::all_finite() const noexcept {
-  for (double v : data_) {
-    if (!std::isfinite(v)) return false;
+  const double* p = data();
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (!std::isfinite(p[i])) return false;
   }
   return true;
 }
@@ -69,17 +74,22 @@ Matrix Matrix::identity(std::size_t n) {
 
 Matrix& Matrix::operator+=(const Matrix& other) {
   DFR_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  DFR_CHECK_MSG(!borrowed(), "mutating a borrowed Matrix view");
+  const double* p = other.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += p[i];
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& other) {
   DFR_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  DFR_CHECK_MSG(!borrowed(), "mutating a borrowed Matrix view");
+  const double* p = other.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= p[i];
   return *this;
 }
 
-Matrix& Matrix::operator*=(double scalar) noexcept {
+Matrix& Matrix::operator*=(double scalar) {
+  DFR_CHECK_MSG(!borrowed(), "mutating a borrowed Matrix view");
   for (double& v : data_) v *= scalar;
   return *this;
 }
@@ -101,8 +111,8 @@ std::string Matrix::to_string(int precision) const {
 
 Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
 Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
-Matrix operator*(Matrix a, double s) noexcept { return a *= s; }
-Matrix operator*(double s, Matrix a) noexcept { return a *= s; }
+Matrix operator*(Matrix a, double s) { return a *= s; }
+Matrix operator*(double s, Matrix a) { return a *= s; }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
   DFR_CHECK_MSG(a.cols() == b.rows(), "matmul shape mismatch");

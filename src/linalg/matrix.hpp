@@ -8,6 +8,7 @@
 // straightforward cache-friendly triple loops (ikj order) which is plenty for
 // the ~1000-dimensional systems involved (Nx=30 → N_r=931).
 
+#include <algorithm>
 #include <cstddef>
 #include <initializer_list>
 #include <span>
@@ -21,6 +22,16 @@ namespace dfr {
 using Vector = std::vector<double>;
 
 /// Dense row-major matrix of doubles.
+///
+/// Two storage modes share the const read path:
+///   - owning (default): the matrix holds its elements in a private vector.
+///   - borrowed: `Matrix::borrow()` wraps caller-owned read-only storage
+///     (e.g. a page inside an mmap'ed .dfrm file — serve/artifact_store.hpp)
+///     without copying. A borrowed matrix is read-only: every mutating entry
+///     point CHECKs against it, and the borrower must keep the underlying
+///     storage alive for the matrix's lifetime (artifact files do this with a
+///     refcounted mapping handle on the ModelArtifact). Copying a borrowed
+///     matrix copies the view, not the elements.
 class Matrix {
  public:
   Matrix() = default;
@@ -36,38 +47,60 @@ class Matrix {
   /// Construct from nested braces: Matrix{{1,2},{3,4}}.
   Matrix(std::initializer_list<std::initializer_list<double>> init);
 
+  /// Read-only view over caller-owned row-major storage (no copy). `data`
+  /// must stay valid and unmodified for the lifetime of the returned matrix
+  /// and of every copy made from it.
+  [[nodiscard]] static Matrix borrow(const double* data, std::size_t rows,
+                                     std::size_t cols) noexcept {
+    Matrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.view_ = data;
+    return m;
+  }
+
+  /// True when this matrix is a read-only view over external storage.
+  [[nodiscard]] bool borrowed() const noexcept { return view_ != nullptr; }
+
   [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
   [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
-  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return rows_ * cols_; }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
 
   double& operator()(std::size_t r, std::size_t c) noexcept {
-    DFR_DCHECK(r < rows_ && c < cols_);
+    DFR_DCHECK(!borrowed() && r < rows_ && c < cols_);
     return data_[r * cols_ + c];
   }
   double operator()(std::size_t r, std::size_t c) const noexcept {
     DFR_DCHECK(r < rows_ && c < cols_);
-    return data_[r * cols_ + c];
+    return cdata()[r * cols_ + c];
   }
 
-  /// Raw storage (row-major).
-  [[nodiscard]] double* data() noexcept { return data_.data(); }
-  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+  /// Raw storage (row-major). The mutable overload CHECKs on borrowed views.
+  [[nodiscard]] double* data() {
+    DFR_CHECK_MSG(!borrowed(), "mutating a borrowed Matrix view");
+    return data_.data();
+  }
+  [[nodiscard]] const double* data() const noexcept { return cdata(); }
 
-  /// View of row r.
-  [[nodiscard]] std::span<double> row(std::size_t r) noexcept {
+  /// View of row r. The mutable overload CHECKs on borrowed views.
+  [[nodiscard]] std::span<double> row(std::size_t r) {
     DFR_DCHECK(r < rows_);
+    DFR_CHECK_MSG(!borrowed(), "mutating a borrowed Matrix view");
     return {data_.data() + r * cols_, cols_};
   }
   [[nodiscard]] std::span<const double> row(std::size_t r) const noexcept {
     DFR_DCHECK(r < rows_);
-    return {data_.data() + r * cols_, cols_};
+    return {cdata() + r * cols_, cols_};
   }
 
   /// Copy of column c.
   [[nodiscard]] Vector col(std::size_t c) const;
 
-  void fill(double v) noexcept { std::fill(data_.begin(), data_.end(), v); }
+  void fill(double v) {
+    DFR_CHECK_MSG(!borrowed(), "mutating a borrowed Matrix view");
+    std::fill(data_.begin(), data_.end(), v);
+  }
 
   /// Resize (content is discarded, zero-filled).
   void resize(std::size_t rows, std::size_t cols);
@@ -92,27 +125,37 @@ class Matrix {
   /// Element-wise in-place operations.
   Matrix& operator+=(const Matrix& other);
   Matrix& operator-=(const Matrix& other);
-  Matrix& operator*=(double scalar) noexcept;
+  Matrix& operator*=(double scalar);
 
   /// Human-readable (small matrices; tests / debugging).
   [[nodiscard]] std::string to_string(int precision = 4) const;
 
+  /// Element-wise equality; owning and borrowed matrices compare by content.
   friend bool operator==(const Matrix& a, const Matrix& b) noexcept {
-    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+    if (a.rows_ != b.rows_ || a.cols_ != b.cols_) return false;
+    const double* pa = a.cdata();
+    const double* pb = b.cdata();
+    return pa == pb || std::equal(pa, pa + a.size(), pb);
   }
 
  private:
+  /// Read path shared by both storage modes.
+  [[nodiscard]] const double* cdata() const noexcept {
+    return view_ ? view_ : data_.data();
+  }
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  std::vector<double> data_;          // owning mode storage (empty when borrowed)
+  const double* view_ = nullptr;      // borrowed mode storage (null when owning)
 };
 
 // ---- free-function algebra ------------------------------------------------
 
 Matrix operator+(Matrix a, const Matrix& b);
 Matrix operator-(Matrix a, const Matrix& b);
-Matrix operator*(Matrix a, double s) noexcept;
-Matrix operator*(double s, Matrix a) noexcept;
+Matrix operator*(Matrix a, double s);
+Matrix operator*(double s, Matrix a);
 
 /// C = A * B.
 Matrix matmul(const Matrix& a, const Matrix& b);

@@ -1,0 +1,182 @@
+#pragma once
+// Zero-copy model artifact store: mmap-backed .dfrm loading plus an LRU
+// layer that bounds resident weight memory across a large model fleet.
+//
+// Loading
+// -------
+// `load_artifact_mmap` maps a .dfrm v2 file (dfr/dfrm_format.hpp) read-only
+// and builds a `ModelArtifact` whose mask/readout matrices BORROW the mapped
+// pages (`Matrix::borrow`) instead of copying them — the only per-load heap
+// traffic is the artifact struct itself and the tiny Ny-entry bias vector.
+// The mapping is refcounted through `ModelArtifact::backing`: engines,
+// registry entries, and in-flight requests all hold `ModelArtifactPtr`
+// references, so the file stays mapped exactly until the last user drops the
+// artifact, then unmaps (MappedFile's destructor). Validation happens before
+// any view is formed — bad magic, an unexpected version, a size mismatch,
+// out-of-bounds or misaligned sections all throw typed `CheckError` and
+// leave nothing mapped. Legacy v1 files (unaligned) transparently fall back
+// to the copying loader behind the same call.
+//
+// Fleet LRU
+// ---------
+// `ArtifactStore` fronts a `ModelRegistry` for fleets larger than memory:
+// ids are `add`ed with their .dfrm path, and `get` faults the artifact in on
+// first use (registering it in the registry), touches LRU order on hits, and
+// when `max_resident_bytes` would be exceeded evicts least-recently-used
+// models via `ModelRegistry::evict`. Eviction flows through the registry's
+// existing subscriptions, so the server's `EnginePool` reclaims cached
+// engines on each worker's own thread (PR 5 deferred reclaim) and in-flight
+// requests finish safely on the artifact references they already hold; the
+// pages actually unmap when the last reference drains. A later `get` for an
+// evicted id transparently faults it back in. The store never evicts from
+// inside a registry eviction listener (that is forbidden by the
+// subscription contract); it is itself the eviction driver.
+//
+// Threading: all ArtifactStore methods are thread-safe behind one mutex
+// (workers fault concurrently; loads serialize — acceptable because the hit
+// path is a find + LRU splice and never allocates).
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "linalg/stats.hpp"
+#include "serve/registry.hpp"
+
+namespace dfr::serve {
+
+/// Refcounted read-only mapping of one file. Unmaps in the destructor, i.e.
+/// when the last shared_ptr (held via ModelArtifact::backing) drops.
+class MappedFile {
+ public:
+  /// Map `path` read-only. Throws CheckError when the file cannot be
+  /// opened, is empty, or mmap fails.
+  static std::shared_ptr<const MappedFile> map(const std::string& path);
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  [[nodiscard]] const std::byte* data() const noexcept {
+    return static_cast<const std::byte*>(addr_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  MappedFile(void* addr, std::size_t size) noexcept
+      : addr_(addr), size_(size) {}
+
+  void* addr_;
+  std::size_t size_;
+};
+
+/// Load a .dfrm file as an artifact, zero-copy when possible: v2 files are
+/// mmap'ed and borrowed (see file comment), v1 files fall back to the
+/// copying loader (dfr::load_artifact). Throws typed CheckError on any
+/// malformed input; on failure nothing stays mapped.
+[[nodiscard]] ModelArtifactPtr load_artifact_mmap(const std::string& path,
+                                                  std::string name = {});
+
+/// How ArtifactStore materializes artifacts on a fault.
+enum class LoadMode {
+  kMmap,  // zero-copy for v2 files, copying for v1 (default)
+  kCopy,  // always the copying loader (baseline / comparison)
+};
+
+struct ArtifactStoreConfig {
+  /// Bound on summed resident artifact bytes (mapped file size for mmap
+  /// artifacts, owned weight bytes for copied ones). Faulting a model in
+  /// evicts least-recently-used models until the total fits. 0 = unbounded.
+  /// A single artifact larger than the bound still loads (everything else
+  /// is evicted first); serving it is better than refusing.
+  std::size_t max_resident_bytes = 0;
+  LoadMode mode = LoadMode::kMmap;
+  /// Recent load-latency samples kept for the load_p50 stat.
+  std::size_t load_window = 128;
+};
+
+/// Monotonic counters + gauges; see ArtifactStore::counters().
+struct ArtifactStoreCounters {
+  std::uint64_t hits = 0;        // get() served from the registry
+  std::uint64_t faults = 0;      // get() that had to load (cold or re-fault)
+  std::uint64_t evictions = 0;   // LRU evictions driven by this store
+  std::size_t resident_bytes = 0;
+  std::size_t resident_models = 0;
+  std::size_t tracked_models = 0;  // add()ed ids, resident or not
+};
+
+/// LRU-bounded artifact cache over a ModelRegistry. See file comment.
+class ArtifactStore {
+ public:
+  /// The registry must outlive the store. The store assumes it is the only
+  /// eviction driver for the ids it tracks; externally evicted ids are
+  /// healed (re-faulted) on their next get().
+  explicit ArtifactStore(ModelRegistry& registry,
+                         ArtifactStoreConfig config = {});
+
+  ArtifactStore(const ArtifactStore&) = delete;
+  ArtifactStore& operator=(const ArtifactStore&) = delete;
+
+  /// Track `id` -> `path` without loading. Re-adding an id updates its path
+  /// (the new path is used on the next fault; a resident artifact is not
+  /// reloaded eagerly).
+  void add(std::string id, std::string path);
+
+  /// The artifact serving `id`: LRU-touches and returns the resident
+  /// artifact, or faults it in (load + register + evict-to-cap). Returns
+  /// nullptr for an untracked id. Throws CheckError when the fault-in load
+  /// fails (corrupt/missing file) — the id stays tracked and non-resident.
+  [[nodiscard]] ModelArtifactPtr get(std::string_view id);
+
+  /// Stop tracking `id`, evicting it from the registry if resident.
+  /// Returns false for an untracked id.
+  bool erase(std::string_view id);
+
+  [[nodiscard]] std::size_t resident_bytes() const;
+  [[nodiscard]] ArtifactStoreCounters counters() const;
+
+  /// Summary of recent fault-in load latencies (µs); load_p50 = .p50.
+  [[nodiscard]] Summary load_latency_us() const;
+
+  /// Append this store's metrics to `os` in the scrapeable text format
+  /// (README "Stats export"): one `name{labels} value` line per metric,
+  /// resident bytes and per-model load p50 included.
+  void export_stats(std::ostream& os) const;
+
+ private:
+  struct Entry {
+    std::string path;
+    bool resident = false;
+    std::size_t bytes = 0;                    // resident footprint when loaded
+    std::uint64_t loads = 0;                  // lifetime fault-ins
+    double last_load_us = 0.0;
+    std::list<std::string>::iterator lru_it;  // valid iff resident
+  };
+
+  /// Under mutex_: mark `entry` non-resident and fix accounting.
+  void note_nonresident(Entry& entry);
+  /// Under mutex_: evict LRU victims (never `keep`) until the cap holds.
+  void evict_to_cap(const Entry* keep);
+
+  ModelRegistry* registry_;
+  ArtifactStoreConfig config_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry, StringHash, std::equal_to<>> entries_;
+  std::list<std::string> lru_;  // front = most recent; resident ids only
+  std::size_t resident_bytes_ = 0;
+  std::size_t resident_models_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t faults_ = 0;
+  std::uint64_t evictions_ = 0;
+  Vector load_us_;              // ring of recent load latencies
+  std::size_t load_next_ = 0;
+};
+
+}  // namespace dfr::serve

@@ -4,6 +4,8 @@
 #include <array>
 #include <chrono>
 #include <exception>
+#include <limits>
+#include <ostream>
 #include <utility>
 
 #include "util/check.hpp"
@@ -19,6 +21,7 @@ const char* request_status_name(RequestStatus status) noexcept {
     case RequestStatus::kInvalidArgument: return "invalid-argument";
     case RequestStatus::kInternalError: return "internal-error";
     case RequestStatus::kShutdown: return "shutdown";
+    case RequestStatus::kDeadlineExceeded: return "deadline-exceeded";
   }
   return "?";
 }
@@ -64,6 +67,7 @@ struct InferenceServer::StatsEntry {
   std::uint64_t completed = 0;
   std::uint64_t errors = 0;
   std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;  // kDeadlineExceeded: dequeued late, never executed
   Vector latencies;       // ring storage, capacity = latency_window
   std::size_t next = 0;   // ring write position
 };
@@ -252,6 +256,32 @@ void InferenceServer::worker_loop(std::size_t worker) {
       work_cv_.wait(lock,
                     [&] { return stop_workers_ || pending_count_ > 0; });
       if (pending_count_ == 0) return;  // stopping and fully drained
+      // Priority-aware dequeue: take the first occurrence of the highest
+      // priority, so all-default-priority traffic dequeues in pure FIFO
+      // order (the scan then picks the head itself and the swap is a
+      // no-op). Abandoned slots rank above everything — freeing them
+      // promptly is what keeps a cancelled request from pinning its slot.
+      // The swap that hoists the winner moves the old head deeper into the
+      // ring, so FIFO within one priority level is only approximate while
+      // priorities are mixed.
+      std::size_t take = 0;
+      std::int64_t best = std::numeric_limits<std::int64_t>::min();
+      constexpr std::int64_t kAbandonedRank =
+          std::numeric_limits<std::int64_t>::max();
+      for (std::size_t p = 0; p < pending_count_; ++p) {
+        const Slot& s =
+            *slots_[pending_[(pending_head_ + p) % pending_.size()]];
+        const std::int64_t rank =
+            s.abandoned ? kAbandonedRank
+                        : static_cast<std::int64_t>(s.options.priority);
+        if (rank > best) {
+          best = rank;
+          take = p;
+          if (rank == kAbandonedRank) break;
+        }
+      }
+      std::swap(pending_[(pending_head_ + take) % pending_.size()],
+                pending_[pending_head_]);
       const std::size_t slot_index = pending_[pending_head_];
       pending_head_ = (pending_head_ + 1) % pending_.size();
       --pending_count_;
@@ -295,13 +325,35 @@ void InferenceServer::claim_batchmates(std::vector<std::size_t>& batch) {
       free_.push_back(index);
       continue;
     }
-    if (batch.size() < config_.max_batch && slot.model_id == head.model_id &&
+    if (slot.model_id == head.model_id &&
         variant_for(slot.options) == head_variant &&
         slot.series->rows() == head.series->rows() &&
         slot.series->cols() == head.series->cols()) {
-      slot.state = Slot::State::kExecuting;
-      batch.push_back(index);
-      continue;
+      if (batch.size() < config_.max_batch) {
+        slot.state = Slot::State::kExecuting;
+        batch.push_back(index);
+        continue;
+      }
+      // Full batch: coalesce in priority order — a higher-priority match
+      // displaces the lowest-priority claimed mate (never the head, which
+      // is already dequeued), which returns to the pending ring.
+      std::size_t worst = 0;  // 0 = none (head is not displaceable)
+      for (std::size_t m = 1; m < batch.size(); ++m) {
+        if (worst == 0 || slots_[batch[m]]->options.priority <
+                              slots_[batch[worst]]->options.priority) {
+          worst = m;
+        }
+      }
+      if (worst != 0 && slots_[batch[worst]]->options.priority <
+                            slot.options.priority) {
+        Slot& displaced = *slots_[batch[worst]];
+        displaced.state = Slot::State::kQueued;
+        pending_[(pending_head_ + kept) % pending_.size()] = batch[worst];
+        ++kept;
+        slot.state = Slot::State::kExecuting;
+        batch[worst] = index;
+        continue;
+      }
     }
     pending_[(pending_head_ + kept) % pending_.size()] = index;
     ++kept;
@@ -330,17 +382,62 @@ void InferenceServer::collect_batch(std::unique_lock<std::mutex>& lock,
   }
 }
 
+namespace {
+
+/// True when the slot's completion budget ran out before execution started.
+bool past_deadline(std::uint64_t deadline_us, const Timer& timer) noexcept {
+  return deadline_us > 0 && timer.elapsed_ns() >= deadline_us * 1000;
+}
+
+}  // namespace
+
+/// Resolve `slot` as shed (kDeadlineExceeded) without executing it. The
+/// caller must NOT hold mutex_; `registered` feeds the stats-slot policy
+/// exactly like the normal outcome path.
+void InferenceServer::shed_slot(std::size_t slot_index, bool registered) {
+  Slot& slot = *slots_[slot_index];
+  InferResult& result = slot.result;
+  result.status = RequestStatus::kDeadlineExceeded;
+  result.label = -1;
+  result.logits.clear();  // keeps capacity: no allocation
+  result.latency_us = static_cast<double>(slot.timer.elapsed_ns()) * 1e-3;
+  record_outcome(slot.model_id, result, registered);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slot.state = Slot::State::kReady;
+  }
+  done_cv_.notify_all();
+}
+
 void InferenceServer::process_batch(std::size_t worker,
                                     const std::vector<std::size_t>& batch) {
-  const std::size_t lanes = batch.size();
+  // Deadline shedding first: lanes whose budget ran out while queued (or
+  // while the batch window was open) resolve as kDeadlineExceeded without
+  // costing a vector lane. Registry state is only consulted when a shed
+  // lane needs the stats-slot policy answer.
+  std::array<std::size_t, simd::kBatchedMaxLanes> live;
+  std::size_t lanes = 0;
+  for (const std::size_t index : batch) {
+    Slot& slot = *slots_[index];
+    if (past_deadline(slot.options.deadline_us, slot.timer)) {
+      shed_slot(index, registry_->get(slot.model_id) != nullptr);
+    } else {
+      live[lanes++] = index;
+    }
+  }
+  if (lanes == 0) return;
+  if (lanes == 1) {
+    process(worker, live[0]);  // engine fast path for a fully-shed batch
+    return;
+  }
   std::array<const Matrix*, simd::kBatchedMaxLanes> series;
   for (std::size_t l = 0; l < lanes; ++l) {
-    Slot& slot = *slots_[batch[l]];
+    Slot& slot = *slots_[live[l]];
     slot.result.label = -1;
     slot.result.logits.clear();  // keeps capacity: no allocation
     series[l] = slot.series;
   }
-  Slot& head = *slots_[batch.front()];
+  Slot& head = *slots_[live[0]];
 
   // One routing decision for the whole batch, made NOW (dequeue time): the
   // coalescing key guarantees every lane asked for the same model id and
@@ -350,7 +447,7 @@ void InferenceServer::process_batch(std::size_t worker,
   const ModelArtifactPtr artifact = registry_->get(head.model_id);
   if (artifact == nullptr) {
     for (std::size_t l = 0; l < lanes; ++l) {
-      slots_[batch[l]]->result.status = RequestStatus::kUnknownModel;
+      slots_[live[l]]->result.status = RequestStatus::kUnknownModel;
     }
   } else {
     try {
@@ -358,7 +455,7 @@ void InferenceServer::process_batch(std::size_t worker,
           worker, artifact, variant_for(head.options), config_.max_batch);
       engine.infer(std::span<const Matrix* const>(series.data(), lanes));
       for (std::size_t l = 0; l < lanes; ++l) {
-        InferResult& result = slots_[batch[l]]->result;
+        InferResult& result = slots_[live[l]]->result;
         const std::span<const double> logits = engine.lane_logits(l);
         result.logits.assign(logits.begin(), logits.end());
         result.label = engine.lane_label(l);
@@ -366,7 +463,7 @@ void InferenceServer::process_batch(std::size_t worker,
       }
     } catch (const CheckError&) {  // engine rejected the batch: client error
       for (std::size_t l = 0; l < lanes; ++l) {
-        InferResult& result = slots_[batch[l]]->result;
+        InferResult& result = slots_[live[l]]->result;
         result.logits.clear();
         result.label = -1;
         result.status = RequestStatus::kInvalidArgument;
@@ -375,7 +472,7 @@ void InferenceServer::process_batch(std::size_t worker,
       log_error("batched inference for model '", head.model_id,
                 "' failed internally: ", e.what());
       for (std::size_t l = 0; l < lanes; ++l) {
-        InferResult& result = slots_[batch[l]]->result;
+        InferResult& result = slots_[live[l]]->result;
         result.logits.clear();
         result.label = -1;
         result.status = RequestStatus::kInternalError;
@@ -383,7 +480,7 @@ void InferenceServer::process_batch(std::size_t worker,
     }
   }
   for (std::size_t l = 0; l < lanes; ++l) {
-    Slot& slot = *slots_[batch[l]];
+    Slot& slot = *slots_[live[l]];
     slot.result.latency_us = static_cast<double>(slot.timer.elapsed_ns()) * 1e-3;
     record_outcome(slot.model_id, slot.result,
                    /*id_is_registered=*/artifact != nullptr);
@@ -391,7 +488,7 @@ void InferenceServer::process_batch(std::size_t worker,
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t l = 0; l < lanes; ++l) {
-      slots_[batch[l]]->state = Slot::State::kReady;
+      slots_[live[l]]->state = Slot::State::kReady;
     }
   }
   done_cv_.notify_all();
@@ -407,6 +504,13 @@ void InferenceServer::process(std::size_t worker, std::size_t slot_index) {
   // hot-swap between submit and execution serves the newest artifact, and
   // the shared_ptr keeps whichever artifact we got alive through inference.
   const ModelArtifactPtr artifact = registry_->get(slot.model_id);
+  // Deadline shedding before any engine work: a request that is already
+  // late resolves typed instead of burning engine time serving an answer
+  // nobody is waiting for.
+  if (past_deadline(slot.options.deadline_us, slot.timer)) {
+    shed_slot(slot_index, /*registered=*/artifact != nullptr);
+    return;
+  }
   if (artifact == nullptr) {
     result.status = RequestStatus::kUnknownModel;
   } else {
@@ -523,8 +627,12 @@ InferenceServer::StatsEntry* InferenceServer::stats_entry_for(
     std::string_view model_id, bool allow_create) {
   auto it = stats_.find(model_id);
   if (it == stats_.end()) {
-    if (!allow_create || stats_.size() >= config_.max_tracked_models) {
-      return nullptr;  // untracked: serve, don't count
+    if (!allow_create) return nullptr;  // unregistered id: serve, don't count
+    if (stats_.size() >= config_.max_tracked_models) {
+      // The cap forces this registered id to go uncounted; surface the loss
+      // instead of dropping it invisibly (export_stats / dropped_stats()).
+      ++dropped_stats_;
+      return nullptr;
     }
     it = stats_.emplace(std::string(model_id), StatsEntry{}).first;
     it->second.latencies.reserve(config_.latency_window);
@@ -542,6 +650,8 @@ void InferenceServer::record_outcome(std::string_view model_id,
   if (entry == nullptr) return;
   if (result.status == RequestStatus::kOk) {
     ++entry->completed;
+  } else if (result.status == RequestStatus::kDeadlineExceeded) {
+    ++entry->shed;  // dropped unexecuted, not a serving error
   } else {
     ++entry->errors;
   }
@@ -571,6 +681,7 @@ ModelServingStats InferenceServer::stats(std::string_view model_id) const {
   if (it == stats_.end()) return {};
   const StatsEntry& entry = it->second;
   return ModelServingStats{entry.completed, entry.errors, entry.rejected,
+                           entry.shed,
                            entry.latencies.empty() ? Summary{}
                                                    : summarize(entry.latencies)};
 }
@@ -584,6 +695,7 @@ std::vector<std::pair<std::string, ModelServingStats>> InferenceServer::stats()
     for (const auto& [id, entry] : stats_) {
       out.emplace_back(
           id, ModelServingStats{entry.completed, entry.errors, entry.rejected,
+                                entry.shed,
                                 entry.latencies.empty()
                                     ? Summary{}
                                     : summarize(entry.latencies)});
@@ -592,6 +704,36 @@ std::vector<std::pair<std::string, ModelServingStats>> InferenceServer::stats()
   std::sort(out.begin(), out.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
+}
+
+std::uint64_t InferenceServer::dropped_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return dropped_stats_;
+}
+
+void InferenceServer::export_stats(std::ostream& os) const {
+  // One `name{labels} value` line per metric (Prometheus text exposition
+  // shape); stats() already sorts by id, so scrapes diff cleanly.
+  const auto per_model = stats();
+  for (const auto& [id, s] : per_model) {
+    os << "dfr_requests_total{model=\"" << id << "\",outcome=\"completed\"} "
+       << s.completed << '\n';
+    os << "dfr_requests_total{model=\"" << id << "\",outcome=\"error\"} "
+       << s.errors << '\n';
+    os << "dfr_requests_total{model=\"" << id << "\",outcome=\"rejected\"} "
+       << s.rejected << '\n';
+    os << "dfr_requests_total{model=\"" << id << "\",outcome=\"shed\"} "
+       << s.shed << '\n';
+    if (s.latency_us.count > 0) {
+      os << "dfr_request_latency_us{model=\"" << id << "\",quantile=\"0.5\"} "
+         << s.latency_us.p50 << '\n';
+      os << "dfr_request_latency_us{model=\"" << id << "\",quantile=\"0.9\"} "
+         << s.latency_us.p90 << '\n';
+      os << "dfr_request_latency_us{model=\"" << id << "\",quantile=\"0.99\"} "
+         << s.latency_us.p99 << '\n';
+    }
+  }
+  os << "dfr_stats_dropped_total " << dropped_stats() << '\n';
 }
 
 }  // namespace dfr::serve

@@ -42,12 +42,22 @@
 //    resolved, which is what makes hot-swap semantics identical to the
 //    unbatched path.
 //
+//  * SLO-aware admission (RequestOptions::deadline_us / priority). Workers
+//    dequeue highest-priority-first and shed requests whose deadline already
+//    passed with a typed kDeadlineExceeded BEFORE spending engine time —
+//    under overload the queue drops late work instead of serving the whole
+//    backlog late. The micro-batcher coalesces matching requests in
+//    priority order. Shed requests count in a per-model `shed` stat.
+//
 //  * Clean shutdown. shutdown() stops admission (kShutdown rejections),
 //    drains every queued request, joins the workers, and is idempotent;
 //    the destructor calls it.
 //
-//  * Per-model counters (completed/errors/rejected) plus a recent-latency
-//    window summarized through stats::summarize (linalg/stats.hpp).
+//  * Per-model counters (completed/errors/rejected/shed) plus a
+//    recent-latency window summarized through stats::summarize
+//    (linalg/stats.hpp), exportable as a scrapeable text page
+//    (export_stats), with a dropped_stats counter surfacing ids the
+//    max_tracked_models cap forced the server to stop counting.
 //
 // Threading: submit()/stats() are safe from any number of client threads.
 // The worker loops run on a private util/parallel.hpp ThreadPool (the
@@ -58,6 +68,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -83,6 +94,8 @@ enum class RequestStatus : int {
   kInvalidArgument,  // series rejected by the engine (shape mismatch, ...)
   kInternalError,  // unexpected server-side failure (logged; not the client)
   kShutdown,       // submitted after shutdown() began
+  kDeadlineExceeded,  // shed: RequestOptions::deadline_us passed before a
+                      // worker picked the request up (never executed)
 };
 
 [[nodiscard]] const char* request_status_name(RequestStatus status) noexcept;
@@ -136,9 +149,23 @@ struct ServerConfig {
 /// resolve to kInvalidArgument). Like the model id, the engine kind is
 /// resolved per request at processing time, so a hot-swap that adds or
 /// drops a quantized twin takes effect on the next request.
+/// SLO knobs (`deadline_us`, `priority`) shape HOW the queue drains under
+/// load: workers dequeue the highest-priority request first (FIFO within a
+/// priority level; cancellations may perturb that tie-break), the
+/// micro-batcher coalesces matching requests highest-priority-first, and a
+/// request whose deadline has already passed when a worker picks it up is
+/// shed with a typed kDeadlineExceeded before any engine time is spent on
+/// it. Shedding happens at dequeue, not at submit: an admitted request
+/// always resolves, either with a result or with the typed shed status.
 struct RequestOptions {
   std::variant<FloatEngineKind, QuantizedEngineKind> engine =
       FloatEngineKind::kAuto;
+  /// Completion budget in microseconds, measured from submit(); 0 = none.
+  /// When the budget is exhausted before a worker dequeues the request, it
+  /// is shed with kDeadlineExceeded instead of executing late.
+  std::uint64_t deadline_us = 0;
+  /// Dequeue priority: higher runs first. Default 0 keeps pure FIFO.
+  std::int32_t priority = 0;
 };
 
 /// Per-model serving counters; see InferenceServer::stats.
@@ -146,6 +173,7 @@ struct ModelServingStats {
   std::uint64_t completed = 0;  // requests finished with kOk
   std::uint64_t errors = 0;     // finished with kUnknownModel/kInvalidArgument
   std::uint64_t rejected = 0;   // kQueueFull/kShutdown rejections for this id
+  std::uint64_t shed = 0;       // kDeadlineExceeded: dropped unexecuted
   Summary latency_us;           // summarize() over the recent-latency window
 };
 
@@ -220,12 +248,12 @@ class InferenceServer {
   [[nodiscard]] InferFuture submit(std::string_view model_id,
                                    const Matrix& series,
                                    FloatEngineKind engine) {
-    return submit(model_id, series, RequestOptions{engine});
+    return submit(model_id, series, RequestOptions{.engine = engine});
   }
   [[nodiscard]] InferFuture submit(std::string_view model_id,
                                    const Matrix& series,
                                    QuantizedEngineKind engine) {
-    return submit(model_id, series, RequestOptions{engine});
+    return submit(model_id, series, RequestOptions{.engine = engine});
   }
 
   /// Synchronous batch path: routes by id, then fans out over the
@@ -241,13 +269,15 @@ class InferenceServer {
                                                 std::span<const Matrix> series,
                                                 unsigned threads,
                                                 FloatEngineKind engine) {
-    return classify_batch(model_id, series, threads, RequestOptions{engine});
+    return classify_batch(model_id, series, threads,
+                          RequestOptions{.engine = engine});
   }
   [[nodiscard]] std::vector<int> classify_batch(std::string_view model_id,
                                                 std::span<const Matrix> series,
                                                 unsigned threads,
                                                 QuantizedEngineKind engine) {
-    return classify_batch(model_id, series, threads, RequestOptions{engine});
+    return classify_batch(model_id, series, threads,
+                          RequestOptions{.engine = engine});
   }
 
   /// Stop admission, drain every queued request, join the workers.
@@ -263,6 +293,18 @@ class InferenceServer {
   /// (id, counters) for every id that saw traffic, sorted by id.
   [[nodiscard]] std::vector<std::pair<std::string, ModelServingStats>> stats()
       const;
+
+  /// Stat recordings silently dropped because the max_tracked_models cap
+  /// was exhausted when a new id needed a tracking slot. Nonzero means the
+  /// per-model counters undercount; raise the cap or prune the fleet.
+  [[nodiscard]] std::uint64_t dropped_stats() const;
+
+  /// Append per-model serving metrics to `os` in the scrapeable text format
+  /// (README "Stats export"): one `name{labels} value` line per metric —
+  /// completed/errors/rejected/shed totals, latency quantiles, and the
+  /// dropped-stats counter. Concatenate with ArtifactStore::export_stats
+  /// for one scrape page covering traffic AND residency.
+  void export_stats(std::ostream& os) const;
 
   [[nodiscard]] std::size_t workers() const noexcept { return workers_; }
   [[nodiscard]] std::size_t queue_capacity() const noexcept {
@@ -289,6 +331,10 @@ class InferenceServer {
   void process_batch(std::size_t worker,
                      const std::vector<std::size_t>& batch);
   void release_slot(std::size_t slot_index);
+  /// Resolve a dequeued-but-late request as kDeadlineExceeded without
+  /// executing it (counted in the per-model `shed` stat). Caller must not
+  /// hold mutex_.
+  void shed_slot(std::size_t slot_index, bool registered);
   void record_outcome(std::string_view model_id, const InferResult& result,
                       bool id_is_registered);
   void record_rejection(std::string_view model_id);
@@ -322,6 +368,7 @@ class InferenceServer {
   mutable std::mutex stats_mutex_;
   std::unordered_map<std::string, StatsEntry, StringHash, std::equal_to<>>
       stats_;
+  std::uint64_t dropped_stats_ = 0;  // guarded by stats_mutex_
 
   EnginePool pool_;
   std::unique_ptr<ThreadPool> thread_pool_;  // private; not the global pool

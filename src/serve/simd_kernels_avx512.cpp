@@ -10,9 +10,16 @@
 //    in the DPRR update fuses, covered by the documented ULP bound);
 //  * quantized family — bit-exact against the scalar fixed-point pipeline,
 //    no FMA anywhere (see simd_kernels.hpp).
-// Tails (nx % 8) stay scalar like the other ISA TUs: the same-operation
-// guarantee is what the equivalence contracts rest on, and the tail length
-// is bounded by one vector.
+// Unlike the AVX2/NEON TUs, the single-series kernels here run their
+// remainder (nx % 8) through MASKED vector ops instead of a scalar tail:
+// maskz loads fill inactive lanes with +0.0 (harmless for every vectorized
+// operation below) and masked stores never touch memory past nx, while the
+// active lanes execute the exact same IEEE operation sequence as the main
+// loop — so the ULP contract (float family) and the bit-exactness contract
+// (quantized family) are preserved, and non-multiple-of-8 Nx values no
+// longer pay a scalar epilogue. The batched kernels keep scalar lane tails:
+// the lane count is the server's max_batch, which real configs keep at a
+// power of two.
 #include "serve/simd_kernels.hpp"
 
 #if defined(DFR_SIMD_KERNELS_ISA) && defined(__AVX512F__) && \
@@ -55,46 +62,59 @@ inline __m512d quantize_pd(__m512d v, const QuantizeConsts& q) noexcept {
   return _mm512_mask_mov_pd(_mm512_setzero_pd(), ord, out);
 }
 
+/// All-active-lanes mask for a tail of `len` doubles (1 <= len < kWidth).
+inline __mmask8 tail_mask(std::size_t len) noexcept {
+  return static_cast<__mmask8>((1u << len) - 1);
+}
+
 // out[n] = a * f~(s_n) with s_n produced per policy: the float preadd loads
 // s = j[n] + x_prev[n], the quantized preadd additionally rounds s to the
 // state format. The polynomial / rational nonlinearities vectorize with the
-// scalar evaluation order preserved; the libm-backed ones (tanh, sine,
-// Mackey–Glass with its pow) keep per-lane scalar calls on top of the same
-// s-production semantics, so the stage contracts are unaffected.
-template <typename MakeS, typename MakeSScalar>
+// scalar evaluation order preserved and finish with one masked iteration
+// covering nx % 8 (maskz-loaded inactive lanes hold +0.0, for which every
+// value_of below is well-defined, and the masked store drops them); the
+// libm-backed ones (tanh, sine, Mackey–Glass with its pow) keep per-lane
+// scalar calls on top of the same s-production semantics, so the stage
+// contracts are unaffected.
+template <typename MakeS, typename MakeSMasked, typename MakeSScalar>
 inline void preadd_nonlin_impl(const Nonlinearity& f, double a, double* out,
                                std::size_t nx, const MakeS& make_s,
+                               const MakeSMasked& make_s_masked,
                                const MakeSScalar& make_s_scalar) {
   const __m512d va = _mm512_set1_pd(a);
   const std::size_t main = nx - nx % kWidth;
+  // Main loop + masked remainder, shared across the vectorized kinds;
+  // `value_of` is the kind's f~(s) on full vectors.
+  const auto run = [&](auto&& value_of) {
+    for (std::size_t n = 0; n < main; n += kWidth) {
+      _mm512_storeu_pd(out + n, _mm512_mul_pd(va, value_of(make_s(n))));
+    }
+    if (main != nx) {
+      const __mmask8 m = tail_mask(nx - main);
+      _mm512_mask_storeu_pd(out + main, m,
+                            _mm512_mul_pd(va, value_of(make_s_masked(main, m))));
+    }
+  };
   switch (f.kind()) {
     case NonlinearityKind::kIdentity: {
-      for (std::size_t n = 0; n < main; n += kWidth) {
-        const __m512d s = make_s(n);
-        _mm512_storeu_pd(out + n, _mm512_mul_pd(va, s));
-      }
-      break;
+      run([](__m512d s) { return s; });
+      return;
     }
     case NonlinearityKind::kCubic: {
       // s - s*s*s/3, evaluated as ((s*s)*s)/3 like the scalar expression.
       const __m512d third = _mm512_set1_pd(3.0);
-      for (std::size_t n = 0; n < main; n += kWidth) {
-        const __m512d s = make_s(n);
+      run([&](__m512d s) {
         const __m512d cubed = _mm512_mul_pd(_mm512_mul_pd(s, s), s);
-        const __m512d value = _mm512_sub_pd(s, _mm512_div_pd(cubed, third));
-        _mm512_storeu_pd(out + n, _mm512_mul_pd(va, value));
-      }
-      break;
+        return _mm512_sub_pd(s, _mm512_div_pd(cubed, third));
+      });
+      return;
     }
     case NonlinearityKind::kSaturating: {
       const __m512d one = _mm512_set1_pd(1.0);
-      for (std::size_t n = 0; n < main; n += kWidth) {
-        const __m512d s = make_s(n);
-        const __m512d value =
-            _mm512_div_pd(s, _mm512_add_pd(one, _mm512_abs_pd(s)));
-        _mm512_storeu_pd(out + n, _mm512_mul_pd(va, value));
-      }
-      break;
+      run([&](__m512d s) {
+        return _mm512_div_pd(s, _mm512_add_pd(one, _mm512_abs_pd(s)));
+      });
+      return;
     }
     case NonlinearityKind::kMackeyGlass:
     case NonlinearityKind::kTanh:
@@ -105,9 +125,6 @@ inline void preadd_nonlin_impl(const Nonlinearity& f, double a, double* out,
       return;
     }
   }
-  for (std::size_t n = main; n < nx; ++n) {
-    out[n] = a * f.value(make_s_scalar(n));
-  }
 }
 
 void preadd_nonlin_avx512(const Nonlinearity& f, double a, const double* j,
@@ -117,6 +134,10 @@ void preadd_nonlin_avx512(const Nonlinearity& f, double a, const double* j,
       [&](std::size_t n) {
         return _mm512_add_pd(_mm512_loadu_pd(j + n),
                              _mm512_loadu_pd(x_prev + n));
+      },
+      [&](std::size_t n, __mmask8 m) {
+        return _mm512_add_pd(_mm512_maskz_loadu_pd(m, j + n),
+                             _mm512_maskz_loadu_pd(m, x_prev + n));
       },
       [&](std::size_t n) { return j[n] + x_prev[n]; });
 }
@@ -133,6 +154,11 @@ void quant_preadd_nonlin_avx512(const Nonlinearity& f, double a,
                                          _mm512_loadu_pd(x_prev + n)),
                            q);
       },
+      [&](std::size_t n, __mmask8 m) {
+        return quantize_pd(_mm512_add_pd(_mm512_maskz_loadu_pd(m, j + n),
+                                         _mm512_maskz_loadu_pd(m, x_prev + n)),
+                           q);
+      },
       [&](std::size_t n) { return fmt.quantize(j[n] + x_prev[n]); });
 }
 
@@ -145,8 +171,11 @@ void scale_quantize_avx512(const FixedPointFormat& fmt, double scale,
     const __m512d v = _mm512_mul_pd(_mm512_loadu_pd(values + i), vscale);
     _mm512_storeu_pd(values + i, quantize_pd(v, q));
   }
-  for (std::size_t i = main; i < n; ++i) {
-    values[i] = fmt.quantize(values[i] * scale);
+  if (main != n) {
+    const __mmask8 m = tail_mask(n - main);
+    const __m512d v =
+        _mm512_mul_pd(_mm512_maskz_loadu_pd(m, values + main), vscale);
+    _mm512_mask_storeu_pd(values + main, m, quantize_pd(v, q));
   }
 }
 
@@ -156,6 +185,7 @@ void scale_quantize_avx512(const FixedPointFormat& fmt, double scale,
 void dprr_add_avx512(double* r, const double* x_k, const double* x_km1,
                      std::size_t nx) {
   const std::size_t main = nx - nx % kWidth;
+  const __mmask8 mtail = main != nx ? tail_mask(nx - main) : __mmask8{0};
   double* sums = r + nx * nx;
   for (std::size_t i = 0; i < nx; ++i) {
     const double xi = x_k[i];
@@ -166,8 +196,11 @@ void dprr_add_avx512(double* r, const double* x_k, const double* x_km1,
                                           _mm512_loadu_pd(row + jj));
       _mm512_storeu_pd(row + jj, acc);
     }
-    for (std::size_t jj = main; jj < nx; ++jj) {
-      row[jj] = std::fma(xi, x_km1[jj], row[jj]);
+    if (main != nx) {
+      const __m512d acc =
+          _mm512_fmadd_pd(vxi, _mm512_maskz_loadu_pd(mtail, x_km1 + main),
+                          _mm512_maskz_loadu_pd(mtail, row + main));
+      _mm512_mask_storeu_pd(row + main, mtail, acc);
     }
     sums[i] += xi;
   }
@@ -179,6 +212,7 @@ void dprr_add_avx512(double* r, const double* x_k, const double* x_km1,
 void dprr_add_exact_avx512(double* r, const double* x_k, const double* x_km1,
                            std::size_t nx) {
   const std::size_t main = nx - nx % kWidth;
+  const __mmask8 mtail = main != nx ? tail_mask(nx - main) : __mmask8{0};
   double* sums = r + nx * nx;
   for (std::size_t i = 0; i < nx; ++i) {
     const double xi = x_k[i];
@@ -190,8 +224,11 @@ void dprr_add_exact_avx512(double* r, const double* x_k, const double* x_km1,
           _mm512_mul_pd(vxi, _mm512_loadu_pd(x_km1 + jj)));
       _mm512_storeu_pd(row + jj, acc);
     }
-    for (std::size_t jj = main; jj < nx; ++jj) {
-      row[jj] += xi * x_km1[jj];
+    if (main != nx) {
+      const __m512d acc = _mm512_add_pd(
+          _mm512_maskz_loadu_pd(mtail, row + main),
+          _mm512_mul_pd(vxi, _mm512_maskz_loadu_pd(mtail, x_km1 + main)));
+      _mm512_mask_storeu_pd(row + main, mtail, acc);
     }
     sums[i] += xi;
   }

@@ -142,14 +142,54 @@ TEST_F(ModelIoRoundTrip, UnsupportedVersionThrows) {
 
 TEST_F(ModelIoRoundTrip, ZeroDimensionMatrixHeaderThrows) {
   std::vector<char> bytes = read_bytes(path_);
-  // The mask matrix header (rows as u64) starts after magic(4) + version(4) +
-  // a(8) + b(8) + kind(4) + mg_exponent(8) + beta(8) = 44 bytes.
+  // In the (default) v2 header mask_rows sits at offset 48
+  // (dfr/dfrm_format.hpp); zeroing from offset 44 clears its low half, which
+  // collapses the small true row count to zero.
   const std::uint64_t zero_rows = 0;
   std::memcpy(bytes.data() + 44, &zero_rows, sizeof(zero_rows));
   const std::string mutated = temp_path("dfr_model_io_zerodim");
   write_bytes(mutated, bytes);
   EXPECT_THROW(load_model(mutated), CheckError);
   std::remove(mutated.c_str());
+}
+
+// ---- v1 backward compatibility --------------------------------------------
+
+TEST_F(ModelIoRoundTrip, V1FormatRoundTripsIdentically) {
+  // Legacy stream-packed v1 files still write and load: same fields, same
+  // weight bits as the v2 default.
+  const std::string v1_path = temp_path("dfr_model_io_v1");
+  save_model(*model_, v1_path, 1);
+  const LoadedModel from_v1 = load_model(v1_path);
+  const LoadedModel from_v2 = load_model(path_);
+  EXPECT_DOUBLE_EQ(from_v1.params.a, from_v2.params.a);
+  EXPECT_DOUBLE_EQ(from_v1.params.b, from_v2.params.b);
+  EXPECT_DOUBLE_EQ(from_v1.chosen_beta, from_v2.chosen_beta);
+  EXPECT_EQ(from_v1.nonlinearity.kind(), from_v2.nonlinearity.kind());
+  EXPECT_TRUE(from_v1.mask.weights() == from_v2.mask.weights());
+  EXPECT_TRUE(from_v1.readout.weights() == from_v2.readout.weights());
+  EXPECT_EQ(from_v1.readout.bias(), from_v2.readout.bias());
+  std::remove(v1_path.c_str());
+}
+
+TEST_F(ModelIoRoundTrip, V2SectionsAre64ByteAligned) {
+  const std::vector<char> bytes = read_bytes(path_);
+  std::uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 4, sizeof(version));
+  ASSERT_EQ(version, 2u);
+  // Offsets live at fixed header positions: mask at 64, readout at 88,
+  // bias at 104 (dfr/dfrm_format.hpp) — all must be 64-byte aligned so the
+  // mmap loader can hand out aligned borrowed views.
+  for (const std::size_t field_offset : {64u, 88u, 104u}) {
+    std::uint64_t section = 0;
+    std::memcpy(&section, bytes.data() + field_offset, sizeof(section));
+    EXPECT_EQ(section % 64, 0u) << "offset field at byte " << field_offset;
+  }
+}
+
+TEST_F(ModelIoRoundTrip, UnknownSaveVersionThrows) {
+  EXPECT_THROW(save_model(*model_, temp_path("dfr_model_io_badver"), 3),
+               CheckError);
 }
 
 TEST(ModelIo, MissingFileThrows) {

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -1102,6 +1103,185 @@ TEST_F(ServerRouting, ShutdownDrainsBatchedRequests) {
   }
   EXPECT_EQ(server->submit("a", (*series_a_)[0]).get().status,
             RequestStatus::kShutdown);
+}
+
+// ---- SLO-aware admission (deadline + priority) ------------------------------
+
+// A request whose deadline expired while queued resolves typed
+// kDeadlineExceeded without executing — no logits, no label, counted as
+// shed (never as an error) — at 1 and 8 workers. A first wave without
+// deadlines keeps every worker busy so the deadline wave is guaranteed to
+// out-age its 1 us budget while queued.
+TEST_F(ServerRouting, ExpiredDeadlineShedsTypedWithoutExecuting) {
+  for (std::size_t workers : {std::size_t{1}, std::size_t{8}}) {
+    ModelRegistry registry;
+    registry.register_model(model_a_->artifact("a"));
+    InferenceServer server(registry,
+                           {.workers = workers, .queue_capacity = 128});
+    serve::RequestOptions late;
+    late.deadline_us = 1;
+    std::vector<InferFuture> normal, doomed;
+    for (int i = 0; i < 24; ++i) {
+      normal.push_back(server.submit("a", (*series_a_)[i % kSeriesPerModel]));
+    }
+    for (int i = 0; i < 16; ++i) {
+      doomed.push_back(
+          server.submit("a", (*series_a_)[i % kSeriesPerModel], late));
+    }
+    for (InferFuture& future : normal) {
+      EXPECT_EQ(future.get().status, RequestStatus::kOk)
+          << "workers=" << workers;
+    }
+    for (InferFuture& future : doomed) {
+      const InferResult& result = future.get();
+      EXPECT_EQ(result.status, RequestStatus::kDeadlineExceeded)
+          << "workers=" << workers;
+      EXPECT_EQ(result.label, -1);
+      EXPECT_TRUE(result.logits.empty());
+    }
+    const serve::ModelServingStats stats = server.stats("a");
+    EXPECT_EQ(stats.completed, normal.size()) << "workers=" << workers;
+    EXPECT_EQ(stats.shed, doomed.size()) << "workers=" << workers;
+    EXPECT_EQ(stats.errors, 0u) << "workers=" << workers;
+  }
+}
+
+// Same guarantee through the micro-batching dequeue path: expired lanes are
+// shed before the batch touches an engine.
+TEST_F(ServerRouting, ExpiredDeadlineShedsUnderMicroBatching) {
+  ModelRegistry registry;
+  registry.register_model(model_a_->artifact("a"));
+  InferenceServer server(registry, {.workers = 1,
+                                    .queue_capacity = 64,
+                                    .max_batch = 8,
+                                    .batch_window_us = 200});
+  serve::RequestOptions late;
+  late.deadline_us = 1;
+  std::vector<InferFuture> normal, doomed;
+  for (int i = 0; i < 8; ++i) {
+    normal.push_back(server.submit("a", (*series_a_)[i % kSeriesPerModel]));
+  }
+  for (int i = 0; i < 16; ++i) {
+    doomed.push_back(
+        server.submit("a", (*series_a_)[i % kSeriesPerModel], late));
+  }
+  for (InferFuture& future : normal) {
+    EXPECT_EQ(future.get().status, RequestStatus::kOk);
+  }
+  for (InferFuture& future : doomed) {
+    EXPECT_EQ(future.get().status, RequestStatus::kDeadlineExceeded);
+  }
+  EXPECT_EQ(server.stats("a").shed, doomed.size());
+}
+
+// A generous deadline never sheds: the request completes normally and the
+// deadline leaves no trace in the stats.
+TEST_F(ServerRouting, GenerousDeadlineCompletesNormally) {
+  ModelRegistry registry;
+  registry.register_model(model_a_->artifact("a"));
+  InferenceServer server(registry, {.workers = 1, .queue_capacity = 8});
+  serve::RequestOptions options;
+  options.deadline_us = 60'000'000;  // one minute
+  options.priority = 3;
+  const InferResult& result =
+      server.submit("a", (*series_a_)[0], options).get();
+  EXPECT_EQ(result.status, RequestStatus::kOk);
+  EXPECT_EQ(server.stats("a").shed, 0u);
+  EXPECT_EQ(server.stats("a").completed, 1u);
+}
+
+// Higher-priority requests dequeue first. One worker is plugged with a
+// running request; of the requests queued behind it, the high-priority
+// straggler (submitted LAST) must complete before every low-priority one —
+// observed through per-request latency: completions are serialized on one
+// worker, so dequeue order is latency order for requests submitted together.
+TEST_F(ServerRouting, HigherPriorityDequeuesFirst) {
+  ModelRegistry registry;
+  registry.register_model(model_a_->artifact("a"));
+  InferenceServer server(registry, {.workers = 1, .queue_capacity = 32});
+  // Long series = long service time, so queue-order effects dominate the
+  // microseconds of submission skew.
+  Rng rng(91);
+  const Matrix long_series = random_series(400, 2, rng);
+  InferFuture plug = server.submit("a", long_series);
+  std::vector<InferFuture> low;
+  for (int i = 0; i < 4; ++i) {
+    low.push_back(server.submit("a", long_series));  // priority 0 (default)
+  }
+  serve::RequestOptions urgent;
+  urgent.priority = 5;
+  InferFuture high = server.submit("a", long_series, urgent);
+  ASSERT_EQ(plug.get().status, RequestStatus::kOk);
+  ASSERT_EQ(high.get().status, RequestStatus::kOk);
+  const double high_latency = high.get().latency_us;
+  for (InferFuture& future : low) {
+    ASSERT_EQ(future.get().status, RequestStatus::kOk);
+    EXPECT_GT(future.get().latency_us, high_latency)
+        << "a default-priority request dequeued before the priority-5 one";
+  }
+}
+
+// Stats slots dropped by the max_tracked_models cap are surfaced through
+// dropped_stats() instead of vanishing silently.
+TEST_F(ServerRouting, DroppedStatsCounterSurfacesCapExhaustion) {
+  ModelRegistry registry;
+  registry.register_model(model_a_->artifact("a"));
+  InferenceServer server(registry, {.workers = 1,
+                                    .queue_capacity = 4,
+                                    .max_tracked_models = 2});
+  EXPECT_EQ(server.submit("a", (*series_a_)[0]).get().status,
+            RequestStatus::kOk);
+  EXPECT_EQ(server.dropped_stats(), 0u);
+  // Two more registered models: the second one exceeds the cap, so each of
+  // its outcomes increments the dropped counter.
+  registry.register_model(model_a_->artifact("b"));
+  registry.register_model(model_a_->artifact("c"));
+  EXPECT_EQ(server.submit("b", (*series_a_)[0]).get().status,
+            RequestStatus::kOk);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(server.submit("c", (*series_a_)[0]).get().status,
+              RequestStatus::kOk);
+  }
+  EXPECT_EQ(server.stats().size(), 2u);
+  EXPECT_EQ(server.dropped_stats(), 3u);
+  // Unregistered ids never count as dropped slots — they are not tracked by
+  // design, not lost to the cap.
+  EXPECT_EQ(server.submit("bogus", (*series_a_)[0]).get().status,
+            RequestStatus::kUnknownModel);
+  EXPECT_EQ(server.dropped_stats(), 3u);
+}
+
+// export_stats emits one scrapeable `name{labels} value` line per counter,
+// including the shed outcome and the dropped-stats total.
+TEST_F(ServerRouting, ExportStatsScrapeableFormat) {
+  ModelRegistry registry;
+  registry.register_model(model_a_->artifact("a"));
+  InferenceServer server(registry, {.workers = 1, .queue_capacity = 16});
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(server.submit("a", (*series_a_)[0]).get().status,
+              RequestStatus::kOk);
+  }
+  serve::RequestOptions late;
+  late.deadline_us = 1;
+  InferFuture plug = server.submit("a", (*series_a_)[0]);
+  InferFuture doomed = server.submit("a", (*series_a_)[1], late);
+  (void)plug.get();
+  EXPECT_EQ(doomed.get().status, RequestStatus::kDeadlineExceeded);
+
+  std::ostringstream os;
+  server.export_stats(os);
+  const std::string text = os.str();
+  EXPECT_NE(
+      text.find("dfr_requests_total{model=\"a\",outcome=\"completed\"} 4"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dfr_requests_total{model=\"a\",outcome=\"shed\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dfr_request_latency_us{model=\"a\",quantile=\"0.5\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dfr_stats_dropped_total 0"), std::string::npos) << text;
 }
 
 }  // namespace
