@@ -1,0 +1,457 @@
+// Open-loop load generator: the saturation-behavior harness the closed-loop
+// bench_serving rows cannot provide. Requests arrive on a Poisson schedule
+// at a target offered QPS regardless of how the system is doing — when the
+// server falls behind, arrivals do NOT slow down (open loop), so queueing
+// delay, deadline sheds, and queue-full rejections show up in the numbers
+// instead of being absorbed by a waiting client. Latency is measured from
+// each request's SCHEDULED arrival, not from when the generator got around
+// to sending it, so dispatcher lag counts against the system (the standard
+// coordinated-omission correction).
+//
+// Two targets behind one harness:
+//   --mode inproc   drive an in-process InferenceServer (models +
+//                   traffic from serve/synth.hpp) — the CI perf job's
+//                   latency-vs-offered-load + shed-measurement rows.
+//   --mode socket   drive a shard fleet through the Router
+//                   (serve/router.hpp): --shards unix:/a.sock,unix:/b.sock
+//                   — the CI distributed-smoke job's traffic source.
+//
+// Each --qps point emits one CSV row (and a console line):
+//   row          loadgen-inproc | router-<K>shard, with a -shed suffix when
+//                --deadline-us is set (the queue-position shed measurement)
+//   offered_qps / achieved_qps, sent/completed/shed/rejected/errors,
+//   p50/p90/p99_us over completed requests, shed_frac, reject_frac.
+// A sweep (>= 4 points, e.g. --qps 200,500,1000,2000) is the
+// latency-vs-offered-load curve; the perf rollup keys trajectory columns
+// offered_qps/achieved_p99_us off the highest offered point.
+//
+// Usage:
+//   bench_loadgen --qps 200,500,1000,2000 --duration-s 2 --csv loadgen.csv
+//   bench_loadgen --mode socket --shards unix:/tmp/s0.sock,unix:/tmp/s1.sock
+//                 --models 2 --replicas 2 --qps 100,200,400,800
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "linalg/stats.hpp"
+#include "serve/registry.hpp"
+#include "serve/router.hpp"
+#include "serve/server.hpp"
+#include "serve/synth.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace dfr;
+using Clock = std::chrono::steady_clock;
+
+/// Outcome tallies + completed-request latencies for one offered-QPS point.
+struct PointResult {
+  double offered_qps = 0.0;
+  std::uint64_t sent = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;      // typed kDeadlineExceeded (submit/queue/dequeue)
+  std::uint64_t rejected = 0;  // kQueueFull / kShutdown / kUnavailable
+  std::uint64_t errors = 0;    // anything else that is not kOk
+  double duration_s = 0.0;     // wall clock, first arrival -> last resolution
+  Vector latencies_us;         // completed requests, scheduled-arrival based
+
+  void count(serve::RequestStatus status, double latency_us) {
+    switch (status) {
+      case serve::RequestStatus::kOk:
+        ++completed;
+        latencies_us.push_back(latency_us);
+        break;
+      case serve::RequestStatus::kDeadlineExceeded: ++shed; break;
+      case serve::RequestStatus::kQueueFull:
+      case serve::RequestStatus::kShutdown: ++rejected; break;
+      default: ++errors; break;
+    }
+  }
+};
+
+/// Deterministic Poisson arrival schedule: exponential inter-arrival gaps at
+/// `qps`, for `duration_s` of offered load.
+std::vector<double> make_arrivals_s(double qps, double duration_s,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(qps * duration_s * 1.2) + 16);
+  double t = 0.0;
+  for (;;) {
+    // Inverse-CDF exponential; 1-u keeps log()'s argument in (0, 1].
+    t += -std::log(1.0 - rng.uniform()) / qps;
+    if (t >= duration_s) break;
+    arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+double us_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+// ---- in-process target -----------------------------------------------------
+
+/// One offered-QPS point against an in-process InferenceServer. The main
+/// thread dispatches on schedule (submit never blocks); a harvester
+/// collects futures FIFO so slots recycle while the point is still running
+/// (futures hold their slot until released — harvesting IS the client).
+PointResult run_point_inproc(serve::InferenceServer& server,
+                             const std::vector<std::string>& model_ids,
+                             const std::vector<Matrix>& series_pool,
+                             double qps, double duration_s,
+                             std::uint64_t deadline_us, std::uint64_t seed) {
+  PointResult result;
+  result.offered_qps = qps;
+  const std::vector<double> arrivals = make_arrivals_s(qps, duration_s, seed);
+
+  struct Pending {
+    serve::InferFuture future;
+    double dispatch_lag_us;  // scheduled arrival -> actual submit
+  };
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Pending> inflight;
+  bool done_dispatching = false;
+
+  std::thread harvester([&] {
+    for (;;) {
+      Pending pending;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return !inflight.empty() || done_dispatching; });
+        if (inflight.empty()) return;
+        pending = Pending{std::move(inflight.front().future),
+                          inflight.front().dispatch_lag_us};
+        inflight.pop_front();
+      }
+      const serve::InferResult& r = pending.future.get();
+      // Scheduled-arrival latency: server-side submit->done plus however
+      // long the dispatcher ran behind schedule.
+      result.count(r.status, pending.dispatch_lag_us + r.latency_us);
+    }
+  });
+
+  serve::RequestOptions options;
+  options.deadline_us = deadline_us;
+  const Clock::time_point start = Clock::now();
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const Clock::time_point scheduled =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(arrivals[i]));
+    std::this_thread::sleep_until(scheduled);
+    serve::InferFuture future =
+        server.submit(model_ids[i % model_ids.size()],
+                      series_pool[i % series_pool.size()], options);
+    const double lag_us = std::max(0.0, us_between(scheduled, Clock::now()));
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      inflight.push_back(Pending{std::move(future), lag_us});
+    }
+    cv.notify_one();
+    ++result.sent;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    done_dispatching = true;
+  }
+  cv.notify_all();
+  harvester.join();
+  result.duration_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return result;
+}
+
+// ---- socket-tier target ----------------------------------------------------
+
+/// One offered-QPS point through the Router against live shards. Arrivals
+/// are stamped into a job queue on schedule; `senders` synchronous sender
+/// threads drain it, so when every sender is busy the jobs age in the queue
+/// and that aging lands in the measured latency (open-loop honesty — the
+/// schedule never slows down for a saturated fleet).
+PointResult run_point_socket(serve::Router& router,
+                             const std::vector<std::string>& model_ids,
+                             const std::vector<Matrix>& series_pool,
+                             double qps, double duration_s,
+                             std::uint64_t deadline_us, std::size_t senders,
+                             std::uint64_t seed) {
+  PointResult result;
+  result.offered_qps = qps;
+  const std::vector<double> arrivals = make_arrivals_s(qps, duration_s, seed);
+
+  struct Job {
+    Clock::time_point scheduled;
+    std::size_t index;
+  };
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Job> jobs;
+  bool done_dispatching = false;
+
+  serve::RequestOptions options;
+  options.deadline_us = deadline_us;
+
+  std::vector<PointResult> per_sender(senders);
+  std::vector<std::thread> threads;
+  threads.reserve(senders);
+  for (std::size_t s = 0; s < senders; ++s) {
+    threads.emplace_back([&, s] {
+      for (;;) {
+        Job job;
+        {
+          std::unique_lock<std::mutex> lock(mutex);
+          cv.wait(lock, [&] { return !jobs.empty() || done_dispatching; });
+          if (jobs.empty()) return;
+          job = jobs.front();
+          jobs.pop_front();
+        }
+        const serve::wire::WireResponse response =
+            router.infer(model_ids[job.index % model_ids.size()],
+                         series_pool[job.index % series_pool.size()], options);
+        const double latency_us =
+            std::max(0.0, us_between(job.scheduled, Clock::now()));
+        // WireStatus 0..6 mirror RequestStatus; kUnavailable counts rejected.
+        if (response.status == serve::wire::WireStatus::kUnavailable) {
+          ++per_sender[s].rejected;
+        } else {
+          per_sender[s].count(
+              static_cast<serve::RequestStatus>(response.status), latency_us);
+        }
+      }
+    });
+  }
+
+  const Clock::time_point start = Clock::now();
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const Clock::time_point scheduled =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(arrivals[i]));
+    std::this_thread::sleep_until(scheduled);
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      jobs.push_back(Job{scheduled, i});
+    }
+    cv.notify_one();
+    ++result.sent;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    done_dispatching = true;
+  }
+  cv.notify_all();
+  for (std::thread& t : threads) t.join();
+  result.duration_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  for (PointResult& part : per_sender) {
+    result.completed += part.completed;
+    result.shed += part.shed;
+    result.rejected += part.rejected;
+    result.errors += part.errors;
+    result.latencies_us.insert(result.latencies_us.end(),
+                               part.latencies_us.begin(),
+                               part.latencies_us.end());
+  }
+  return result;
+}
+
+// ---- reporting -------------------------------------------------------------
+
+std::string fmt(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", v);
+  return buffer;
+}
+
+void report_point(const std::string& row, std::size_t shards,
+                  std::size_t workers, const PointResult& point,
+                  bench::BenchCsv& csv) {
+  const Summary latency = point.latencies_us.empty()
+                              ? Summary{}
+                              : summarize(point.latencies_us);
+  const double denom = point.sent > 0 ? static_cast<double>(point.sent) : 1.0;
+  const double shed_frac = static_cast<double>(point.shed) / denom;
+  const double reject_frac = static_cast<double>(point.rejected) / denom;
+  const double achieved =
+      point.duration_s > 0.0
+          ? static_cast<double>(point.completed) / point.duration_s
+          : 0.0;
+  std::cout << row << ": offered=" << fmt(point.offered_qps)
+            << "qps achieved=" << fmt(achieved) << "qps sent=" << point.sent
+            << " p50=" << fmt(latency.p50) << "us p99=" << fmt(latency.p99)
+            << "us shed=" << fmt(100.0 * shed_frac)
+            << "% rejected=" << fmt(100.0 * reject_frac)
+            << "% errors=" << point.errors << "\n";
+  csv.add_row({row, "synth", std::to_string(shards), std::to_string(workers),
+               fmt(point.offered_qps), fmt(point.duration_s),
+               std::to_string(point.sent), std::to_string(point.completed),
+               std::to_string(point.shed), std::to_string(point.rejected),
+               std::to_string(point.errors), fmt(achieved), fmt(latency.p50),
+               fmt(latency.p90), fmt(latency.p99), fmt(shed_frac),
+               fmt(reject_frac)});
+}
+
+std::vector<double> parse_qps_list(const std::string& text) {
+  std::vector<double> points;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    if (end > start) points.push_back(std::stod(text.substr(start, end - start)));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  DFR_CHECK_MSG(!points.empty(), "--qps selected no points");
+  return points;
+}
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    if (end > start) out.push_back(text.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+int run(int argc, char** argv) {
+  CliParser cli("bench_loadgen",
+                "Open-loop Poisson load generator: latency vs offered load "
+                "against the in-process server or the sharded socket tier");
+  cli.add_option("mode", "inproc | socket", "inproc");
+  cli.add_option("qps", "comma list of offered-QPS sweep points",
+                 "200,500,1000,2000");
+  cli.add_option("duration-s", "offered-load seconds per point", "2");
+  cli.add_option("deadline-us",
+                 "per-request completion budget (0 = none; rows gain a "
+                 "-shed suffix and measure the shed fraction)",
+                 "0");
+  cli.add_option("models", "synthetic model count (ids m0..m{N-1})", "2");
+  cli.add_option("channels", "synthetic series channels", "2");
+  cli.add_option("classes", "synthetic model classes", "4");
+  cli.add_option("nodes", "synthetic model virtual nodes (Nx)", "30");
+  cli.add_option("steps", "synthetic series length (T)", "64");
+  cli.add_option("seed", "master seed (models + arrivals)", "42");
+  cli.add_option("workers", "inproc: serving threads", "1");
+  cli.add_option("queue-capacity", "inproc: bounded queue capacity", "256");
+  cli.add_option("shards",
+                 "socket: comma list of shard endpoints "
+                 "(unix:/path or tcp:host:port)",
+                 "");
+  cli.add_option("replicas", "socket: replica-group size", "1");
+  cli.add_option("senders", "socket: concurrent sender threads", "8");
+  bench::add_csv_option(cli, "");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+
+  const std::string mode = cli.get("mode");
+  DFR_CHECK_MSG(mode == "inproc" || mode == "socket",
+                "--mode must be inproc or socket");
+  const std::vector<double> qps_points = parse_qps_list(cli.get("qps"));
+  const double duration_s = cli.get_double("duration-s");
+  const std::uint64_t deadline_us = cli.get_u64("deadline-us");
+  const std::uint64_t seed = cli.get_u64("seed");
+  const std::size_t model_count = cli.get_u64("models");
+  DFR_CHECK_MSG(model_count > 0, "--models must be >= 1");
+
+  serve::SynthModelSpec spec;
+  spec.channels = cli.get_u64("channels");
+  spec.num_classes = static_cast<int>(cli.get_i64("classes"));
+  spec.nodes = cli.get_u64("nodes");
+
+  std::vector<std::string> model_ids;
+  for (std::size_t i = 0; i < model_count; ++i) {
+    model_ids.push_back("m" + std::to_string(i));
+  }
+  // Distinct series cycled across requests; the shapes (T x V) are what the
+  // serving cost depends on, so 32 deterministic instances are plenty.
+  std::vector<Matrix> series_pool;
+  for (std::size_t i = 0; i < 32; ++i) {
+    series_pool.push_back(
+        serve::make_synth_series(cli.get_u64("steps"), spec.channels,
+                                 seed + 7000 + i));
+  }
+
+  bench::BenchCsv csv(cli, {"row", "dataset", "shards", "workers",
+                            "offered_qps", "duration_s", "sent", "completed",
+                            "shed", "rejected", "errors", "achieved_qps",
+                            "p50_us", "p90_us", "p99_us", "shed_frac",
+                            "reject_frac"});
+  const std::string suffix = deadline_us > 0 ? "-shed" : "";
+
+  if (mode == "inproc") {
+    serve::ModelRegistry registry;
+    for (std::size_t i = 0; i < model_count; ++i) {
+      spec.seed = seed + i;
+      registry.register_model(serve::make_synth_artifact(model_ids[i], spec));
+    }
+    serve::ServerConfig config;
+    config.workers = cli.get_u64("workers");
+    config.queue_capacity = cli.get_u64("queue-capacity");
+    serve::InferenceServer server(registry, config);
+    for (std::size_t p = 0; p < qps_points.size(); ++p) {
+      const PointResult point =
+          run_point_inproc(server, model_ids, series_pool, qps_points[p],
+                           duration_s, deadline_us, seed + 100 + p);
+      report_point("loadgen-inproc" + suffix, /*shards=*/0, config.workers,
+                   point, csv);
+    }
+  } else {
+    const std::vector<std::string> endpoints = split_list(cli.get("shards"));
+    DFR_CHECK_MSG(!endpoints.empty(),
+                  "--mode socket requires --shards endpoint list");
+    serve::RouterConfig router_config;
+    router_config.replicas = cli.get_u64("replicas");
+    serve::Router router(router_config);
+    for (std::size_t i = 0; i < endpoints.size(); ++i) {
+      router.add_shard("s" + std::to_string(i),
+                       serve::wire::parse_endpoint(endpoints[i]));
+    }
+    const std::string row =
+        "router-" + std::to_string(endpoints.size()) + "shard" + suffix;
+    for (std::size_t p = 0; p < qps_points.size(); ++p) {
+      const PointResult point = run_point_socket(
+          router, model_ids, series_pool, qps_points[p], duration_s,
+          deadline_us, cli.get_u64("senders"), seed + 100 + p);
+      report_point(row, endpoints.size(), /*workers=*/0, point, csv);
+    }
+    for (std::size_t i = 0; i < endpoints.size(); ++i) {
+      const serve::ShardCounters counters =
+          router.counters("s" + std::to_string(i));
+      std::cout << "shard s" << i << ": requests=" << counters.requests
+                << " ok=" << counters.ok << " retried=" << counters.retried
+                << " io_failures=" << counters.io_failures << "\n";
+    }
+  }
+  csv.report();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "bench_loadgen: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,337 @@
+#include "serve/router.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace dfr::serve {
+
+std::uint64_t fnv1a64(std::string_view text) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+namespace {
+/// 64-bit avalanche finalizer (MurmurHash3 fmix64) applied on top of
+/// FNV-1a for every ring position. Raw FNV barely diffuses a short suffix
+/// into the high bits, so common-prefix inputs — "alpha#0".."alpha#63" —
+/// cluster into ONE tight arc per shard and the "vnodes" stop spreading
+/// load at all (a 3-shard ring degenerated to 2 effective owners in the
+/// placement test). The finalizer spreads every input over the whole ring.
+std::uint64_t ring_mix(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+std::uint64_t ring_hash(std::string_view text) noexcept {
+  return ring_mix(fnv1a64(text));
+}
+}  // namespace
+
+/// One shard: identity, address, live flag, and its connection pool. The
+/// struct outlives its ring points (shared_ptr), so an infer() that
+/// snapshotted a replica group keeps valid shards across a concurrent
+/// remove_shard; a removed shard's `live` flag stops new pool checkouts.
+struct Router::Shard {
+  std::string name;
+  wire::Endpoint endpoint;
+  bool live = true;  // guarded by router mutex_ (placement-side state)
+
+  std::mutex pool_mutex;
+  std::vector<int> idle_fds;       // pooled connections, LIFO
+  ShardCounters counters;          // guarded by pool_mutex
+
+  ~Shard() {
+    for (const int fd : idle_fds) ::close(fd);
+  }
+
+  /// Pop a pooled connection or dial a fresh one (throws WireIoError).
+  [[nodiscard]] int acquire() {
+    {
+      std::lock_guard<std::mutex> lock(pool_mutex);
+      if (!idle_fds.empty()) {
+        const int fd = idle_fds.back();
+        idle_fds.pop_back();
+        return fd;
+      }
+    }
+    return wire::connect_endpoint(endpoint);
+  }
+
+  void release(int fd, std::size_t pool_capacity) {
+    std::lock_guard<std::mutex> lock(pool_mutex);
+    if (idle_fds.size() < pool_capacity) {
+      idle_fds.push_back(fd);
+      return;
+    }
+    ::close(fd);
+  }
+
+  void close_pool() {
+    std::lock_guard<std::mutex> lock(pool_mutex);
+    for (const int fd : idle_fds) ::close(fd);
+    idle_fds.clear();
+  }
+};
+
+Router::Router(RouterConfig config) : config_(config) {
+  DFR_CHECK_MSG(config_.replicas >= 1, "router: replicas must be >= 1");
+  DFR_CHECK_MSG(config_.vnodes >= 1, "router: vnodes must be >= 1");
+}
+
+Router::~Router() = default;
+
+void Router::add_shard(std::string name, const wire::Endpoint& endpoint) {
+  DFR_CHECK_MSG(!name.empty(), "router: shard name must not be empty");
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& shard : shards_) {
+    if (shard->name == name) {
+      // Re-add (e.g. after drain): same ring points, fresh address.
+      shard->endpoint = endpoint;
+      shard->live = true;
+      rebuild_ring_locked();
+      return;
+    }
+  }
+  auto shard = std::make_shared<Shard>();
+  shard->name = std::move(name);
+  shard->endpoint = endpoint;
+  shards_.push_back(std::move(shard));
+  rebuild_ring_locked();
+}
+
+void Router::remove_shard(std::string_view name) {
+  std::shared_ptr<Shard> removed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& shard : shards_) {
+      if (shard->name == name && shard->live) {
+        shard->live = false;
+        removed = shard;
+        break;
+      }
+    }
+    if (removed) rebuild_ring_locked();
+  }
+  if (removed) removed->close_pool();
+}
+
+void Router::drain_shard(std::string_view name) {
+  const std::shared_ptr<Shard> shard = find_shard(name);
+  DFR_CHECK_MSG(shard != nullptr, "router: unknown shard name");
+  // Out of placement first: requests racing the drain retry onto the
+  // remaining replicas instead of piling typed kShutdown rejections.
+  remove_shard(name);
+
+  const int fd = wire::connect_endpoint(shard->endpoint);
+  try {
+    std::vector<std::byte> frame;
+    wire::encode_drain_request(next_seq_.fetch_add(1), frame);
+    wire::write_frame(fd, frame);
+    std::vector<std::byte> reply;
+    if (!wire::read_frame(fd, reply)) {
+      throw wire::WireIoError("router: shard closed before the drain ack");
+    }
+    const wire::FrameHeader header = wire::decode_header(reply);
+    DFR_CHECK_MSG(header.type == static_cast<std::uint16_t>(
+                                     wire::MessageType::kDrainResponse),
+                  "router: drain answered with the wrong frame type");
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+}
+
+void Router::rebuild_ring_locked() {
+  ring_.clear();
+  for (const auto& shard : shards_) {
+    if (!shard->live) continue;
+    for (std::size_t v = 0; v < config_.vnodes; ++v) {
+      ring_.push_back(RingPoint{
+          ring_hash(shard->name + "#" + std::to_string(v)), shard.get()});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const RingPoint& a, const RingPoint& b) {
+              // Name tie-break keeps placement deterministic even on a
+              // (vanishingly unlikely) 64-bit hash collision.
+              return a.hash != b.hash ? a.hash < b.hash
+                                      : a.shard->name < b.shard->name;
+            });
+}
+
+std::shared_ptr<Router::Shard> Router::find_shard(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& shard : shards_) {
+    if (shard->name == name) return shard;
+  }
+  return nullptr;
+}
+
+std::vector<std::shared_ptr<Router::Shard>> Router::replicas_for(
+    std::string_view model_id) const {
+  std::vector<std::shared_ptr<Shard>> group;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.empty()) return group;
+  const std::uint64_t key = ring_hash(model_id);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const RingPoint& point, std::uint64_t k) { return point.hash < k; });
+  // Walk clockwise collecting distinct shards; the ring has at most
+  // live-shards * vnodes points, so one full lap terminates.
+  for (std::size_t step = 0;
+       step < ring_.size() && group.size() < config_.replicas; ++step, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    Shard* candidate = it->shard;
+    const bool seen =
+        std::any_of(group.begin(), group.end(),
+                    [&](const auto& s) { return s.get() == candidate; });
+    if (seen) continue;
+    for (const auto& owned : shards_) {
+      if (owned.get() == candidate) {
+        group.push_back(owned);
+        break;
+      }
+    }
+  }
+  return group;
+}
+
+std::vector<std::string> Router::placement(std::string_view model_id) const {
+  std::vector<std::string> names;
+  for (const auto& shard : replicas_for(model_id)) names.push_back(shard->name);
+  return names;
+}
+
+bool Router::try_shard(Shard& shard, std::span<const std::byte> frame,
+                       std::uint64_t seq, wire::WireResponse& response) {
+  {
+    std::lock_guard<std::mutex> lock(shard.pool_mutex);
+    ++shard.counters.requests;
+  }
+  int fd = -1;
+  try {
+    fd = shard.acquire();
+    wire::write_frame(fd, frame);
+    std::vector<std::byte> reply;
+    if (!wire::read_frame(fd, reply)) {
+      throw wire::WireIoError("router: shard closed before responding");
+    }
+    response = wire::decode_response(reply);
+    if (response.seq != seq) {
+      // A desynced connection can misattribute responses; drop it and treat
+      // the attempt as an I/O failure (safe to retry — nothing trustworthy
+      // came back).
+      throw wire::WireIoError("router: response seq mismatch");
+    }
+    shard.release(fd, config_.pool_capacity);
+    return true;
+  } catch (const wire::WireIoError& e) {
+    if (fd >= 0) ::close(fd);
+    std::lock_guard<std::mutex> lock(shard.pool_mutex);
+    ++shard.counters.io_failures;
+    log_debug("router: ", shard.name, ": ", e.what());
+    return false;
+  } catch (const CheckError& e) {
+    // Malformed response frame: the connection is poisoned, but the shard
+    // DID answer — still retryable on another replica for the same reason
+    // as a seq mismatch (no authoritative response reached us).
+    if (fd >= 0) ::close(fd);
+    std::lock_guard<std::mutex> lock(shard.pool_mutex);
+    ++shard.counters.io_failures;
+    log_warn("router: ", shard.name, " sent a malformed frame: ", e.what());
+    return false;
+  }
+}
+
+wire::WireResponse Router::infer(std::string_view model_id,
+                                 const Matrix& series,
+                                 RequestOptions options) {
+  const std::uint64_t seq = next_seq_.fetch_add(1);
+  wire::WireRequest request;
+  request.seq = seq;
+  request.model_id = std::string(model_id);
+  request.options = options;
+  std::vector<std::byte> frame;
+  wire::encode_request(request, series, frame);
+
+  wire::WireResponse response;
+  for (const auto& shard : replicas_for(model_id)) {
+    if (!try_shard(*shard, frame, seq, response)) {
+      std::lock_guard<std::mutex> lock(shard->pool_mutex);
+      ++shard->counters.retried;
+      continue;
+    }
+    if (response.status == wire::WireStatus::kShutdown) {
+      // Typed rejection from a draining shard: not executed, safe to move
+      // to the next replica.
+      std::lock_guard<std::mutex> lock(shard->pool_mutex);
+      ++shard->counters.retried;
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(shard->pool_mutex);
+    if (response.status == wire::WireStatus::kOk) {
+      ++shard->counters.ok;
+    } else {
+      ++shard->counters.rejected;
+    }
+    return response;
+  }
+  response = wire::WireResponse{};
+  response.seq = seq;
+  response.status = wire::WireStatus::kUnavailable;
+  return response;
+}
+
+wire::HealthInfo Router::health(std::string_view name) {
+  const std::shared_ptr<Shard> shard = find_shard(name);
+  DFR_CHECK_MSG(shard != nullptr, "router: unknown shard name");
+  const int fd = wire::connect_endpoint(shard->endpoint);
+  try {
+    std::vector<std::byte> frame;
+    wire::encode_health_request(next_seq_.fetch_add(1), frame);
+    wire::write_frame(fd, frame);
+    std::vector<std::byte> reply;
+    if (!wire::read_frame(fd, reply)) {
+      throw wire::WireIoError("router: shard closed before the health reply");
+    }
+    const wire::HealthInfo info = wire::decode_health_response(reply);
+    ::close(fd);
+    return info;
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+}
+
+std::vector<std::string> Router::shard_names() const {
+  std::vector<std::string> names;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& shard : shards_) {
+    if (shard->live) names.push_back(shard->name);
+  }
+  return names;
+}
+
+ShardCounters Router::counters(std::string_view name) const {
+  const std::shared_ptr<Shard> shard = find_shard(name);
+  DFR_CHECK_MSG(shard != nullptr, "router: unknown shard name");
+  std::lock_guard<std::mutex> lock(shard->pool_mutex);
+  return shard->counters;
+}
+
+}  // namespace dfr::serve

@@ -1,0 +1,145 @@
+#pragma once
+// Router: the client-side front door of the sharded serving tier. Maps each
+// model id onto an ordered replica group of shards via a consistent-hash
+// ring, keeps a small connection pool per shard, and retries across
+// replicas on exactly the failures where a retry is sound.
+//
+// Placement: every live shard contributes `vnodes` virtual points to a
+// 64-bit FNV-1a hash ring; a model id hashes to a point and its replica
+// group is the next `replicas` DISTINCT shards clockwise. Consistent
+// hashing is what makes drain cheap: removing one shard remaps only the
+// ids that hashed to it (its keys slide to their next-clockwise survivor)
+// instead of reshuffling the whole fleet, and re-adding it restores the
+// original placement. Placement is deterministic — every router instance
+// with the same shard set computes the same groups, so routers need no
+// coordination.
+//
+// Retry policy (typed, deliberately narrow): a replica is skipped and the
+// next one tried only on
+//   * WireIoError — connect refused / peer reset / died mid-frame: the
+//     request may never have reached a server, and inference is
+//     side-effect-free, so re-sending is safe; and
+//   * a kShutdown response — the shard is draining; the request was
+//     REJECTED, not executed, and another replica can serve it.
+// Every other response (kOk, kQueueFull, kUnknownModel, kInvalidArgument,
+// kDeadlineExceeded, ...) is returned as-is: those are authoritative
+// answers, and retrying them would turn backpressure into a retry storm.
+// When every replica fails, infer() returns kUnavailable (typed, never an
+// exception) so callers and the load generator can count it.
+//
+// Drain/re-add: drain_shard() removes the shard from the ring FIRST (new
+// placements skip it), then sends the wire drain request and waits for the
+// ack the shard only sends once its queue is empty — in-flight requests
+// finish, and traffic mid-drain falls through the retry policy to the
+// remaining replicas. add_shard() on a known name re-inserts the same ring
+// points, restoring the original placement.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+
+namespace dfr::serve {
+
+struct RouterConfig {
+  /// Replica-group size: a model is placed on min(replicas, live shards)
+  /// distinct shards; the first is primary, the rest are failover targets.
+  std::size_t replicas = 1;
+  /// Virtual ring points per shard. More points = smoother balance;
+  /// 64 keeps the max/mean key-share ratio low for single-digit fleets.
+  std::size_t vnodes = 64;
+  /// Pooled idle connections kept per shard (excess closes on release).
+  std::size_t pool_capacity = 8;
+};
+
+/// Per-shard router-side counters (see Router::counters).
+struct ShardCounters {
+  std::uint64_t requests = 0;     // infer attempts sent to this shard
+  std::uint64_t ok = 0;           // kOk responses
+  std::uint64_t rejected = 0;     // typed non-ok responses returned to callers
+  std::uint64_t retried = 0;      // attempts skipped to the next replica
+  std::uint64_t io_failures = 0;  // WireIoError on this shard's connections
+};
+
+class Router {
+ public:
+  explicit Router(RouterConfig config = {});
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Add (or re-add after drain) a shard under a stable `name`; the name —
+  /// not the endpoint — seeds the ring points, so a shard that moves
+  /// address keeps its placement. No connection is made until traffic.
+  void add_shard(std::string name, const wire::Endpoint& endpoint);
+
+  /// Remove `name` from the ring and close its pooled connections. Unknown
+  /// names are a no-op. Does NOT drain the shard (see drain_shard).
+  void remove_shard(std::string_view name);
+
+  /// remove_shard + wire drain: take the shard out of placement, then send
+  /// kDrainRequest and wait for the ack the shard sends once every accepted
+  /// request has resolved. Throws WireIoError when the shard is already
+  /// unreachable (its ring points are removed regardless).
+  void drain_shard(std::string_view name);
+
+  /// The ordered replica group for `model_id`: up to `replicas` distinct
+  /// live shard names, primary first. Empty when no shards are live.
+  [[nodiscard]] std::vector<std::string> placement(
+      std::string_view model_id) const;
+
+  /// Route one request: try each replica in placement order per the retry
+  /// policy above. Returns the first authoritative response, or a
+  /// kUnavailable response when none was reachable. Thread-safe.
+  [[nodiscard]] wire::WireResponse infer(std::string_view model_id,
+                                         const Matrix& series,
+                                         RequestOptions options = {});
+
+  /// Health-probe one shard by name. Throws WireIoError when unreachable
+  /// and CheckError for unknown names.
+  [[nodiscard]] wire::HealthInfo health(std::string_view name);
+
+  [[nodiscard]] std::vector<std::string> shard_names() const;
+  [[nodiscard]] ShardCounters counters(std::string_view name) const;
+
+ private:
+  struct Shard;
+  struct RingPoint {
+    std::uint64_t hash;
+    Shard* shard;
+  };
+
+  /// Shared_ptr'd so infer() can use a shard lock-free after snapshotting
+  /// it while remove_shard rebuilds the ring concurrently.
+  [[nodiscard]] std::vector<std::shared_ptr<Shard>> replicas_for(
+      std::string_view model_id) const;
+  void rebuild_ring_locked();
+  [[nodiscard]] std::shared_ptr<Shard> find_shard(std::string_view name) const;
+
+  /// One request/response round trip on a pooled connection. Returns false
+  /// (after recording the failure) when this replica should be skipped.
+  [[nodiscard]] bool try_shard(Shard& shard, std::span<const std::byte> frame,
+                               std::uint64_t seq, wire::WireResponse& response);
+
+  RouterConfig config_;
+  mutable std::mutex mutex_;  // guards shards_ + ring_
+  std::vector<std::shared_ptr<Shard>> shards_;
+  std::vector<RingPoint> ring_;  // sorted by hash
+  std::atomic<std::uint64_t> next_seq_{1};
+};
+
+/// 64-bit FNV-1a — the byte hash under the ring (an avalanche finalizer is
+/// applied on top before any ring use, since raw FNV leaves common-prefix
+/// names clustered). Exposed for the placement tests' known vectors.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view text) noexcept;
+
+}  // namespace dfr::serve

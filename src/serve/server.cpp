@@ -29,11 +29,18 @@ const char* request_status_name(RequestStatus status) noexcept {
 namespace {
 
 /// Shared immutable results for rejected submissions (no slot is consumed,
-/// so rejection costs no allocation).
+/// so rejection costs no allocation). kDeadlineExceeded is the submit-time
+/// predictive shed: the queue is deep enough that the request was doomed to
+/// miss its deadline while waiting, so it is dropped before taking a slot.
 const InferResult& rejected_result(RequestStatus status) {
   static const InferResult queue_full{RequestStatus::kQueueFull, -1, {}, 0.0};
   static const InferResult shut_down{RequestStatus::kShutdown, -1, {}, 0.0};
-  return status == RequestStatus::kQueueFull ? queue_full : shut_down;
+  static const InferResult doomed{RequestStatus::kDeadlineExceeded, -1, {}, 0.0};
+  switch (status) {
+    case RequestStatus::kQueueFull: return queue_full;
+    case RequestStatus::kDeadlineExceeded: return doomed;
+    default: return shut_down;
+  }
 }
 
 }  // namespace
@@ -197,6 +204,20 @@ bool InferenceServer::accepting() const {
 
 // ---- InferenceServer: admission --------------------------------------------
 
+/// Caller holds mutex_. Predicted queue wait for a request admitted NOW,
+/// from the worker-averaged EWMA of recent service times: the queue ahead
+/// drains in ceil(pending / workers) waves of roughly one service time
+/// each. Zero until the first completion trains the estimate — a cold
+/// server never predictively sheds.
+bool InferenceServer::predicted_wait_exceeds(
+    std::uint64_t deadline_us) const {
+  const std::uint64_t ewma_ns =
+      ewma_service_ns_.load(std::memory_order_relaxed);
+  if (ewma_ns == 0 || pending_count_ == 0) return false;
+  const std::uint64_t waves = (pending_count_ + workers_ - 1) / workers_;
+  return waves * ewma_ns > deadline_us * 1000;
+}
+
 InferFuture InferenceServer::submit(std::string_view model_id,
                                     const Matrix& series,
                                     RequestOptions options) {
@@ -208,6 +229,12 @@ InferFuture InferenceServer::submit(std::string_view model_id,
       rejection = RequestStatus::kShutdown;
     } else if (free_.empty()) {
       rejection = RequestStatus::kQueueFull;  // backpressure: reject, don't block
+    } else if (config_.shed_on_submit && options.deadline_us > 0 &&
+               predicted_wait_exceeds(options.deadline_us)) {
+      // Queue-position shed, submit side: the backlog ahead already dooms
+      // this deadline, so drop it typed NOW instead of letting it age in
+      // the queue displacing requests that can still make their SLOs.
+      rejection = RequestStatus::kDeadlineExceeded;
     } else {
       slot_index = free_.back();
       free_.pop_back();
@@ -222,6 +249,10 @@ InferFuture InferenceServer::submit(std::string_view model_id,
       ++pending_count_;
       ++submit_seq_;  // wakes batch-window waiters exactly once per admission
     }
+  }
+  if (rejection == RequestStatus::kDeadlineExceeded) {
+    record_submit_shed(model_id);  // shed, not rejected: it had a slot's worth
+    return InferFuture(rejection);  // of room but could never make its SLO
   }
   if (rejection != RequestStatus::kOk) {
     record_rejection(model_id);
@@ -242,6 +273,11 @@ EngineVariant variant_for(const RequestOptions& options) {
                     options.engine);
 }
 
+/// True when the slot's completion budget ran out before execution started.
+bool past_deadline(std::uint64_t deadline_us, const Timer& timer) noexcept {
+  return deadline_us > 0 && timer.elapsed_ns() >= deadline_us * 1000;
+}
+
 }  // namespace
 
 void InferenceServer::worker_loop(std::size_t worker) {
@@ -249,13 +285,50 @@ void InferenceServer::worker_loop(std::size_t worker) {
   // nothing per request).
   std::vector<std::size_t> batch;
   batch.reserve(config_.max_batch);
+  std::vector<std::size_t> doomed;
+  doomed.reserve(config_.queue_capacity);
   for (;;) {
     batch.clear();
+    doomed.clear();
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock,
                     [&] { return stop_workers_ || pending_count_ > 0; });
       if (pending_count_ == 0) return;  // stopping and fully drained
+      // Queue-position shed, queued side: claim every slot whose deadline
+      // expired while it waited (and free abandoned ones), compacting the
+      // ring — doomed requests resolve typed below instead of aging further
+      // back in a queue they can no longer survive. The clock read is
+      // gated on deadline_us, so deadline-free traffic pays nothing.
+      const std::size_t scanned = pending_count_;
+      std::size_t kept = 0;
+      for (std::size_t p = 0; p < scanned; ++p) {
+        const std::size_t index =
+            pending_[(pending_head_ + p) % pending_.size()];
+        Slot& s = *slots_[index];
+        if (s.abandoned) {
+          s.abandoned = false;
+          free_.push_back(index);
+          continue;
+        }
+        if (past_deadline(s.options.deadline_us, s.timer)) {
+          s.state = Slot::State::kExecuting;  // claimed for shedding
+          doomed.push_back(index);
+          continue;
+        }
+        pending_[(pending_head_ + kept) % pending_.size()] = index;
+        ++kept;
+      }
+      pending_count_ = kept;
+      if (pending_count_ == 0) {
+        // Everything pending was doomed or abandoned; shed outside the lock.
+        lock.unlock();
+        for (const std::size_t index : doomed) {
+          shed_slot(index,
+                    registry_->get(slots_[index]->model_id) != nullptr);
+        }
+        continue;
+      }
       // Priority-aware dequeue: take the first occurrence of the highest
       // priority, so all-default-priority traffic dequeues in pure FIFO
       // order (the scan then picks the head itself and the swap is a
@@ -297,6 +370,9 @@ void InferenceServer::worker_loop(std::size_t worker) {
       // Requests we inspected but did not claim stay pending; hand them to
       // another worker rather than leaving them for our next iteration.
       if (pending_count_ > 0) work_cv_.notify_one();
+    }
+    for (const std::size_t index : doomed) {
+      shed_slot(index, registry_->get(slots_[index]->model_id) != nullptr);
     }
     if (batch.size() == 1) {
       process(worker, batch[0]);  // singleton fast path: unbatched datapath
@@ -382,14 +458,15 @@ void InferenceServer::collect_batch(std::unique_lock<std::mutex>& lock,
   }
 }
 
-namespace {
-
-/// True when the slot's completion budget ran out before execution started.
-bool past_deadline(std::uint64_t deadline_us, const Timer& timer) noexcept {
-  return deadline_us > 0 && timer.elapsed_ns() >= deadline_us * 1000;
+/// Fold one successful request's execution time into the service-time EWMA
+/// that trains the submit-side predictive shed (alpha = 1/8: steady under
+/// jitter, converged within ~a dozen requests after a model swap). Lock-free
+/// and racy by design — a lost update skews the estimate by one sample.
+void InferenceServer::note_service_time(std::uint64_t ns) {
+  const std::uint64_t prev = ewma_service_ns_.load(std::memory_order_relaxed);
+  const std::uint64_t next = prev == 0 ? ns : prev - prev / 8 + ns / 8;
+  ewma_service_ns_.store(next, std::memory_order_relaxed);
 }
-
-}  // namespace
 
 /// Resolve `slot` as shed (kDeadlineExceeded) without executing it. The
 /// caller must NOT hold mutex_; `registered` feeds the stats-slot policy
@@ -453,7 +530,9 @@ void InferenceServer::process_batch(std::size_t worker,
     try {
       PooledBatchedEngine& engine = pool_.batched_engine_for(
           worker, artifact, variant_for(head.options), config_.max_batch);
+      Timer service_timer;
       engine.infer(std::span<const Matrix* const>(series.data(), lanes));
+      note_service_time(service_timer.elapsed_ns() / lanes);
       for (std::size_t l = 0; l < lanes; ++l) {
         InferResult& result = slots_[live[l]]->result;
         const std::span<const double> logits = engine.lane_logits(l);
@@ -521,7 +600,9 @@ void InferenceServer::process(std::size_t worker, std::size_t slot_index) {
       const EngineVariant variant = std::visit(
           [](auto kind) { return resolve_variant(kind); }, slot.options.engine);
       PooledEngine& engine = pool_.engine_for(worker, artifact, variant);
+      Timer service_timer;
       const std::span<const double> logits = engine.infer(*slot.series);
+      note_service_time(service_timer.elapsed_ns());
       result.logits.assign(logits.begin(), logits.end());
       result.label = static_cast<int>(
           std::max_element(result.logits.begin(), result.logits.end()) -
@@ -672,6 +753,14 @@ void InferenceServer::record_rejection(std::string_view model_id) {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   if (StatsEntry* entry = stats_entry_for(model_id, registered)) {
     ++entry->rejected;
+  }
+}
+
+void InferenceServer::record_submit_shed(std::string_view model_id) {
+  const bool registered = registry_->get(model_id) != nullptr;
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  if (StatsEntry* entry = stats_entry_for(model_id, registered)) {
+    ++entry->shed;  // same counter as queue/dequeue sheds: one SLO signal
   }
 }
 

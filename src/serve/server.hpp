@@ -65,6 +65,7 @@
 // each worker owns one EnginePool slot, which keeps engine scratch
 // unshared without locking around inference.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -139,6 +140,14 @@ struct ServerConfig {
   /// non-matching queue, or shutdown launches immediately. Ignored (and
   /// allowed to stay 0) when max_batch == 1.
   std::size_t batch_window_us = 0;
+  /// Submit-side predictive shed: reject a deadline-carrying request with a
+  /// typed kDeadlineExceeded at submit() when the backlog ahead of it —
+  /// pending requests times the EWMA of recent service times, divided
+  /// across workers — already exceeds its budget, instead of queueing work
+  /// that is doomed to be shed later anyway. Conservative by construction:
+  /// it never fires on a cold server (the EWMA trains on completions) or on
+  /// an empty queue, and deadline-free requests are never predicted against.
+  bool shed_on_submit = true;
 };
 
 /// Per-request options. `engine` picks the datapath family and
@@ -155,8 +164,12 @@ struct ServerConfig {
 /// micro-batcher coalesces matching requests highest-priority-first, and a
 /// request whose deadline has already passed when a worker picks it up is
 /// shed with a typed kDeadlineExceeded before any engine time is spent on
-/// it. Shedding happens at dequeue, not at submit: an admitted request
-/// always resolves, either with a result or with the typed shed status.
+/// it. Shedding is queue-position aware: a predictably-doomed request is
+/// dropped typed at submit() (ServerConfig::shed_on_submit), one whose
+/// budget expires while waiting is claimed and shed by the next worker's
+/// queue sweep, and one that slips past both still sheds at dequeue — an
+/// admitted request always resolves, either with a result or with the
+/// typed shed status.
 struct RequestOptions {
   std::variant<FloatEngineKind, QuantizedEngineKind> engine =
       FloatEngineKind::kAuto;
@@ -338,6 +351,13 @@ class InferenceServer {
   void record_outcome(std::string_view model_id, const InferResult& result,
                       bool id_is_registered);
   void record_rejection(std::string_view model_id);
+  /// Count a submit-time predictive shed in the per-model `shed` stat.
+  void record_submit_shed(std::string_view model_id);
+  /// Under mutex_: would a request admitted now predictably miss
+  /// `deadline_us` just waiting out the backlog ahead of it?
+  [[nodiscard]] bool predicted_wait_exceeds(std::uint64_t deadline_us) const;
+  /// Train the service-time EWMA behind predicted_wait_exceeds.
+  void note_service_time(std::uint64_t ns);
   /// Find-or-create under stats_mutex_. Creates an entry only when
   /// `allow_create` (the id resolved in the registry) and the
   /// max_tracked_models cap is not exhausted; nullptr otherwise.
@@ -363,6 +383,9 @@ class InferenceServer {
   bool accepting_ = true;
   bool stop_workers_ = false;
   std::uint64_t submit_seq_ = 0;  // bumped per admission; batch-window wakeups
+  /// EWMA of recent per-request engine service times (ns); trains the
+  /// submit-side predictive shed. Atomic so workers update it lock-free.
+  std::atomic<std::uint64_t> ewma_service_ns_{0};
 
   // Per-model counters, keyed by id.
   mutable std::mutex stats_mutex_;

@@ -1,0 +1,149 @@
+#include "serve/shard.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace dfr::serve {
+
+ShardServer::ShardServer(ModelRegistry& registry,
+                         const wire::Endpoint& endpoint, ServerConfig config)
+    : registry_(&registry), server_(registry, config), endpoint_(endpoint) {
+  listen_fd_ = wire::listen_endpoint(endpoint_);
+  if (endpoint_.kind == wire::Endpoint::Kind::kTcp && endpoint_.port == 0) {
+    endpoint_.port = wire::bound_port(listen_fd_);
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+ShardServer::~ShardServer() { stop(); }
+
+void ShardServer::drain() {
+  // Serialize the transition so concurrent drain requests (wire + stop())
+  // both return only after the queue is actually empty.
+  std::lock_guard<std::mutex> lock(drain_mutex_);
+  draining_.store(true, std::memory_order_release);
+  server_.shutdown();  // drain-then-join; idempotent
+}
+
+void ShardServer::stop() {
+  if (stop_.exchange(true)) {
+    drain();  // make repeated stop() as strong as the first
+    return;
+  }
+  drain();
+  // The accept loop polls with a short timeout and checks stop_, so it
+  // exits without us racing a close() against its poll().
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    if (endpoint_.kind == wire::Endpoint::Kind::kUnix) {
+      ::unlink(endpoint_.host_or_path.c_str());
+    }
+  }
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  for (auto& conn : connections_) {
+    // Unblocks a connection thread parked in recv(); buffered responses
+    // (e.g. the drain ack) are still delivered before the FIN.
+    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  for (auto& conn : connections_) {
+    if (conn->thread.joinable()) conn->thread.join();
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+  connections_.clear();
+}
+
+void ShardServer::accept_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout, EINTR, or transient error: re-check
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    if (stop_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    reap_finished_locked();
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    conn->thread = std::thread([this, raw] { serve_connection(*raw); });
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void ShardServer::reap_finished_locked() {
+  std::erase_if(connections_, [](const std::unique_ptr<Connection>& conn) {
+    if (!conn->done.load(std::memory_order_acquire)) return false;
+    if (conn->thread.joinable()) conn->thread.join();
+    if (conn->fd >= 0) ::close(conn->fd);
+    return true;
+  });
+}
+
+void ShardServer::serve_connection(Connection& conn) {
+  std::vector<std::byte> in;
+  std::vector<std::byte> out;
+  try {
+    while (wire::read_frame(conn.fd, in)) {
+      const wire::FrameHeader header = wire::decode_header(in);
+      switch (static_cast<wire::MessageType>(header.type)) {
+        case wire::MessageType::kInferRequest: {
+          const wire::WireRequest request = wire::decode_request(in);
+          // Synchronous resolve: the decoded request owns the series, and
+          // the future is collected before the next frame is read, so the
+          // zero-copy submit contract holds trivially.
+          const InferFuture future =
+              server_.submit(request.model_id, request.series, request.options);
+          const InferResult& result = future.get();
+          wire::WireResponse response;
+          response.seq = request.seq;
+          response.status = wire::to_wire_status(result.status);
+          response.label = result.label;
+          response.latency_us = result.latency_us;
+          response.logits = result.logits;
+          wire::encode_response(response, out);
+          wire::write_frame(conn.fd, out);
+          break;
+        }
+        case wire::MessageType::kHealthRequest: {
+          wire::HealthInfo info;
+          info.accepting = server_.accepting();
+          info.draining = draining();
+          info.models = static_cast<std::uint32_t>(registry_->size());
+          wire::encode_health_response(info, header.seq, out);
+          wire::write_frame(conn.fd, out);
+          break;
+        }
+        case wire::MessageType::kDrainRequest: {
+          drain();  // returns once every accepted request has resolved
+          wire::encode_drain_response(header.seq, out);
+          wire::write_frame(conn.fd, out);
+          break;
+        }
+        default:
+          // A response-type frame sent at a server is a protocol violation;
+          // drop the connection rather than guess what the peer meant.
+          DFR_CHECK_MSG(false, "shard: unexpected client frame type");
+      }
+    }
+  } catch (const wire::WireIoError&) {
+    // Peer vanished mid-frame; nothing to answer.
+  } catch (const CheckError& e) {
+    log_warn("shard: dropping connection: ", e.what());
+  }
+  ::shutdown(conn.fd, SHUT_RDWR);
+  conn.done.store(true, std::memory_order_release);
+}
+
+}  // namespace dfr::serve

@@ -1,0 +1,100 @@
+#pragma once
+// ShardServer: one serving shard — an InferenceServer exposed over the wire
+// protocol (serve/wire.hpp) behind a socket accept loop. The dfr_shard
+// binary (src/serve/shard_main.cpp) is a thin CLI around this class; tests
+// and examples run shards in-process on Unix sockets, which is how the
+// 2-shard bit-identity and drain tests stay hermetic.
+//
+// Connection model: one thread per accepted connection, strictly sequential
+// request->response per connection (a router that wants shard-side
+// parallelism opens several pooled connections — serve/router.hpp does).
+// Inference requests resolve synchronously against the wrapped server, so a
+// connection naturally exerts backpressure on its client while the bounded
+// queue exerts backpressure across connections (kQueueFull).
+//
+// Drain semantics (the wire kDrainRequest, or drain() in-process): stop
+// admission and run InferenceServer::shutdown()'s drain-then-join — every
+// request admitted before the drain resolves with a real result, requests
+// arriving during/after it get a typed kShutdown response (the router's cue
+// to retry another replica), and the kDrainResponse ack is sent only after
+// the queue is empty. A drain therefore never loses an accepted request,
+// which tests/test_distributed.cpp pins under live traffic.
+//
+// Health/readiness: kHealthRequest answers accepting/draining flags plus the
+// registered-model count at any time, including mid-drain — `dfr_shard
+// --probe` and the CI distributed-smoke job's readiness loop are clients.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+
+namespace dfr::serve {
+
+class ShardServer {
+ public:
+  /// Binds + listens on `endpoint` and starts the accept loop immediately.
+  /// The registry must outlive the shard; models may be registered/swapped
+  /// while it serves. Throws CheckError when the endpoint cannot be bound.
+  ShardServer(ModelRegistry& registry, const wire::Endpoint& endpoint,
+              ServerConfig config = {});
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  /// The endpoint actually serving — for tcp port 0, the kernel-assigned
+  /// port is filled in (how tests get collision-free addresses).
+  [[nodiscard]] const wire::Endpoint& endpoint() const noexcept {
+    return endpoint_;
+  }
+
+  /// True once a drain has begun (wire kDrainRequest, drain(), or stop()).
+  [[nodiscard]] bool draining() const noexcept {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  /// Stop admission and drain every accepted request (idempotent, safe from
+  /// any thread — including a connection thread handling kDrainRequest).
+  /// Returns after the queue is empty; connections stay open so clients can
+  /// still probe health or collect typed kShutdown rejections.
+  void drain();
+
+  /// drain() + tear down the accept loop and every connection. Idempotent;
+  /// the destructor calls it.
+  void stop();
+
+  /// The wrapped per-process server (stats, export_stats, direct submits).
+  [[nodiscard]] InferenceServer& server() noexcept { return server_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void serve_connection(Connection& conn);
+  /// Under conn_mutex_: join + erase connections whose threads finished.
+  void reap_finished_locked();
+
+  ModelRegistry* registry_;
+  InferenceServer server_;
+  wire::Endpoint endpoint_;
+  int listen_fd_ = -1;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stop_{false};
+  std::mutex drain_mutex_;  // serializes the drain transition
+
+  std::mutex conn_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::thread accept_thread_;
+};
+
+}  // namespace dfr::serve

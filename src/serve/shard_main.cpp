@@ -1,0 +1,195 @@
+// dfr_shard: one serving shard as a process — ShardServer (serve/shard.hpp)
+// behind a CLI. Three modes:
+//
+//   serve (default)  bind --endpoint, register models, serve until SIGTERM /
+//                    SIGINT or a wire kDrainRequest, then drain and exit 0.
+//                    Models come from --models "id=path.dfrm,..." (loaded
+//                    zero-copy through an ArtifactStore) or --synth-models N
+//                    (deterministic in-process fleet m0..m{N-1} via
+//                    serve/synth.hpp — no files needed; CI uses this).
+//   --probe EP       readiness probe: health-request EP, exit 0 when the
+//                    shard is accepting with >= 1 model, 1 otherwise. The CI
+//                    distributed-smoke job polls this before sending load.
+//   --drain EP       graceful drain: send kDrainRequest, wait for the ack
+//                    (sent only after the queue is empty), exit 0.
+//
+// Example 2-shard tier (what .github/workflows/ci.yml runs):
+//   dfr_shard --endpoint unix:/tmp/s0.sock --synth-models 2 --workers 1 &
+//   dfr_shard --endpoint unix:/tmp/s1.sock --synth-models 2 --workers 1 &
+//   dfr_shard --probe unix:/tmp/s0.sock && dfr_shard --probe unix:/tmp/s1.sock
+//   bench_loadgen --mode socket --shards unix:/tmp/s0.sock,unix:/tmp/s1.sock
+//   dfr_shard --drain unix:/tmp/s0.sock
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/artifact_store.hpp"
+#include "serve/registry.hpp"
+#include "serve/shard.hpp"
+#include "serve/synth.hpp"
+#include "serve/wire.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace dfr;
+
+std::atomic<bool> g_shutdown_requested{false};
+
+void handle_signal(int) { g_shutdown_requested.store(true); }
+
+/// Split "a,b,c" into non-empty trimmed-as-is pieces.
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    if (end > start) out.push_back(text.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// One round-trip of `frame` on a fresh connection; returns the reply.
+std::vector<std::byte> round_trip(const serve::wire::Endpoint& endpoint,
+                                  const std::vector<std::byte>& frame) {
+  const int fd = serve::wire::connect_endpoint(endpoint);
+  std::vector<std::byte> reply;
+  try {
+    serve::wire::write_frame(fd, frame);
+    DFR_CHECK_MSG(serve::wire::read_frame(fd, reply),
+                  "shard closed the connection without replying");
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  return reply;
+}
+
+int probe(const std::string& spec) {
+  const serve::wire::Endpoint endpoint = serve::wire::parse_endpoint(spec);
+  std::vector<std::byte> frame;
+  serve::wire::encode_health_request(/*seq=*/1, frame);
+  const serve::wire::HealthInfo info =
+      serve::wire::decode_health_response(round_trip(endpoint, frame));
+  const bool ready = info.accepting && !info.draining && info.models > 0;
+  std::cout << "shard " << spec << ": accepting=" << info.accepting
+            << " draining=" << info.draining << " models=" << info.models
+            << (ready ? " READY" : " NOT-READY") << "\n";
+  return ready ? 0 : 1;
+}
+
+int drain(const std::string& spec) {
+  const serve::wire::Endpoint endpoint = serve::wire::parse_endpoint(spec);
+  std::vector<std::byte> frame;
+  serve::wire::encode_drain_request(/*seq=*/1, frame);
+  const std::vector<std::byte> reply = round_trip(endpoint, frame);
+  const serve::wire::FrameHeader header = serve::wire::decode_header(reply);
+  DFR_CHECK_MSG(header.type == static_cast<std::uint16_t>(
+                                   serve::wire::MessageType::kDrainResponse),
+                "shard answered the drain request with the wrong frame type");
+  std::cout << "shard " << spec << ": drained\n";
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  CliParser cli("dfr_shard",
+                "One serving shard: InferenceServer behind the wire protocol");
+  cli.add_option("endpoint", "listen address (unix:/path or tcp:host:port)",
+                 "unix:/tmp/dfr_shard.sock");
+  cli.add_option("workers", "serving threads", "1");
+  cli.add_option("queue-capacity", "bounded request-queue capacity", "256");
+  cli.add_option("max-batch", "micro-batch lanes (1 = off)", "1");
+  cli.add_option("batch-window-us", "micro-batch coalescing window", "0");
+  cli.add_option("models", "comma list of id=path.dfrm to serve", "");
+  cli.add_option("synth-models",
+                 "serve N deterministic synthetic models m0..m{N-1}", "0");
+  cli.add_option("channels", "synthetic model series channels", "2");
+  cli.add_option("classes", "synthetic model class count", "4");
+  cli.add_option("nodes", "synthetic model virtual nodes (Nx)", "30");
+  cli.add_option("seed", "synthetic model base seed", "42");
+  cli.add_option("probe", "readiness-probe an endpoint and exit", "");
+  cli.add_option("drain", "drain an endpoint gracefully and exit", "");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+
+  if (!cli.get("probe").empty()) return probe(cli.get("probe"));
+  if (!cli.get("drain").empty()) return drain(cli.get("drain"));
+
+  serve::ModelRegistry registry;
+  serve::ArtifactStore store(registry);
+
+  const std::string models = cli.get("models");
+  for (const std::string& entry : split_csv(models)) {
+    const std::size_t eq = entry.find('=');
+    DFR_CHECK_MSG(eq != std::string::npos && eq > 0 && eq + 1 < entry.size(),
+                  "--models entries must be id=path.dfrm");
+    store.add(entry.substr(0, eq), entry.substr(eq + 1));
+    (void)store.get(entry.substr(0, eq));  // fault in + register now
+  }
+
+  const std::uint64_t synth = cli.get_u64("synth-models");
+  serve::SynthModelSpec spec;
+  spec.channels = cli.get_u64("channels");
+  spec.num_classes = static_cast<int>(cli.get_i64("classes"));
+  spec.nodes = cli.get_u64("nodes");
+  for (std::uint64_t i = 0; i < synth; ++i) {
+    spec.seed = cli.get_u64("seed") + i;
+    registry.register_model(
+        serve::make_synth_artifact("m" + std::to_string(i), spec));
+  }
+  DFR_CHECK_MSG(registry.size() > 0,
+                "no models to serve: pass --models or --synth-models");
+
+  serve::ServerConfig config;
+  config.workers = cli.get_u64("workers");
+  config.queue_capacity = cli.get_u64("queue-capacity");
+  config.max_batch = cli.get_u64("max-batch");
+  config.batch_window_us = cli.get_u64("batch-window-us");
+
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGINT, handle_signal);
+
+  const serve::wire::Endpoint endpoint =
+      serve::wire::parse_endpoint(cli.get("endpoint"));
+  serve::ShardServer shard(registry, endpoint, config);
+  log_info("dfr_shard serving ", registry.size(), " model(s) on ",
+           shard.endpoint().to_string(), " with ", config.workers,
+           " worker(s)");
+
+  while (!g_shutdown_requested.load() && !shard.draining()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  log_info("dfr_shard draining (",
+           g_shutdown_requested.load() ? "signal" : "wire drain", ")");
+  shard.stop();
+  shard.server().export_stats(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "dfr_shard: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,65 @@
+#include "serve/synth.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "dfr/dprr.hpp"
+#include "fixedpoint/quantized_dfr.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dfr::serve {
+
+Matrix make_synth_series(std::size_t steps, std::size_t channels,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix series(steps, channels);
+  for (std::size_t t = 0; t < steps; ++t) {
+    for (std::size_t v = 0; v < channels; ++v) {
+      series(t, v) = rng.uniform(-1.0, 1.0);
+    }
+  }
+  return series;
+}
+
+Dataset make_synth_dataset(const SynthModelSpec& spec, std::size_t samples,
+                           std::size_t steps, std::uint64_t seed) {
+  Dataset data("synth", spec.num_classes, steps, spec.channels);
+  for (std::size_t i = 0; i < samples; ++i) {
+    data.add(Sample{make_synth_series(steps, spec.channels, seed + i),
+                    static_cast<int>(i % spec.num_classes)});
+  }
+  return data;
+}
+
+ModelArtifactPtr make_synth_artifact(std::string name,
+                                     const SynthModelSpec& spec) {
+  DFR_CHECK_MSG(spec.channels > 0 && spec.nodes > 0 && spec.num_classes > 1,
+                "synth model spec: need channels > 0, nodes > 0, classes > 1");
+  Rng rng(spec.seed);
+  LoadedModel model;
+  model.params = DfrParams{0.1, 0.05};
+  model.mask = Mask(spec.nodes, spec.channels, MaskKind::kBinary, rng);
+  Matrix w(static_cast<std::size_t>(spec.num_classes), dprr_dim(spec.nodes));
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    for (std::size_t j = 0; j < w.cols(); ++j) {
+      w(i, j) = rng.uniform(-1.0, 1.0);
+    }
+  }
+  Vector b(w.rows(), 0.0);
+  for (double& v : b) v = rng.uniform(-0.1, 0.1);
+  model.readout = OutputLayer(std::move(w), std::move(b));
+
+  ModelArtifactPtr artifact = model.artifact(std::move(name));
+  if (!spec.quantized) return artifact;
+
+  // Calibration corpus derived from the same seed, so every process attaches
+  // a bit-identical fixed-point twin.
+  QuantizedDfr quantized(model, QuantizedInferenceConfig{});
+  quantized.calibrate(
+      make_synth_dataset(spec, /*samples=*/8, /*steps=*/32, spec.seed + 1000));
+  return with_quantized(
+      artifact, std::make_shared<const QuantizedDfr>(std::move(quantized)));
+}
+
+}  // namespace dfr::serve

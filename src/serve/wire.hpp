@@ -1,0 +1,208 @@
+#pragma once
+// Wire protocol for the sharded serving tier: compact length-prefixed binary
+// frames over Unix-domain or TCP sockets, connecting the router
+// (serve/router.hpp) to shard workers (serve/shard.hpp, the dfr_shard
+// binary).
+//
+// Framing
+// -------
+// Every message is one frame: a fixed 24-byte header (FrameHeader below —
+// magic, protocol version, message type, client-assigned correlation seq,
+// body byte count) followed by `body_bytes` of message-specific payload.
+// All integers are little-endian; doubles cross the wire as their host
+// IEEE-754 bit pattern (memcpy), so a series round-trips BIT-identically —
+// including NaN payloads, signed zeros, infinities, and denormals — and a
+// request served through a socket produces the same logits bits as the same
+// request served in-process.
+//
+// Message bodies (after the header):
+//   kInferRequest   u8 engine_family (0 float / 1 quantized)
+//                   u8 engine_kind   (0 auto / 1 scalar / 2 simd)
+//                   u16 reserved (zero)
+//                   i32 priority | u64 deadline_us        (RequestOptions)
+//                   u32 model_id_len | model_id bytes
+//                   u64 rows | u64 cols | rows*cols f64   (the series)
+//   kInferResponse  i32 status (WireStatus) | i32 label | f64 latency_us
+//                   u32 logits_len | logits_len f64
+//   kHealthRequest  (empty)
+//   kHealthResponse u8 accepting | u8 draining | u16 reserved | u32 models
+//   kDrainRequest   (empty)
+//   kDrainResponse  (empty; sent AFTER the shard finished draining)
+//
+// Robustness
+// ----------
+// Decoding never trusts a length field: every read is bounds-checked against
+// the bytes actually present, products like rows*cols are bounded in
+// division form before any multiplication (the same overflow-safe style as
+// the .dfrm v2 reader in serve/artifact_store.cpp), a declared body larger
+// than kMaxFrameBytes is rejected before a single payload byte is read or
+// allocated, and a frame whose body does not END exactly where its last
+// field does (trailing garbage) is rejected too. Malformed frames throw
+// typed CheckError; transport failures (peer died mid-frame, connection
+// refused/reset) throw WireIoError — the distinction is what lets the
+// router retry a replica on an I/O failure while never retrying a request
+// the shard actually rejected.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace dfr::serve::wire {
+
+inline constexpr char kMagic[4] = {'D', 'F', 'R', 'W'};
+inline constexpr std::uint16_t kWireVersion = 1;
+/// Hard cap on one frame's body; a declared length beyond it is rejected
+/// before any allocation (64 MiB comfortably fits every real series).
+inline constexpr std::uint64_t kMaxFrameBytes = 64ull << 20;
+
+enum class MessageType : std::uint16_t {
+  kInferRequest = 1,
+  kInferResponse = 2,
+  kHealthRequest = 3,
+  kHealthResponse = 4,
+  kDrainRequest = 5,
+  kDrainResponse = 6,
+};
+
+/// Fixed frame header. Explicit layout pinned by the static_asserts — the
+/// struct bytes ARE the wire bytes (little-endian hosts only, like .dfrm).
+struct FrameHeader {
+  char magic[4];            // "DFRW"
+  std::uint16_t version;    // kWireVersion
+  std::uint16_t type;       // MessageType
+  std::uint64_t seq;        // client-assigned; echoed in the response
+  std::uint64_t body_bytes; // payload bytes following this header
+};
+
+static_assert(sizeof(FrameHeader) == 24,
+              "FrameHeader layout is part of the wire format");
+static_assert(alignof(FrameHeader) == 8,
+              "FrameHeader must be plain 8-byte-aligned POD");
+
+/// Typed response status: values 0..6 mirror RequestStatus one-to-one (the
+/// shard maps its server's status straight through); kUnavailable is
+/// router-generated — no replica could be reached at all.
+enum class WireStatus : std::int32_t {
+  kOk = 0,
+  kQueueFull,
+  kUnknownModel,
+  kInvalidArgument,
+  kInternalError,
+  kShutdown,
+  kDeadlineExceeded,
+  kUnavailable,
+};
+
+static_assert(static_cast<int>(WireStatus::kDeadlineExceeded) ==
+                  static_cast<int>(RequestStatus::kDeadlineExceeded),
+              "WireStatus must mirror RequestStatus");
+
+[[nodiscard]] const char* wire_status_name(WireStatus status) noexcept;
+
+[[nodiscard]] constexpr WireStatus to_wire_status(RequestStatus s) noexcept {
+  return static_cast<WireStatus>(static_cast<std::int32_t>(s));
+}
+
+/// One inference request as it crosses the wire. `series` is owned on the
+/// decode side (the shard needs storage that outlives the frame buffer);
+/// encoding reads the caller's matrix without copying it first.
+struct WireRequest {
+  std::uint64_t seq = 0;
+  std::string model_id;
+  RequestOptions options;
+  Matrix series;
+};
+
+struct WireResponse {
+  std::uint64_t seq = 0;
+  WireStatus status = WireStatus::kOk;
+  std::int32_t label = -1;
+  double latency_us = 0.0;  // shard-side submit -> completion
+  Vector logits;
+};
+
+/// Shard health snapshot (kHealthResponse body).
+struct HealthInfo {
+  bool accepting = false;  // admitting new inference requests
+  bool draining = false;   // drain begun (or completed)
+  std::uint32_t models = 0;  // registered model count (readiness signal)
+};
+
+// ---- encoding (frame = header + body, appended into a reusable buffer) ----
+
+void encode_request(const WireRequest& request, const Matrix& series,
+                    std::vector<std::byte>& frame);
+inline void encode_request(const WireRequest& request,
+                           std::vector<std::byte>& frame) {
+  encode_request(request, request.series, frame);
+}
+void encode_response(const WireResponse& response,
+                     std::vector<std::byte>& frame);
+void encode_health_request(std::uint64_t seq, std::vector<std::byte>& frame);
+void encode_health_response(const HealthInfo& info, std::uint64_t seq,
+                            std::vector<std::byte>& frame);
+void encode_drain_request(std::uint64_t seq, std::vector<std::byte>& frame);
+void encode_drain_response(std::uint64_t seq, std::vector<std::byte>& frame);
+
+// ---- decoding (typed CheckError on any malformed input) --------------------
+
+/// Validate and return the header of a complete frame: magic, version, a
+/// known type, body cap, and body_bytes == frame.size() - sizeof(header).
+[[nodiscard]] FrameHeader decode_header(std::span<const std::byte> frame);
+
+[[nodiscard]] WireRequest decode_request(std::span<const std::byte> frame);
+[[nodiscard]] WireResponse decode_response(std::span<const std::byte> frame);
+[[nodiscard]] HealthInfo decode_health_response(
+    std::span<const std::byte> frame);
+
+// ---- transport -------------------------------------------------------------
+
+/// Transport-layer failure: connect refused, peer reset, EOF mid-frame.
+/// Distinct from CheckError (malformed data) so callers can retry replicas
+/// on I/O failures without ever retrying a request a shard rejected.
+class WireIoError : public std::runtime_error {
+ public:
+  explicit WireIoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A shard address: "unix:/path/to.sock" or "tcp:host:port".
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string host_or_path;  // socket path (unix) or host (tcp)
+  std::uint16_t port = 0;    // tcp only; 0 lets the kernel pick (listen)
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parse "unix:/path" / "tcp:host:port"; throws CheckError on anything else.
+[[nodiscard]] Endpoint parse_endpoint(std::string_view spec);
+
+/// Bind + listen. Unix endpoints unlink a stale socket file first. Returns
+/// the listening fd; throws CheckError on failure.
+[[nodiscard]] int listen_endpoint(const Endpoint& endpoint, int backlog = 64);
+
+/// The port a tcp listening fd actually bound (resolves port 0).
+[[nodiscard]] std::uint16_t bound_port(int listen_fd);
+
+/// Connect to a shard. Throws WireIoError on failure (a dead shard is a
+/// retryable transport condition, not a protocol error).
+[[nodiscard]] int connect_endpoint(const Endpoint& endpoint);
+
+/// Write one complete frame, handling partial writes and EINTR. Throws
+/// WireIoError when the peer is gone (SIGPIPE suppressed via MSG_NOSIGNAL).
+void write_frame(int fd, std::span<const std::byte> frame);
+
+/// Read one complete frame into `frame` (header validated before the body
+/// is sized or read, so a hostile length never over-allocates and the body
+/// is never over-read). Returns false on clean EOF at a frame boundary;
+/// throws WireIoError on EOF/error mid-frame and CheckError on a malformed
+/// header.
+[[nodiscard]] bool read_frame(int fd, std::vector<std::byte>& frame);
+
+}  // namespace dfr::serve::wire

@@ -1284,5 +1284,169 @@ TEST_F(ServerRouting, ExportStatsScrapeableFormat) {
   EXPECT_NE(text.find("dfr_stats_dropped_total 0"), std::string::npos) << text;
 }
 
+// ---- queue-position-aware shedding -----------------------------------------
+
+// Submit-side predictive shed: once the service-time EWMA is trained and a
+// backlog is queued, a request whose deadline cannot possibly be met is
+// rejected typed AT submit() — the returned future is ready immediately,
+// before any worker could have touched it (the workers are busy executing,
+// so nothing else can resolve it in that window). The drop counts into the
+// same per-model `shed` stat as the other shed points.
+TEST_F(ServerRouting, DoomedRequestShedsAtSubmit) {
+  ModelRegistry registry;
+  registry.register_model(model_a_->artifact("a"));
+  InferenceServer server(registry, {.workers = 1, .queue_capacity = 64});
+  // Train the EWMA: completions are what teach the server its service time.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(server.submit("a", (*series_a_)[i % kSeriesPerModel])
+                  .get()
+                  .status,
+              RequestStatus::kOk);
+  }
+  // Pile up a deadline-free backlog the prediction must see ahead of the
+  // doomed request.
+  std::vector<InferFuture> backlog;
+  for (int i = 0; i < 32; ++i) {
+    backlog.push_back(server.submit("a", (*series_a_)[i % kSeriesPerModel]));
+  }
+  serve::RequestOptions impossible;
+  impossible.deadline_us = 1;  // 32 queued inferences will never fit in 1 us
+  InferFuture doomed = server.submit("a", (*series_a_)[0], impossible);
+  EXPECT_TRUE(doomed.ready()) << "submit-shed must resolve synchronously";
+  const InferResult& result = doomed.get();
+  EXPECT_EQ(result.status, RequestStatus::kDeadlineExceeded);
+  EXPECT_EQ(result.label, -1);
+  EXPECT_TRUE(result.logits.empty());
+  for (InferFuture& future : backlog) {
+    EXPECT_EQ(future.get().status, RequestStatus::kOk);
+  }
+  EXPECT_EQ(server.stats("a").shed, 1u);
+  EXPECT_EQ(server.stats("a").completed, 4u + backlog.size());
+}
+
+// The predictor is conservative by construction: a COLD server (no
+// completions, EWMA untrained) admits even a hopeless deadline instead of
+// guessing — the future is NOT instantly resolved; the request is then
+// claimed and shed by the queue sweep without ever executing.
+TEST_F(ServerRouting, ColdServerNeverSubmitSheds) {
+  ModelRegistry registry;
+  registry.register_model(model_a_->artifact("a"));
+  InferenceServer server(registry, {.workers = 1, .queue_capacity = 64});
+  // A long plug series keeps the worker inside one inference (no sweep
+  // point) for the whole admission window below, so ready() observations
+  // are race-free even under scheduler preemption.
+  Rng rng(91);
+  const Matrix plug = random_series(400, 2, rng);
+  std::vector<InferFuture> backlog;
+  backlog.push_back(server.submit("a", plug));
+  for (int i = 0; i < 8; ++i) {
+    backlog.push_back(server.submit("a", (*series_a_)[i % kSeriesPerModel]));
+  }
+  serve::RequestOptions impossible;
+  impossible.deadline_us = 1;
+  InferFuture doomed = server.submit("a", (*series_a_)[0], impossible);
+  EXPECT_FALSE(doomed.ready()) << "cold EWMA must not predict";
+  EXPECT_EQ(doomed.get().status, RequestStatus::kDeadlineExceeded);
+  for (InferFuture& future : backlog) {
+    EXPECT_EQ(future.get().status, RequestStatus::kOk);
+  }
+}
+
+// shed_on_submit = false disables the predictor outright: the same trained
+// EWMA + backlog + hopeless deadline is admitted (not instantly resolved)
+// and still resolves typed through the queue sweep / dequeue shed — an
+// admitted request always resolves.
+TEST_F(ServerRouting, SubmitShedCanBeDisabled) {
+  ModelRegistry registry;
+  registry.register_model(model_a_->artifact("a"));
+  InferenceServer server(
+      registry,
+      {.workers = 1, .queue_capacity = 64, .shed_on_submit = false});
+  for (int i = 0; i < 4; ++i) {
+    (void)server.submit("a", (*series_a_)[0]).get();
+  }
+  // Long plug: the worker sits inside one inference (no sweep point) while
+  // the admission below is observed, so ready() cannot race a queue sweep.
+  Rng rng(92);
+  const Matrix plug = random_series(400, 2, rng);
+  std::vector<InferFuture> backlog;
+  backlog.push_back(server.submit("a", plug));
+  for (int i = 0; i < 32; ++i) {
+    backlog.push_back(server.submit("a", (*series_a_)[i % kSeriesPerModel]));
+  }
+  serve::RequestOptions impossible;
+  impossible.deadline_us = 1;
+  InferFuture doomed = server.submit("a", (*series_a_)[0], impossible);
+  EXPECT_FALSE(doomed.ready()) << "predictor must be off";
+  EXPECT_EQ(doomed.get().status, RequestStatus::kDeadlineExceeded);
+  for (InferFuture& future : backlog) {
+    EXPECT_EQ(future.get().status, RequestStatus::kOk);
+  }
+}
+
+// While-queued shedding: an expired request is dropped by the worker's
+// queue sweep long before its own turn at the dequeue. The doomed request
+// carries the LOWEST priority, so dequeue order would only reach it after
+// the entire high-priority backlog — yet it resolves shed while most of
+// that backlog is still queued.
+TEST_F(ServerRouting, QueueSweepShedsExpiredRequestsBeforeTheirTurn) {
+  ModelRegistry registry;
+  registry.register_model(model_a_->artifact("a"));
+  InferenceServer server(
+      registry,
+      {.workers = 1, .queue_capacity = 64, .shed_on_submit = false});
+  serve::RequestOptions high;
+  high.priority = 10;
+  std::vector<InferFuture> backlog;
+  for (int i = 0; i < 24; ++i) {
+    backlog.push_back(
+        server.submit("a", (*series_a_)[i % kSeriesPerModel], high));
+  }
+  serve::RequestOptions doomed_options;
+  doomed_options.priority = -10;  // dequeue would reach it dead last
+  doomed_options.deadline_us = 1;
+  InferFuture doomed = server.submit("a", (*series_a_)[0], doomed_options);
+
+  // After the 8th backlog completion, at least one sweep has run (a worker
+  // sweeps every time it comes back for the next request) — the doomed
+  // request must already be shed even though 16 higher-priority requests
+  // are still ahead of it in dequeue order.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(backlog[static_cast<std::size_t>(i)].get().status,
+              RequestStatus::kOk);
+  }
+  EXPECT_TRUE(doomed.ready())
+      << "expired request waited for its dequeue turn instead of sweeping";
+  EXPECT_EQ(doomed.get().status, RequestStatus::kDeadlineExceeded);
+  for (InferFuture& future : backlog) {
+    EXPECT_EQ(future.get().status, RequestStatus::kOk);
+  }
+  EXPECT_EQ(server.stats("a").shed, 1u);
+}
+
+// Deadline-free and generously-budgeted traffic is never predicted against,
+// no matter how trained the EWMA or how deep the backlog.
+TEST_F(ServerRouting, PredictorNeverTouchesHealthyTraffic) {
+  ModelRegistry registry;
+  registry.register_model(model_a_->artifact("a"));
+  InferenceServer server(registry, {.workers = 1, .queue_capacity = 128});
+  for (int i = 0; i < 4; ++i) {
+    (void)server.submit("a", (*series_a_)[0]).get();
+  }
+  serve::RequestOptions generous;
+  generous.deadline_us = 60'000'000;
+  std::vector<InferFuture> futures;
+  for (int i = 0; i < 48; ++i) {
+    futures.push_back(
+        i % 2 == 0
+            ? server.submit("a", (*series_a_)[i % kSeriesPerModel])
+            : server.submit("a", (*series_a_)[i % kSeriesPerModel], generous));
+  }
+  for (InferFuture& future : futures) {
+    EXPECT_EQ(future.get().status, RequestStatus::kOk);
+  }
+  EXPECT_EQ(server.stats("a").shed, 0u);
+}
+
 }  // namespace
 }  // namespace dfr
