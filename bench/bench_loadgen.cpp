@@ -25,10 +25,27 @@
 // latency-vs-offered-load curve; the perf rollup keys trajectory columns
 // offered_qps/achieved_p99_us off the highest offered point.
 //
+// Skew + policy A/B (--skew zipf:<s>, --policy load-aware|placement): Zipf
+// model picks concentrate traffic on hot models, so with a replicated fleet
+// the hot shard queues while its replica idles — the pair of rows the two
+// policies emit at the same offered QPS is the load-aware-routing p99
+// measurement. Fleet mode (--fleet on, inproc only) serves .dfrm files
+// through an LRU ArtifactStore (--resident-models cap) and reports the
+// fraction of requests that took a request-path cold fault
+// (cold_fault_frac, last CSV column) — with --prefetch on, the store's
+// successor predictor faults the next model in from a background worker and
+// that fraction collapses to the warm-up transient. One caveat when the cap
+// is far below the working set: a request queued behind a deep backlog can
+// see its model LRU-evicted before the worker dequeues it (typed
+// kUnknownModel, counted in errors) — size --resident-models >= the hot set
+// when that matters.
+//
 // Usage:
 //   bench_loadgen --qps 200,500,1000,2000 --duration-s 2 --csv loadgen.csv
 //   bench_loadgen --mode socket --shards unix:/tmp/s0.sock,unix:/tmp/s1.sock
 //                 --models 2 --replicas 2 --qps 100,200,400,800
+//   bench_loadgen --mode socket --shards ... --skew zipf:1.2 --policy placement
+//   bench_loadgen --fleet on --models 12 --resident-models 4 --prefetch on
 
 #include <algorithm>
 #include <chrono>
@@ -42,8 +59,13 @@
 #include <thread>
 #include <vector>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include "bench_common.hpp"
+#include "dfr/trainer.hpp"
 #include "linalg/stats.hpp"
+#include "serve/artifact_store.hpp"
 #include "serve/registry.hpp"
 #include "serve/router.hpp"
 #include "serve/server.hpp"
@@ -102,6 +124,33 @@ double us_between(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double, std::micro>(to - from).count();
 }
 
+/// Per-arrival model picks. zipf_s == 0 keeps the legacy uniform cycle
+/// (i % models, so unskewed rows stay comparable across PRs); zipf_s > 0
+/// draws i.i.d. Zipf(s) ranks via the precomputed CDF and the repo Rng —
+/// deterministic for a given (seed, n), hot model first (m0 hottest).
+std::vector<std::size_t> make_model_picks(std::size_t n, std::size_t models,
+                                          double zipf_s, std::uint64_t seed) {
+  std::vector<std::size_t> picks(n);
+  if (zipf_s <= 0.0) {
+    for (std::size_t i = 0; i < n; ++i) picks[i] = i % models;
+    return picks;
+  }
+  std::vector<double> cdf(models);
+  double total = 0.0;
+  for (std::size_t k = 0; k < models; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), zipf_s);
+    cdf[k] = total;
+  }
+  Rng rng(seed ^ 0x5ca1ab1eu);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.uniform() * total;
+    picks[i] = static_cast<std::size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    if (picks[i] >= models) picks[i] = models - 1;
+  }
+  return picks;
+}
+
 // ---- in-process target -----------------------------------------------------
 
 /// One offered-QPS point against an in-process InferenceServer. The main
@@ -112,10 +161,14 @@ PointResult run_point_inproc(serve::InferenceServer& server,
                              const std::vector<std::string>& model_ids,
                              const std::vector<Matrix>& series_pool,
                              double qps, double duration_s,
-                             std::uint64_t deadline_us, std::uint64_t seed) {
+                             std::uint64_t deadline_us, std::uint64_t seed,
+                             double zipf_s = 0.0,
+                             serve::ArtifactStore* store = nullptr) {
   PointResult result;
   result.offered_qps = qps;
   const std::vector<double> arrivals = make_arrivals_s(qps, duration_s, seed);
+  const std::vector<std::size_t> picks =
+      make_model_picks(arrivals.size(), model_ids.size(), zipf_s, seed);
 
   struct Pending {
     serve::InferFuture future;
@@ -152,8 +205,13 @@ PointResult run_point_inproc(serve::InferenceServer& server,
         start + std::chrono::duration_cast<Clock::duration>(
                     std::chrono::duration<double>(arrivals[i]));
     std::this_thread::sleep_until(scheduled);
+    // Fleet mode: resolve the artifact through the store FIRST, so a cold
+    // model's fault-in (or its prefetch-avoided absence) lands on the
+    // request path exactly where a real server would pay it — the
+    // dispatch-lag correction below folds the load time into latency.
+    if (store != nullptr) (void)store->get(model_ids[picks[i]]);
     serve::InferFuture future =
-        server.submit(model_ids[i % model_ids.size()],
+        server.submit(model_ids[picks[i]],
                       series_pool[i % series_pool.size()], options);
     const double lag_us = std::max(0.0, us_between(scheduled, Clock::now()));
     {
@@ -186,10 +244,12 @@ PointResult run_point_socket(serve::Router& router,
                              const std::vector<Matrix>& series_pool,
                              double qps, double duration_s,
                              std::uint64_t deadline_us, std::size_t senders,
-                             std::uint64_t seed) {
+                             std::uint64_t seed, double zipf_s = 0.0) {
   PointResult result;
   result.offered_qps = qps;
   const std::vector<double> arrivals = make_arrivals_s(qps, duration_s, seed);
+  const std::vector<std::size_t> picks =
+      make_model_picks(arrivals.size(), model_ids.size(), zipf_s, seed);
 
   struct Job {
     Clock::time_point scheduled;
@@ -218,7 +278,7 @@ PointResult run_point_socket(serve::Router& router,
           jobs.pop_front();
         }
         const serve::wire::WireResponse response =
-            router.infer(model_ids[job.index % model_ids.size()],
+            router.infer(model_ids[picks[job.index]],
                          series_pool[job.index % series_pool.size()], options);
         const double latency_us =
             std::max(0.0, us_between(job.scheduled, Clock::now()));
@@ -276,7 +336,7 @@ std::string fmt(double v) {
 
 void report_point(const std::string& row, std::size_t shards,
                   std::size_t workers, const PointResult& point,
-                  bench::BenchCsv& csv) {
+                  bench::BenchCsv& csv, double cold_fault_frac = 0.0) {
   const Summary latency = point.latencies_us.empty()
                               ? Summary{}
                               : summarize(point.latencies_us);
@@ -292,14 +352,20 @@ void report_point(const std::string& row, std::size_t shards,
             << " p50=" << fmt(latency.p50) << "us p99=" << fmt(latency.p99)
             << "us shed=" << fmt(100.0 * shed_frac)
             << "% rejected=" << fmt(100.0 * reject_frac)
-            << "% errors=" << point.errors << "\n";
+            << "% errors=" << point.errors;
+  if (cold_fault_frac > 0.0) {
+    std::cout << " cold_faults=" << fmt(100.0 * cold_fault_frac) << "%";
+  }
+  std::cout << "\n";
+  // cold_fault_frac is APPENDED so the CI awk checks' column indices and
+  // the perf rollup's existing parses stay valid.
   csv.add_row({row, "synth", std::to_string(shards), std::to_string(workers),
                fmt(point.offered_qps), fmt(point.duration_s),
                std::to_string(point.sent), std::to_string(point.completed),
                std::to_string(point.shed), std::to_string(point.rejected),
                std::to_string(point.errors), fmt(achieved), fmt(latency.p50),
                fmt(latency.p90), fmt(latency.p99), fmt(shed_frac),
-               fmt(reject_frac)});
+               fmt(reject_frac), fmt(cold_fault_frac)});
 }
 
 std::vector<double> parse_qps_list(const std::string& text) {
@@ -355,6 +421,29 @@ int run(int argc, char** argv) {
                  "");
   cli.add_option("replicas", "socket: replica-group size", "1");
   cli.add_option("senders", "socket: concurrent sender threads", "8");
+  cli.add_option("skew",
+                 "model-pick distribution: none | zipf:<s> (deterministic; "
+                 "rows gain a -zipf suffix)",
+                 "none");
+  cli.add_option("policy",
+                 "socket: replica choice, load-aware | placement "
+                 "(placement rows gain a -placement suffix)",
+                 "load-aware");
+  cli.add_option("health-poll-ms",
+                 "socket: router health-probe interval (shorter polls damp "
+                 "p2c herding on stale samples)",
+                 "50");
+  cli.add_option("fleet",
+                 "inproc: off | on — serve .dfrm artifacts through an "
+                 "LRU ArtifactStore (rows become loadgen-fleet and report "
+                 "cold_fault_frac)",
+                 "off");
+  cli.add_option("resident-models",
+                 "fleet: LRU cap as a model count (0 = unbounded)", "0");
+  cli.add_option("prefetch",
+                 "fleet: off | on — background successor prefetch "
+                 "(rows gain a -prefetch suffix)",
+                 "off");
   bench::add_csv_option(cli, "");
   cli.parse(argc, argv);
   if (cli.help_requested()) {
@@ -394,25 +483,101 @@ int run(int argc, char** argv) {
                             "offered_qps", "duration_s", "sent", "completed",
                             "shed", "rejected", "errors", "achieved_qps",
                             "p50_us", "p90_us", "p99_us", "shed_frac",
-                            "reject_frac"});
-  const std::string suffix = deadline_us > 0 ? "-shed" : "";
+                            "reject_frac", "cold_fault_frac"});
+
+  const std::string skew = cli.get("skew");
+  double zipf_s = 0.0;
+  if (skew != "none") {
+    DFR_CHECK_MSG(skew.rfind("zipf:", 0) == 0,
+                  "--skew must be none or zipf:<s>");
+    zipf_s = std::stod(skew.substr(5));
+    DFR_CHECK_MSG(zipf_s > 0.0, "--skew zipf:<s> needs s > 0");
+  }
+  const std::string policy = cli.get("policy");
+  DFR_CHECK_MSG(policy == "load-aware" || policy == "placement",
+                "--policy must be load-aware or placement");
+  std::string suffix = deadline_us > 0 ? "-shed" : "";
+  if (zipf_s > 0.0) suffix += "-zipf";
 
   if (mode == "inproc") {
+    const bool fleet = cli.get("fleet") == "on";
+    const bool prefetch_on = cli.get("prefetch") == "on";
     serve::ModelRegistry registry;
-    for (std::size_t i = 0; i < model_count; ++i) {
-      spec.seed = seed + i;
-      registry.register_model(serve::make_synth_artifact(model_ids[i], spec));
+    std::unique_ptr<serve::ArtifactStore> store;
+    std::string fleet_dir;
+    if (fleet) {
+      // Materialize the synthetic fleet as real .dfrm files so the store's
+      // mmap fault path (and its madvise hints) is what the numbers
+      // measure, not an in-memory shortcut.
+      fleet_dir = "/tmp/dfr_loadgen_fleet." + std::to_string(::getpid());
+      DFR_CHECK_MSG(::mkdir(fleet_dir.c_str(), 0700) == 0,
+                    "cannot create fleet dir: " + fleet_dir);
+      std::size_t artifact_bytes = 0;
+      for (std::size_t i = 0; i < model_count; ++i) {
+        spec.seed = seed + i;
+        const ModelArtifactPtr artifact =
+            serve::make_synth_artifact(model_ids[i], spec);
+        TrainResult trained;
+        trained.params = artifact->params;
+        trained.mask = artifact->mask;
+        trained.nonlinearity = artifact->nonlinearity;
+        trained.readout = artifact->readout;
+        trained.chosen_beta = artifact->chosen_beta;
+        const std::string path = fleet_dir + "/" + model_ids[i] + ".dfrm";
+        save_model(trained, path, /*format_version=*/2);
+        if (artifact_bytes == 0) {
+          struct stat st{};
+          DFR_CHECK_MSG(::stat(path.c_str(), &st) == 0, "cannot stat " + path);
+          artifact_bytes = static_cast<std::size_t>(st.st_size);
+        }
+      }
+      serve::ArtifactStoreConfig store_config;
+      const std::size_t resident = cli.get_u64("resident-models");
+      store_config.max_resident_bytes = resident * artifact_bytes;
+      store_config.prefetch = prefetch_on;
+      store = std::make_unique<serve::ArtifactStore>(registry, store_config);
+      for (std::size_t i = 0; i < model_count; ++i) {
+        store->add(model_ids[i], fleet_dir + "/" + model_ids[i] + ".dfrm");
+      }
+    } else {
+      for (std::size_t i = 0; i < model_count; ++i) {
+        spec.seed = seed + i;
+        registry.register_model(serve::make_synth_artifact(model_ids[i], spec));
+      }
     }
     serve::ServerConfig config;
     config.workers = cli.get_u64("workers");
     config.queue_capacity = cli.get_u64("queue-capacity");
     serve::InferenceServer server(registry, config);
+    const std::string row = fleet ? "loadgen-fleet" +
+                                        std::string(prefetch_on ? "-prefetch"
+                                                                : "") +
+                                        suffix
+                                  : "loadgen-inproc" + suffix;
     for (std::size_t p = 0; p < qps_points.size(); ++p) {
+      const std::uint64_t faults_before =
+          store != nullptr ? store->counters().faults : 0;
       const PointResult point =
           run_point_inproc(server, model_ids, series_pool, qps_points[p],
-                           duration_s, deadline_us, seed + 100 + p);
-      report_point("loadgen-inproc" + suffix, /*shards=*/0, config.workers,
-                   point, csv);
+                           duration_s, deadline_us, seed + 100 + p, zipf_s,
+                           store.get());
+      double cold_fault_frac = 0.0;
+      if (store != nullptr && point.sent > 0) {
+        store->wait_prefetch_idle();
+        cold_fault_frac =
+            static_cast<double>(store->counters().faults - faults_before) /
+            static_cast<double>(point.sent);
+      }
+      report_point(row, /*shards=*/0, config.workers, point, csv,
+                   cold_fault_frac);
+    }
+    if (store != nullptr) {
+      store->export_stats(std::cout);
+      for (std::size_t i = 0; i < model_count; ++i) {
+        (void)::unlink(
+            (fleet_dir + "/" + model_ids[i] + ".dfrm").c_str());
+      }
+      (void)::rmdir(fleet_dir.c_str());
     }
   } else {
     const std::vector<std::string> endpoints = split_list(cli.get("shards"));
@@ -420,17 +585,20 @@ int run(int argc, char** argv) {
                   "--mode socket requires --shards endpoint list");
     serve::RouterConfig router_config;
     router_config.replicas = cli.get_u64("replicas");
+    router_config.load_aware = policy == "load-aware";
+    router_config.health_poll_ms = cli.get_u64("health-poll-ms");
     serve::Router router(router_config);
     for (std::size_t i = 0; i < endpoints.size(); ++i) {
       router.add_shard("s" + std::to_string(i),
                        serve::wire::parse_endpoint(endpoints[i]));
     }
-    const std::string row =
-        "router-" + std::to_string(endpoints.size()) + "shard" + suffix;
+    const std::string row = "router-" + std::to_string(endpoints.size()) +
+                            "shard" + suffix +
+                            (policy == "placement" ? "-placement" : "");
     for (std::size_t p = 0; p < qps_points.size(); ++p) {
       const PointResult point = run_point_socket(
           router, model_ids, series_pool, qps_points[p], duration_s,
-          deadline_us, cli.get_u64("senders"), seed + 100 + p);
+          deadline_us, cli.get_u64("senders"), seed + 100 + p, zipf_s);
       report_point(row, endpoints.size(), /*workers=*/0, point, csv);
     }
     for (std::size_t i = 0; i < endpoints.size(); ++i) {
@@ -440,6 +608,7 @@ int run(int argc, char** argv) {
                 << " ok=" << counters.ok << " retried=" << counters.retried
                 << " io_failures=" << counters.io_failures << "\n";
     }
+    router.export_stats(std::cout);
   }
   csv.report();
   return 0;

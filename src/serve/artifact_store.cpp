@@ -34,6 +34,14 @@ std::shared_ptr<const MappedFile> MappedFile::map(const std::string& path) {
 
 MappedFile::~MappedFile() { ::munmap(addr_, size_); }
 
+void MappedFile::advise_willneed() const noexcept {
+  ::madvise(addr_, size_, MADV_WILLNEED);
+}
+
+void MappedFile::advise_dontneed() const noexcept {
+  ::madvise(addr_, size_, MADV_DONTNEED);
+}
+
 // ---- zero-copy loader ------------------------------------------------------
 
 namespace {
@@ -130,10 +138,20 @@ std::size_t owned_weight_bytes(const ModelArtifact& artifact) noexcept {
 
 }  // namespace
 
+namespace {
+
+/// The MappedFile behind an artifact's pages, or null for copied weights.
+std::shared_ptr<const MappedFile> mapping_of(const ModelArtifact& artifact) {
+  return std::static_pointer_cast<const MappedFile>(artifact.backing);
+}
+
+}  // namespace
+
 ArtifactStore::ArtifactStore(ModelRegistry& registry,
                              ArtifactStoreConfig config)
     : registry_(&registry), config_(config) {
   load_us_.reserve(config_.load_window);
+  if (config_.prefetch) prefetch_queue_ = std::make_unique<BackgroundQueue>();
 }
 
 void ArtifactStore::add(std::string id, std::string path) {
@@ -149,36 +167,23 @@ void ArtifactStore::add(std::string id, std::string path) {
   }
 }
 
-ModelArtifactPtr ArtifactStore::get(std::string_view id) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(id);
-  if (it == entries_.end()) return nullptr;
-  Entry& entry = it->second;
-  if (entry.resident) {
-    ModelArtifactPtr artifact = registry_->get(id);
-    if (artifact != nullptr) {
-      ++hits_;
-      lru_.splice(lru_.begin(), lru_, entry.lru_it);  // touch, no allocation
-      return artifact;
-    }
-    // Evicted externally (registry driven by someone else): heal accounting
-    // and fall through to a re-fault.
-    note_nonresident(entry);
-  }
-  ++faults_;
+ModelArtifactPtr ArtifactStore::fault_in_locked(const std::string& id,
+                                                Entry& entry) {
   Timer timer;
   ModelArtifactPtr artifact;
   std::size_t bytes = 0;
   if (config_.mode == LoadMode::kMmap) {
-    artifact = load_artifact_mmap(entry.path, std::string(it->first));
+    artifact = load_artifact_mmap(entry.path, id);
     // mmap-backed artifacts account the whole mapping; v1 fallbacks own
     // their weights.
-    bytes = artifact->backing != nullptr
-                ? std::static_pointer_cast<const MappedFile>(artifact->backing)
-                      ->size()
-                : owned_weight_bytes(*artifact);
+    const auto mapping = mapping_of(*artifact);
+    bytes = mapping != nullptr ? mapping->size()
+                               : owned_weight_bytes(*artifact);
+    // Ask the kernel for the whole mapping ahead of first touch, so the
+    // page-in cost is paid here instead of inside the first inference.
+    if (mapping != nullptr) mapping->advise_willneed();
   } else {
-    artifact = load_artifact(entry.path, std::string(it->first));
+    artifact = load_artifact(entry.path, id);
     bytes = owned_weight_bytes(*artifact);
   }
   const double load_us = static_cast<double>(timer.elapsed_ns()) * 1e-3;
@@ -196,7 +201,7 @@ ModelArtifactPtr ArtifactStore::get(std::string_view id) {
   registry_->register_model(artifact);
   entry.resident = true;
   entry.bytes = bytes;
-  lru_.push_front(std::string(it->first));
+  lru_.push_front(id);
   entry.lru_it = lru_.begin();
   resident_bytes_ += bytes;
   ++resident_models_;
@@ -204,11 +209,87 @@ ModelArtifactPtr ArtifactStore::get(std::string_view id) {
   return artifact;
 }
 
+ModelArtifactPtr ArtifactStore::get(std::string_view id) {
+  ModelArtifactPtr artifact;
+  std::string predicted;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(id);
+    if (it == entries_.end()) return nullptr;
+    Entry& entry = it->second;
+
+    // Train the successor model on the observed id stream, then look up the
+    // prediction for what follows THIS id (posted below, outside the lock).
+    if (!last_get_id_.empty() && last_get_id_ != it->first) {
+      successor_[last_get_id_] = it->first;
+    }
+    last_get_id_ = it->first;
+    if (prefetch_queue_ != nullptr) {
+      auto next = successor_.find(id);
+      if (next != successor_.end() && next->second != it->first) {
+        predicted = next->second;
+      }
+    }
+
+    if (entry.resident) {
+      artifact = registry_->get(id);
+      if (artifact != nullptr) {
+        ++hits_;
+        lru_.splice(lru_.begin(), lru_, entry.lru_it);  // touch, no allocation
+      } else {
+        // Evicted externally (registry driven by someone else): heal
+        // accounting and re-fault.
+        note_nonresident(entry);
+      }
+    }
+    if (artifact == nullptr) {
+      ++faults_;
+      artifact = fault_in_locked(it->first, entry);
+    }
+  }
+  if (!predicted.empty()) {
+    prefetch_queue_->post(
+        [this, id = std::move(predicted)] { prefetch(id); });
+  }
+  return artifact;
+}
+
+void ArtifactStore::prefetch(std::string_view id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  Entry& entry = it->second;
+  if (entry.resident) {
+    if (registry_->get(id) != nullptr) return;  // already warm: no LRU touch
+    note_nonresident(entry);                    // externally evicted: heal
+  }
+  try {
+    (void)fault_in_locked(it->first, entry);
+    ++prefetches_;
+  } catch (const CheckError&) {
+    // Advisory by contract: a broken artifact surfaces as a typed error on
+    // the real get() that needs it, not from the background worker.
+  }
+}
+
+std::string ArtifactStore::predicted_successor(std::string_view id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = successor_.find(id);
+  return it == successor_.end() ? std::string() : it->second;
+}
+
+void ArtifactStore::wait_prefetch_idle() {
+  if (prefetch_queue_ != nullptr) prefetch_queue_->drain();
+}
+
 bool ArtifactStore::erase(std::string_view id) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(id);
   if (it == entries_.end()) return false;
   if (it->second.resident) {
+    if (const ModelArtifactPtr victim = registry_->get(it->first)) {
+      if (const auto mapping = mapping_of(*victim)) mapping->advise_dontneed();
+    }
     registry_->evict(it->first);
     note_nonresident(it->second);
     ++evictions_;
@@ -233,6 +314,12 @@ void ArtifactStore::evict_to_cap(const Entry* keep) {
     DFR_CHECK_MSG(it != entries_.end() && it->second.resident,
                   "artifact store LRU out of sync");
     if (&it->second == keep) break;  // never evict the artifact just faulted in
+    // Drop the victim's clean pages now — the mapping itself may linger on
+    // in-flight references, but the kernel can reclaim the memory
+    // immediately (a late touch re-faults from the file).
+    if (const ModelArtifactPtr victim = registry_->get(victim_id)) {
+      if (const auto mapping = mapping_of(*victim)) mapping->advise_dontneed();
+    }
     // Outside any registry listener by construction (we ARE the driver):
     // evict() notifies the engine pool, workers reclaim deferred, and the
     // mapping unmaps when the last in-flight reference drains.
@@ -249,9 +336,10 @@ std::size_t ArtifactStore::resident_bytes() const {
 
 ArtifactStoreCounters ArtifactStore::counters() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return ArtifactStoreCounters{hits_,          faults_,
-                               evictions_,     resident_bytes_,
-                               resident_models_, entries_.size()};
+  return ArtifactStoreCounters{hits_,           faults_,
+                               evictions_,      prefetches_,
+                               resident_bytes_, resident_models_,
+                               entries_.size()};
 }
 
 Summary ArtifactStore::load_latency_us() const {
@@ -267,6 +355,7 @@ void ArtifactStore::export_stats(std::ostream& os) const {
   os << "dfr_store_hits_total " << hits_ << '\n';
   os << "dfr_store_faults_total " << faults_ << '\n';
   os << "dfr_store_evictions_total " << evictions_ << '\n';
+  os << "dfr_store_prefetches_total " << prefetches_ << '\n';
   if (!load_us_.empty()) {
     const Summary s = summarize(load_us_);
     os << "dfr_store_load_us{quantile=\"0.5\"} " << s.p50 << '\n';

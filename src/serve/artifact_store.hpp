@@ -32,9 +32,26 @@
 // inside a registry eviction listener (that is forbidden by the
 // subscription contract); it is itself the eviction driver.
 //
+// Predictive prefetch
+// -------------------
+// With `ArtifactStoreConfig::prefetch` on, the store learns a first-order
+// successor model over the get() id stream (the id most recently observed to
+// follow each id) and, after every get(), posts a background task that
+// faults the predicted-next artifact in via prefetch(). Background loads
+// count under `prefetches`, never `faults`, so the fault counter remains a
+// clean request-path cold-start signal — the loadgen's cold_fault_frac and
+// the warm-up test both key off that split. Prefetch is advisory
+// throughout: wrong predictions waste one load (LRU reclaims it), failing
+// loads are swallowed, and the request path never waits on the worker.
+// madvise hints ride the same events: MADV_WILLNEED when a mapping faults
+// or prefetches in, MADV_DONTNEED when the LRU evicts it.
+//
 // Threading: all ArtifactStore methods are thread-safe behind one mutex
 // (workers fault concurrently; loads serialize — acceptable because the hit
-// path is a find + LRU splice and never allocates).
+// path is a find + LRU splice and never allocates). The prefetch worker
+// takes the same mutex, so a background load can delay a concurrent get()
+// by one artifact-load; acceptable for the same reason, and the alternative
+// (loading outside the lock) would race eviction.
 
 #include <cstddef>
 #include <cstdint>
@@ -48,6 +65,7 @@
 
 #include "linalg/stats.hpp"
 #include "serve/registry.hpp"
+#include "util/parallel.hpp"
 
 namespace dfr::serve {
 
@@ -67,6 +85,15 @@ class MappedFile {
     return static_cast<const std::byte*>(addr_);
   }
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Page-cache hints. WILLNEED asks the kernel to read the whole mapping
+  /// ahead (issued on fault-in and prefetch so first-touch page faults are
+  /// not taken on the request path); DONTNEED drops the clean file-backed
+  /// pages on evict (a later touch transparently re-faults from the file —
+  /// safe even with in-flight readers, read-only MAP_PRIVATE pages are
+  /// never dirty). Purely advisory; failures are ignored.
+  void advise_willneed() const noexcept;
+  void advise_dontneed() const noexcept;
 
  private:
   MappedFile(void* addr, std::size_t size) noexcept
@@ -99,6 +126,12 @@ struct ArtifactStoreConfig {
   LoadMode mode = LoadMode::kMmap;
   /// Recent load-latency samples kept for the load_p50 stat.
   std::size_t load_window = 128;
+  /// Learn a first-order successor model over get() ids and fault the
+  /// predicted next artifact in from a background worker after each get(),
+  /// so steady repeating access patterns stop taking cold faults on the
+  /// request path. See the "Predictive prefetch" section of the file
+  /// comment.
+  bool prefetch = false;
 };
 
 /// Monotonic counters + gauges; see ArtifactStore::counters().
@@ -106,6 +139,7 @@ struct ArtifactStoreCounters {
   std::uint64_t hits = 0;        // get() served from the registry
   std::uint64_t faults = 0;      // get() that had to load (cold or re-fault)
   std::uint64_t evictions = 0;   // LRU evictions driven by this store
+  std::uint64_t prefetches = 0;  // background fault-ins (never count as faults)
   std::size_t resident_bytes = 0;
   std::size_t resident_models = 0;
   std::size_t tracked_models = 0;  // add()ed ids, resident or not
@@ -138,6 +172,24 @@ class ArtifactStore {
   /// Returns false for an untracked id.
   bool erase(std::string_view id);
 
+  /// Fault `id` in ahead of demand: load + register + LRU-front +
+  /// evict-to-cap, counted under `prefetches` (NOT `faults` — the fault
+  /// counter stays a request-path signal). Advisory: untracked or already
+  /// resident ids are a no-op, and a failing load is swallowed (the broken
+  /// artifact surfaces as a typed error on the real get() that needs it).
+  /// Called by the background worker; public so callers with their own
+  /// schedule (warm-up scripts, tests) can drive it directly.
+  void prefetch(std::string_view id);
+
+  /// The id the successor model predicts will be asked for after `id`
+  /// (empty when nothing has been learned yet). Exposed for tests.
+  [[nodiscard]] std::string predicted_successor(std::string_view id) const;
+
+  /// Block until every queued background prefetch has finished. No-op when
+  /// prefetch is disabled. Tests use this to assert on post-warm-up state
+  /// deterministically.
+  void wait_prefetch_idle();
+
   [[nodiscard]] std::size_t resident_bytes() const;
   [[nodiscard]] ArtifactStoreCounters counters() const;
 
@@ -163,6 +215,10 @@ class ArtifactStore {
   void note_nonresident(Entry& entry);
   /// Under mutex_: evict LRU victims (never `keep`) until the cap holds.
   void evict_to_cap(const Entry* keep);
+  /// Under mutex_: load entries_[id] (timed), register it, put it at the
+  /// LRU front, apply madvise(WILLNEED), and evict to cap. The caller
+  /// decides which counter the load lands in (faults_ vs prefetches_).
+  ModelArtifactPtr fault_in_locked(const std::string& id, Entry& entry);
 
   ModelRegistry* registry_;
   ArtifactStoreConfig config_;
@@ -175,8 +231,20 @@ class ArtifactStore {
   std::uint64_t hits_ = 0;
   std::uint64_t faults_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t prefetches_ = 0;
   Vector load_us_;              // ring of recent load latencies
   std::size_t load_next_ = 0;
+
+  // First-order successor model: the id most recently observed to follow
+  // each id in the get() stream (last-winner, no counts — cheap and right
+  // for the cyclic fleet patterns the loadgen drives).
+  std::unordered_map<std::string, std::string, StringHash, std::equal_to<>>
+      successor_;
+  std::string last_get_id_;
+
+  // Declared LAST: its destructor drains queued prefetch tasks (which take
+  // mutex_ and touch entries_) before any other member dies.
+  std::unique_ptr<BackgroundQueue> prefetch_queue_;
 };
 
 }  // namespace dfr::serve

@@ -3,6 +3,8 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
+#include <ostream>
 #include <utility>
 
 #include "util/check.hpp"
@@ -53,6 +55,18 @@ struct Router::Shard {
   std::vector<int> idle_fds;       // pooled connections, LIFO
   ShardCounters counters;          // guarded by pool_mutex
 
+  /// Requests this router currently has outstanding on this shard. Folded
+  /// into the p2c score so a burst routed between two health polls is
+  /// visible immediately instead of only after the next sample.
+  std::atomic<std::uint32_t> inflight{0};
+
+  // Last cached health sample (guarded by pool_mutex). `health_when` is
+  // default-constructed (epoch) until the first sample, which reads as
+  // maximally stale — p2c correctly distrusts a never-probed shard.
+  wire::HealthInfo last_health;
+  std::chrono::steady_clock::time_point health_when{};
+  bool health_valid = false;
+
   ~Shard() {
     for (const int fd : idle_fds) ::close(fd);
   }
@@ -89,9 +103,29 @@ struct Router::Shard {
 Router::Router(RouterConfig config) : config_(config) {
   DFR_CHECK_MSG(config_.replicas >= 1, "router: replicas must be >= 1");
   DFR_CHECK_MSG(config_.vnodes >= 1, "router: vnodes must be >= 1");
+  if (config_.health_poll_ms > 0) {
+    poll_thread_ = std::thread([this] {
+      std::unique_lock<std::mutex> lock(poll_mutex_);
+      while (!poll_stop_) {
+        lock.unlock();
+        poll_health_once();
+        lock.lock();
+        poll_cv_.wait_for(lock,
+                          std::chrono::milliseconds(config_.health_poll_ms),
+                          [this] { return poll_stop_; });
+      }
+    });
+  }
 }
 
-Router::~Router() = default;
+Router::~Router() {
+  {
+    std::lock_guard<std::mutex> lock(poll_mutex_);
+    poll_stop_ = true;
+  }
+  poll_cv_.notify_all();
+  if (poll_thread_.joinable()) poll_thread_.join();
+}
 
 void Router::add_shard(std::string name, const wire::Endpoint& endpoint) {
   DFR_CHECK_MSG(!name.empty(), "router: shard name must not be empty");
@@ -258,6 +292,49 @@ bool Router::try_shard(Shard& shard, std::span<const std::byte> frame,
   }
 }
 
+void Router::order_replicas(
+    std::vector<std::shared_ptr<Shard>>& group) const {
+  const auto now = std::chrono::steady_clock::now();
+  const auto staleness =
+      std::chrono::microseconds(config_.health_staleness_us);
+  double score[2];
+  bool fresh = true;
+  for (std::size_t i = 0; i < 2; ++i) {
+    Shard& shard = *group[i];
+    std::uint32_t queue_depth = 0;
+    double ewma_us = 0.0;
+    {
+      std::lock_guard<std::mutex> lock(shard.pool_mutex);
+      if (!shard.health_valid || now - shard.health_when > staleness) {
+        fresh = false;
+        break;
+      }
+      queue_depth = shard.last_health.queue_depth;
+      ewma_us = shard.last_health.ewma_service_us;
+    }
+    // Planned wait ~ (queued + our own outstanding) x per-request cost. The
+    // EWMA floor keeps a never-exercised shard comparable instead of
+    // scoring a free 0 forever.
+    const double load = static_cast<double>(queue_depth) +
+                        static_cast<double>(
+                            shard.inflight.load(std::memory_order_relaxed));
+    score[i] = load * std::max(ewma_us, 1.0);
+  }
+  if (!fresh) {
+    std::lock_guard<std::mutex> lock(group[0]->pool_mutex);
+    ++group[0]->counters.p2c_stale;
+    return;
+  }
+  if (score[1] < score[0]) {
+    std::swap(group[0], group[1]);
+    std::lock_guard<std::mutex> lock(group[0]->pool_mutex);
+    ++group[0]->counters.p2c_alternate;
+  } else {
+    std::lock_guard<std::mutex> lock(group[0]->pool_mutex);
+    ++group[0]->counters.p2c_primary;
+  }
+}
+
 wire::WireResponse Router::infer(std::string_view model_id,
                                  const Matrix& series,
                                  RequestOptions options) {
@@ -269,9 +346,15 @@ wire::WireResponse Router::infer(std::string_view model_id,
   std::vector<std::byte> frame;
   wire::encode_request(request, series, frame);
 
+  std::vector<std::shared_ptr<Shard>> group = replicas_for(model_id);
+  if (config_.load_aware && group.size() >= 2) order_replicas(group);
+
   wire::WireResponse response;
-  for (const auto& shard : replicas_for(model_id)) {
-    if (!try_shard(*shard, frame, seq, response)) {
+  for (const auto& shard : group) {
+    shard->inflight.fetch_add(1, std::memory_order_relaxed);
+    const bool delivered = try_shard(*shard, frame, seq, response);
+    shard->inflight.fetch_sub(1, std::memory_order_relaxed);
+    if (!delivered) {
       std::lock_guard<std::mutex> lock(shard->pool_mutex);
       ++shard->counters.retried;
       continue;
@@ -332,6 +415,91 @@ ShardCounters Router::counters(std::string_view name) const {
   DFR_CHECK_MSG(shard != nullptr, "router: unknown shard name");
   std::lock_guard<std::mutex> lock(shard->pool_mutex);
   return shard->counters;
+}
+
+void Router::note_health(std::string_view name, const wire::HealthInfo& info) {
+  const std::shared_ptr<Shard> shard = find_shard(name);
+  if (!shard) return;
+  std::lock_guard<std::mutex> lock(shard->pool_mutex);
+  shard->last_health = info;
+  shard->health_when = std::chrono::steady_clock::now();
+  shard->health_valid = true;
+}
+
+void Router::poll_health_once() {
+  // Snapshot live shards, then probe without the router lock held: a slow
+  // or dead shard must not stall placement changes or other probes' caches.
+  std::vector<std::shared_ptr<Shard>> live;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& shard : shards_) {
+      if (shard->live) live.push_back(shard);
+    }
+  }
+  for (const auto& shard : live) {
+    int fd = -1;
+    try {
+      fd = wire::connect_endpoint(shard->endpoint);
+      std::vector<std::byte> frame;
+      wire::encode_health_request(next_seq_.fetch_add(1), frame);
+      wire::write_frame(fd, frame);
+      std::vector<std::byte> reply;
+      if (!wire::read_frame(fd, reply)) {
+        throw wire::WireIoError("router: shard closed before the health reply");
+      }
+      const wire::HealthInfo info = wire::decode_health_response(reply);
+      ::close(fd);
+      fd = -1;
+      std::lock_guard<std::mutex> lock(shard->pool_mutex);
+      shard->last_health = info;
+      shard->health_when = std::chrono::steady_clock::now();
+      shard->health_valid = true;
+      ++shard->counters.health_probes;
+    } catch (const std::exception&) {
+      // Unreachable or malformed: keep (and age out) the previous sample
+      // rather than inventing one; staleness handles the rest.
+      if (fd >= 0) ::close(fd);
+      std::lock_guard<std::mutex> lock(shard->pool_mutex);
+      ++shard->counters.health_failures;
+    }
+  }
+}
+
+void Router::export_stats(std::ostream& os) const {
+  std::vector<std::shared_ptr<Shard>> snapshot;
+  std::size_t live = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = shards_;
+    for (const auto& shard : snapshot) live += shard->live ? 1 : 0;
+  }
+  os << "dfr_router_shards_live " << live << '\n';
+  for (const auto& shard : snapshot) {
+    const std::string label = "{shard=\"" + shard->name + "\"}";
+    std::lock_guard<std::mutex> lock(shard->pool_mutex);
+    const ShardCounters& c = shard->counters;
+    os << "dfr_router_requests_total" << label << ' ' << c.requests << '\n';
+    os << "dfr_router_ok_total" << label << ' ' << c.ok << '\n';
+    os << "dfr_router_rejected_total" << label << ' ' << c.rejected << '\n';
+    os << "dfr_router_retried_total" << label << ' ' << c.retried << '\n';
+    os << "dfr_router_io_failures_total" << label << ' ' << c.io_failures
+       << '\n';
+    os << "dfr_router_p2c_primary_total" << label << ' ' << c.p2c_primary
+       << '\n';
+    os << "dfr_router_p2c_alternate_total" << label << ' ' << c.p2c_alternate
+       << '\n';
+    os << "dfr_router_p2c_stale_total" << label << ' ' << c.p2c_stale << '\n';
+    os << "dfr_router_health_probes_total" << label << ' ' << c.health_probes
+       << '\n';
+    os << "dfr_router_health_failures_total" << label << ' '
+       << c.health_failures << '\n';
+    if (shard->health_valid) {
+      os << "dfr_router_shard_queue_depth" << label << ' '
+         << shard->last_health.queue_depth << '\n';
+      os << "dfr_router_shard_ewma_service_us" << label << ' '
+         << shard->last_health.ewma_service_us << '\n';
+    }
+  }
 }
 
 }  // namespace dfr::serve

@@ -14,6 +14,19 @@
 // with the same shard set computes the same groups, so routers need no
 // coordination.
 //
+// Load-aware replica choice (RouterConfig::load_aware, default on): the
+// shard health body (wire v2) carries per-shard queue depth, queue capacity,
+// and a service-time EWMA; a background poller caches a sample per shard
+// (RouterConfig::health_poll_ms), and infer() picks between the FIRST TWO
+// replicas of a key's group by power-of-two-choices — the candidate with the
+// lower (queue_depth + router-local in-flight) x EWMA score gets the
+// request. Samples older than health_staleness_us are distrusted and the
+// router falls back to strict placement order, so a dead poller degrades to
+// exactly the pre-load-aware behavior instead of routing on fiction. Only
+// the first attempt is reordered: the retry walk still visits every replica,
+// so the retry taxonomy below and the drain/re-add placement invariants are
+// unchanged.
+//
 // Retry policy (typed, deliberately narrow): a replica is skipped and the
 // next one tried only on
 //   * WireIoError — connect refused / peer reset / died mid-frame: the
@@ -35,12 +48,15 @@
 // points, restoring the original placement.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "linalg/matrix.hpp"
@@ -58,6 +74,16 @@ struct RouterConfig {
   std::size_t vnodes = 64;
   /// Pooled idle connections kept per shard (excess closes on release).
   std::size_t pool_capacity = 8;
+  /// Pick between the first two replicas by power-of-two-choices on cached
+  /// health (queue depth + in-flight, EWMA). Off = strict placement order.
+  bool load_aware = true;
+  /// Health samples older than this fall back to placement order; bounds
+  /// how long the router can act on a stale picture of a shard's queue.
+  std::uint64_t health_staleness_us = 500'000;
+  /// Background health-poll period. 0 disables the poller entirely —
+  /// samples then arrive only via note_health() (how the tests drive p2c
+  /// deterministically).
+  std::uint64_t health_poll_ms = 50;
 };
 
 /// Per-shard router-side counters (see Router::counters).
@@ -67,6 +93,14 @@ struct ShardCounters {
   std::uint64_t rejected = 0;     // typed non-ok responses returned to callers
   std::uint64_t retried = 0;      // attempts skipped to the next replica
   std::uint64_t io_failures = 0;  // WireIoError on this shard's connections
+  // Replica-choice counters (load-aware routing). p2c_primary/alternate
+  // count on the shard that RECEIVED the first attempt; p2c_stale counts on
+  // the nominal primary when stale samples forced placement order.
+  std::uint64_t p2c_primary = 0;    // p2c ran, placement primary won
+  std::uint64_t p2c_alternate = 0;  // p2c diverted the request here
+  std::uint64_t p2c_stale = 0;      // stale/absent sample: placement fallback
+  std::uint64_t health_probes = 0;    // poller round trips answered
+  std::uint64_t health_failures = 0;  // poller round trips that failed
 };
 
 class Router {
@@ -108,6 +142,18 @@ class Router {
   /// and CheckError for unknown names.
   [[nodiscard]] wire::HealthInfo health(std::string_view name);
 
+  /// Record a health sample for `name` as-of now. The background poller
+  /// feeds samples through this; it is public so tests (and external health
+  /// feeds) can inject load observations deterministically. Unknown names
+  /// are a no-op.
+  void note_health(std::string_view name, const wire::HealthInfo& info);
+
+  /// Text stats page in the same `name{labels} value` format as
+  /// InferenceServer::export_stats / ArtifactStore::export_stats:
+  /// per-shard request/retry counters, replica-choice counters, and the
+  /// last cached health gauges.
+  void export_stats(std::ostream& os) const;
+
   [[nodiscard]] std::vector<std::string> shard_names() const;
   [[nodiscard]] ShardCounters counters(std::string_view name) const;
 
@@ -130,11 +176,27 @@ class Router {
   [[nodiscard]] bool try_shard(Shard& shard, std::span<const std::byte> frame,
                                std::uint64_t seq, wire::WireResponse& response);
 
+  /// Power-of-two-choices over the first two entries of `group` (the retry
+  /// tail is untouched): swap them when the alternate's
+  /// (queue_depth + in-flight) x EWMA score beats the primary's, fall back
+  /// to placement order when either sample is stale.
+  void order_replicas(std::vector<std::shared_ptr<Shard>>& group) const;
+
+  /// One poller pass: health-probe every live shard on a fresh connection,
+  /// cache the sample, swallow (but count) failures.
+  void poll_health_once();
+
   RouterConfig config_;
   mutable std::mutex mutex_;  // guards shards_ + ring_
   std::vector<std::shared_ptr<Shard>> shards_;
   std::vector<RingPoint> ring_;  // sorted by hash
   std::atomic<std::uint64_t> next_seq_{1};
+
+  // Health poller (started in the ctor when health_poll_ms > 0).
+  std::thread poll_thread_;
+  std::mutex poll_mutex_;
+  std::condition_variable poll_cv_;
+  bool poll_stop_ = false;
 };
 
 /// 64-bit FNV-1a — the byte hash under the ring (an avalanche finalizer is

@@ -202,6 +202,11 @@ bool InferenceServer::accepting() const {
   return accepting_;
 }
 
+std::size_t InferenceServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_count_;
+}
+
 // ---- InferenceServer: admission --------------------------------------------
 
 /// Caller holds mutex_. Predicted queue wait for a request admitted NOW,

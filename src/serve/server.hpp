@@ -324,6 +324,20 @@ class InferenceServer {
     return config_.queue_capacity;
   }
 
+  /// Requests currently pending in the bounded queue (admitted, not yet
+  /// claimed by a worker) — the instantaneous load signal the shard's
+  /// health response carries for the router's load-aware replica choice.
+  [[nodiscard]] std::size_t queue_depth() const;
+
+  /// EWMA of recent per-request engine service times, µs (the same estimate
+  /// the submit-side predictive shed trains on); 0 until the first
+  /// completion.
+  [[nodiscard]] double ewma_service_us() const noexcept {
+    return static_cast<double>(
+               ewma_service_ns_.load(std::memory_order_relaxed)) *
+           1e-3;
+  }
+
  private:
   friend class InferFuture;
   struct Slot;

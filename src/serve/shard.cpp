@@ -121,6 +121,13 @@ void ShardServer::serve_connection(Connection& conn) {
           info.accepting = server_.accepting();
           info.draining = draining();
           info.models = static_cast<std::uint32_t>(registry_->size());
+          // The v2 load fields: instantaneous queue depth + service-time
+          // EWMA feed the router's load-aware replica choice.
+          info.queue_depth =
+              static_cast<std::uint32_t>(server_.queue_depth());
+          info.queue_capacity =
+              static_cast<std::uint32_t>(server_.queue_capacity());
+          info.ewma_service_us = server_.ewma_service_us();
           wire::encode_health_response(info, header.seq, out);
           wire::write_frame(conn.fd, out);
           break;

@@ -86,8 +86,13 @@ int probe(const std::string& spec) {
   const serve::wire::HealthInfo info =
       serve::wire::decode_health_response(round_trip(endpoint, frame));
   const bool ready = info.accepting && !info.draining && info.models > 0;
+  // The load fields come from the populated v2 health body, so the CI drain
+  // check can assert on real values (queue_depth <= queue_capacity, ...).
   std::cout << "shard " << spec << ": accepting=" << info.accepting
             << " draining=" << info.draining << " models=" << info.models
+            << " queue_depth=" << info.queue_depth
+            << " queue_capacity=" << info.queue_capacity
+            << " ewma_service_us=" << info.ewma_service_us
             << (ready ? " READY" : " NOT-READY") << "\n";
   return ready ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <charconv>
 #include <cstring>
@@ -240,8 +241,13 @@ void encode_health_response(const HealthInfo& info, std::uint64_t seq,
                [&](std::vector<std::byte>& out) {
                  append_pod(out, static_cast<std::uint8_t>(info.accepting));
                  append_pod(out, static_cast<std::uint8_t>(info.draining));
-                 append_pod(out, std::uint16_t{0});  // reserved
+                 // The u16 v1 reserved: queue depth, saturated to the field.
+                 append_pod(out, static_cast<std::uint16_t>(std::min<
+                                     std::uint32_t>(info.queue_depth, 0xffff)));
                  append_pod(out, info.models);
+                 // v2 appended load fields.
+                 append_pod(out, info.queue_capacity);
+                 append_pod(out, info.ewma_service_us);
                });
 }
 
@@ -264,7 +270,8 @@ FrameHeader decode_header(std::span<const std::byte> frame) {
   std::memcpy(&header, frame.data(), sizeof(header));
   DFR_CHECK_MSG(std::memcmp(header.magic, kMagic, sizeof(kMagic)) == 0,
                 "wire: bad frame magic");
-  DFR_CHECK_MSG(header.version == kWireVersion,
+  DFR_CHECK_MSG(header.version >= kWireVersionMin &&
+                    header.version <= kWireVersion,
                 "wire: unsupported protocol version");
   DFR_CHECK_MSG(header.type >=
                         static_cast<std::uint16_t>(MessageType::kInferRequest) &&
@@ -342,8 +349,14 @@ HealthInfo decode_health_response(std::span<const std::byte> frame) {
   HealthInfo info;
   info.accepting = cursor.read<std::uint8_t>() != 0;
   info.draining = cursor.read<std::uint8_t>() != 0;
-  (void)cursor.read<std::uint16_t>();  // reserved
+  info.queue_depth = cursor.read<std::uint16_t>();  // v1 wrote 0 (reserved)
   info.models = cursor.read<std::uint32_t>();
+  // The v1 body ends here; the v2 extension appends the load fields. The
+  // body length discriminates — a v1 peer's 8-byte body keeps them zero.
+  if (cursor.remaining() > 0) {
+    info.queue_capacity = cursor.read<std::uint32_t>();
+    info.ewma_service_us = cursor.read<double>();
+  }
   cursor.finish("wire: trailing bytes after health payload");
   return info;
 }
@@ -528,7 +541,8 @@ bool read_frame(int fd, std::vector<std::byte>& frame) {
   std::memcpy(&header, header_bytes, sizeof(header));
   DFR_CHECK_MSG(std::memcmp(header.magic, kMagic, sizeof(kMagic)) == 0,
                 "wire: bad frame magic");
-  DFR_CHECK_MSG(header.version == kWireVersion,
+  DFR_CHECK_MSG(header.version >= kWireVersionMin &&
+                    header.version <= kWireVersion,
                 "wire: unsupported protocol version");
   DFR_CHECK_MSG(header.body_bytes <= kMaxFrameBytes,
                 "wire: declared body exceeds the frame cap");

@@ -25,9 +25,17 @@
 //   kInferResponse  i32 status (WireStatus) | i32 label | f64 latency_us
 //                   u32 logits_len | logits_len f64
 //   kHealthRequest  (empty)
-//   kHealthResponse u8 accepting | u8 draining | u16 reserved | u32 models
+//   kHealthResponse u8 accepting | u8 draining | u16 queue_depth | u32 models
+//                   u32 queue_capacity | f64 ewma_service_us   (v2 extension)
 //   kDrainRequest   (empty)
 //   kDrainResponse  (empty; sent AFTER the shard finished draining)
+//
+// Versioning: v2 is a body-compatible minor extension of v1 — it reuses the
+// u16 the v1 health body reserved (now the shard queue depth) and APPENDS
+// the queue-capacity/EWMA fields; no other message changed. Decoders accept
+// any version in [kWireVersionMin, kWireVersion] and discriminate the health
+// body by its length (a v1 8-byte body decodes with zeroed load fields), so
+// a v2 router drives a v1 shard and vice versa.
 //
 // Robustness
 // ----------
@@ -56,7 +64,10 @@
 namespace dfr::serve::wire {
 
 inline constexpr char kMagic[4] = {'D', 'F', 'R', 'W'};
-inline constexpr std::uint16_t kWireVersion = 1;
+/// Current protocol version (written into every encoded frame).
+inline constexpr std::uint16_t kWireVersion = 2;
+/// Oldest version still decoded (v1 health bodies lack the load fields).
+inline constexpr std::uint16_t kWireVersionMin = 1;
 /// Hard cap on one frame's body; a declared length beyond it is rejected
 /// before any allocation (64 MiB comfortably fits every real series).
 inline constexpr std::uint64_t kMaxFrameBytes = 64ull << 20;
@@ -127,11 +138,21 @@ struct WireResponse {
   Vector logits;
 };
 
-/// Shard health snapshot (kHealthResponse body).
+/// Shard health snapshot (kHealthResponse body). The load fields (queue
+/// depth, capacity, EWMA service time) are the v2 extension the router's
+/// load-aware replica choice feeds on; a v1 shard reports them as zero.
 struct HealthInfo {
   bool accepting = false;  // admitting new inference requests
   bool draining = false;   // drain begun (or completed)
   std::uint32_t models = 0;  // registered model count (readiness signal)
+  /// Requests pending/executing/unharvested in the shard's bounded queue at
+  /// probe time (the instantaneous load signal; saturates at 65535 on the
+  /// wire).
+  std::uint32_t queue_depth = 0;
+  std::uint32_t queue_capacity = 0;  // the shard's bounded-queue size
+  /// EWMA of the shard's recent per-request service times, µs (0 until the
+  /// first completion trains it).
+  double ewma_service_us = 0.0;
 };
 
 // ---- encoding (frame = header + body, appended into a reusable buffer) ----

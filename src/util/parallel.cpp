@@ -166,6 +166,65 @@ void ThreadPool::for_each_index(std::size_t n,
   if (error) std::rethrow_exception(error);
 }
 
+// ---- BackgroundQueue -------------------------------------------------------
+
+struct BackgroundQueue::Impl {
+  std::mutex mutex;
+  std::condition_variable work_cv;  // worker waits for tasks / stop
+  std::condition_variable idle_cv;  // drain() waits for empty + not running
+  std::vector<std::function<void()>> tasks;  // FIFO: pop from the front
+  bool running = false;  // a task is currently executing
+  bool stop = false;
+  std::thread worker;
+
+  void run() {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      work_cv.wait(lock, [this] { return stop || !tasks.empty(); });
+      if (tasks.empty()) return;  // stop requested and everything ran
+      std::function<void()> task = std::move(tasks.front());
+      tasks.erase(tasks.begin());
+      running = true;
+      lock.unlock();
+      try {
+        task();
+      } catch (...) {
+        // Advisory work: swallowed by contract (see header).
+      }
+      lock.lock();
+      running = false;
+      if (tasks.empty()) idle_cv.notify_all();
+    }
+  }
+};
+
+BackgroundQueue::BackgroundQueue() : impl_(std::make_unique<Impl>()) {
+  impl_->worker = std::thread([impl = impl_.get()] { impl->run(); });
+}
+
+BackgroundQueue::~BackgroundQueue() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  if (impl_->worker.joinable()) impl_->worker.join();
+}
+
+void BackgroundQueue::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->tasks.push_back(std::move(task));
+  }
+  impl_->work_cv.notify_one();
+}
+
+void BackgroundQueue::drain() {
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->idle_cv.wait(
+      lock, [this] { return impl_->tasks.empty() && !impl_->running; });
+}
+
 unsigned hardware_threads() noexcept {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : n;

@@ -63,6 +63,35 @@ class ThreadPool {
   std::unique_ptr<Impl> impl_;
 };
 
+/// Single-thread FIFO runner for fire-and-forget background work (artifact
+/// prefetch, deferred maintenance) — deliberately separate from ThreadPool,
+/// whose one-blocking-job design cannot host detached tasks. Tasks run in
+/// post() order on one dedicated thread; exceptions a task throws are
+/// swallowed (background work is advisory — a broken input surfaces as a
+/// typed error on the foreground path that eventually needs it, not as a
+/// crash from a thread nobody is joining). The destructor finishes every
+/// task already posted, then joins.
+class BackgroundQueue {
+ public:
+  BackgroundQueue();
+  ~BackgroundQueue();
+
+  BackgroundQueue(const BackgroundQueue&) = delete;
+  BackgroundQueue& operator=(const BackgroundQueue&) = delete;
+
+  /// Enqueue `task` (FIFO). Safe from any thread, including from inside a
+  /// running task.
+  void post(std::function<void()> task);
+
+  /// Block until the queue is empty AND no task is mid-run. Tests use this
+  /// to make background effects deterministic before asserting on them.
+  void drain();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// The process-wide pool (hardware_threads() - 1 workers, lazily created).
 ThreadPool& global_pool();
 

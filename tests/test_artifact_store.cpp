@@ -473,5 +473,109 @@ TEST_F(ArtifactStoreTest, EvictionUnderTrafficRefaultsTransparently) {
   std::remove(path_b.c_str());
 }
 
+// ---- madvise hints ---------------------------------------------------------
+
+TEST_F(ArtifactStoreTest, MadviseHintsKeepMappingReadable) {
+  // The hints are advisory, but the contract the store relies on is that
+  // DONTNEED on a read-only MAP_PRIVATE file mapping never loses data: a
+  // later touch re-faults the page from the file.
+  const auto mapping = serve::MappedFile::map(path_v2_);
+  ASSERT_NE(mapping, nullptr);
+  std::vector<std::byte> before(mapping->data(),
+                                mapping->data() + mapping->size());
+  mapping->advise_willneed();
+  EXPECT_EQ(std::memcmp(before.data(), mapping->data(), mapping->size()), 0);
+  mapping->advise_dontneed();
+  EXPECT_EQ(std::memcmp(before.data(), mapping->data(), mapping->size()), 0);
+}
+
+// ---- predictive prefetch ---------------------------------------------------
+
+/// The acceptance measurement for predictive prefetch, deterministically:
+/// a cyclic access pattern over a fleet larger than the LRU cap takes a
+/// request-path cold fault on EVERY get without prefetch — and exactly zero
+/// after warm-up with it, because the successor model faults the next
+/// artifact in ahead of the request. wait_prefetch_idle() between gets
+/// removes the scheduling race the loadgen tolerates statistically.
+TEST_F(ArtifactStoreTest, PrefetchTakesColdFaultsOffTheRequestPathAfterWarmup) {
+  const std::vector<std::string> ids = {"m0", "m1", "m2"};
+  std::vector<std::string> paths;
+  for (const std::string& id : ids) {
+    paths.push_back(temp_path("dfr_store_prefetch_" + id));
+    save_as(*model_, paths.back(), 2);
+  }
+  const std::size_t file_bytes =
+      static_cast<std::size_t>(std::filesystem::file_size(paths[0]));
+
+  ModelRegistry registry;
+  ArtifactStoreConfig config;
+  config.max_resident_bytes = 2 * file_bytes;  // fleet of 3, room for 2
+  config.prefetch = true;
+  ArtifactStore store(registry, config);
+  for (std::size_t i = 0; i < ids.size(); ++i) store.add(ids[i], paths[i]);
+
+  // Warm-up: two full cycles. The first trains the successor map (and
+  // faults everything cold); the second still faults m0 (its prefetch
+  // could not be predicted before m2 -> m0 was ever observed).
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    for (const std::string& id : ids) {
+      ASSERT_NE(store.get(id), nullptr);
+      store.wait_prefetch_idle();
+    }
+  }
+  const std::uint64_t faults_after_warmup = store.counters().faults;
+  EXPECT_GT(store.counters().prefetches, 0u);
+
+  // Steady state: the successor chain is complete, so the background
+  // worker stays one step ahead of the cycle and the request path never
+  // faults again — the cold-fault counter must not move at all.
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (const std::string& id : ids) {
+      ASSERT_NE(store.get(id), nullptr);
+      store.wait_prefetch_idle();
+    }
+  }
+  EXPECT_EQ(store.counters().faults, faults_after_warmup);
+  // The LRU cap held throughout: prefetch loads evict through the same
+  // accounting as request-path faults.
+  EXPECT_LE(store.resident_bytes(), 2 * file_bytes);
+
+  // The learned successor model is the cycle itself.
+  EXPECT_EQ(store.predicted_successor("m0"), "m1");
+  EXPECT_EQ(store.predicted_successor("m1"), "m2");
+  EXPECT_EQ(store.predicted_successor("m2"), "m0");
+
+  for (const std::string& path : paths) std::remove(path.c_str());
+}
+
+TEST_F(ArtifactStoreTest, PrefetchCountsSeparatelyFromFaultsAndSwallowsErrors) {
+  const std::string good = temp_path("dfr_store_prefetch_good");
+  save_as(*model_, good, 2);
+
+  ModelRegistry registry;
+  ArtifactStore store(registry, ArtifactStoreConfig{});  // prefetch off: direct
+  store.add("good", good);
+  store.add("broken", temp_path("dfr_store_prefetch_missing"));
+
+  store.prefetch("good");
+  EXPECT_EQ(store.counters().prefetches, 1u);
+  EXPECT_EQ(store.counters().faults, 0u);  // background load is not a fault
+  // A get() after prefetch is a hit, not a fault.
+  EXPECT_NE(store.get("good"), nullptr);
+  EXPECT_EQ(store.counters().hits, 1u);
+  EXPECT_EQ(store.counters().faults, 0u);
+  // Already-resident and untracked ids are no-ops.
+  store.prefetch("good");
+  store.prefetch("nonexistent");
+  EXPECT_EQ(store.counters().prefetches, 1u);
+  // A failing prefetch is swallowed (advisory), and the real get() still
+  // reports the typed error.
+  store.prefetch("broken");
+  EXPECT_EQ(store.counters().prefetches, 1u);
+  EXPECT_THROW((void)store.get("broken"), CheckError);
+
+  std::remove(good.c_str());
+}
+
 }  // namespace
 }  // namespace dfr

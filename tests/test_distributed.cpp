@@ -14,9 +14,11 @@
 
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -308,6 +310,186 @@ TEST(Failover, DeadPrimaryRetriesOntoLiveReplica) {
 
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);
+}
+
+// ---- load-aware replica choice ---------------------------------------------
+
+/// Deterministic p2c harness: poller off (health_poll_ms = 0), samples
+/// injected via note_health, so the replica choice is a pure function of
+/// the injected load picture.
+class LoadAwareTier : public TwoShardTier {
+ protected:
+  static RouterConfig load_aware_config() {
+    RouterConfig config;
+    config.replicas = 2;
+    config.health_poll_ms = 0;           // no poller: tests inject samples
+    config.health_staleness_us = 60'000'000;  // fresh for the whole test
+    return config;
+  }
+
+  void rebuild_router(RouterConfig config) {
+    router_ = std::make_unique<Router>(config);
+    router_->add_shard("s0", shard0_->endpoint());
+    router_->add_shard("s1", shard1_->endpoint());
+  }
+
+  static wire::HealthInfo load_sample(std::uint32_t queue_depth,
+                                      double ewma_us) {
+    wire::HealthInfo info;
+    info.accepting = true;
+    info.models = 2;
+    info.queue_depth = queue_depth;
+    info.queue_capacity = 256;
+    info.ewma_service_us = ewma_us;
+    return info;
+  }
+};
+
+TEST_F(LoadAwareTier, PowerOfTwoChoicesDivertsAwayFromTheLoadedPrimary) {
+  rebuild_router(load_aware_config());
+  const std::vector<std::string> group = router_->placement("m0");
+  ASSERT_EQ(group.size(), 2u);
+  const std::string& primary = group[0];
+  const std::string& alternate = group[1];
+
+  // Primary reports a deep queue, alternate is idle: every first attempt
+  // must divert to the alternate, and the divert is counted there.
+  router_->note_health(primary, load_sample(50, 100.0));
+  router_->note_health(alternate, load_sample(0, 100.0));
+  const Matrix series = make_synth_series(16, 2, 41);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(router_->infer("m0", series).status, wire::WireStatus::kOk);
+  }
+  EXPECT_EQ(router_->counters(alternate).p2c_alternate, 8u);
+  EXPECT_EQ(router_->counters(alternate).requests, 8u);
+  EXPECT_EQ(router_->counters(primary).requests, 0u);
+
+  // Flip the load picture: placement order wins again (counted on the
+  // primary), traffic returns.
+  router_->note_health(primary, load_sample(0, 100.0));
+  router_->note_health(alternate, load_sample(50, 100.0));
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(router_->infer("m0", series).status, wire::WireStatus::kOk);
+  }
+  EXPECT_EQ(router_->counters(primary).p2c_primary, 8u);
+  EXPECT_EQ(router_->counters(primary).requests, 8u);
+}
+
+TEST_F(LoadAwareTier, StaleOrAbsentSamplesFallBackToPlacementOrder) {
+  // Samples never injected: every request must take placement order and
+  // count p2c_stale on the nominal primary — a dead health feed degrades
+  // to exactly the pre-load-aware router.
+  rebuild_router(load_aware_config());
+  const std::vector<std::string> group = router_->placement("m0");
+  ASSERT_EQ(group.size(), 2u);
+  const Matrix series = make_synth_series(16, 2, 42);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(router_->infer("m0", series).status, wire::WireStatus::kOk);
+  }
+  EXPECT_EQ(router_->counters(group[0]).p2c_stale, 6u);
+  EXPECT_EQ(router_->counters(group[0]).requests, 6u);
+  EXPECT_EQ(router_->counters(group[1]).requests, 0u);
+
+  // An aged-out sample is as good as none: inject, then shrink the
+  // staleness bound to zero via a fresh router and confirm fallback.
+  RouterConfig config = load_aware_config();
+  config.health_staleness_us = 0;
+  rebuild_router(config);
+  router_->note_health(group[0], load_sample(50, 100.0));
+  router_->note_health(group[1], load_sample(0, 100.0));
+  ASSERT_EQ(router_->infer("m0", series).status, wire::WireStatus::kOk);
+  EXPECT_EQ(router_->counters(group[0]).p2c_stale, 1u);
+  EXPECT_EQ(router_->counters(group[0]).requests, 1u);
+}
+
+TEST_F(LoadAwareTier, PolicyOffNeverReordersAndRetryWalkStillCoversGroup) {
+  RouterConfig config = load_aware_config();
+  config.load_aware = false;
+  rebuild_router(config);
+  const std::vector<std::string> group = router_->placement("m0");
+  ASSERT_EQ(group.size(), 2u);
+  // Even a screaming load signal must not move traffic with the policy off.
+  router_->note_health(group[0], load_sample(1000, 10000.0));
+  router_->note_health(group[1], load_sample(0, 1.0));
+  const Matrix series = make_synth_series(16, 2, 43);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(router_->infer("m0", series).status, wire::WireStatus::kOk);
+  }
+  const ShardCounters c0 = router_->counters(group[0]);
+  EXPECT_EQ(c0.requests, 5u);
+  EXPECT_EQ(c0.p2c_primary + c0.p2c_alternate + c0.p2c_stale, 0u);
+
+  // Load-aware ON with the primary diverted: kill the alternate and the
+  // retry walk must still reach the (healthy) primary — the p2c swap only
+  // reorders the first attempt, never shrinks the group.
+  rebuild_router(load_aware_config());
+  router_->note_health(group[0], load_sample(50, 100.0));
+  router_->note_health(group[1], load_sample(0, 100.0));
+  if (group[1] == "s0") {
+    shard0_->stop();
+  } else {
+    shard1_->stop();
+  }
+  const wire::WireResponse response = router_->infer("m0", series);
+  EXPECT_EQ(response.status, wire::WireStatus::kOk);
+  EXPECT_EQ(router_->counters(group[1]).retried, 1u);
+  EXPECT_EQ(router_->counters(group[0]).ok, 1u);
+}
+
+TEST_F(TwoShardTier, RouterExportStatsScrapeableFormat) {
+  const Matrix series = make_synth_series(16, 2, 44);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(router_->infer("m" + std::to_string(i % 2), series).status,
+              wire::WireStatus::kOk);
+  }
+  std::ostringstream out;
+  router_->export_stats(out);
+  const std::string page = out.str();
+  EXPECT_NE(page.find("dfr_router_shards_live 2"), std::string::npos) << page;
+  for (const char* shard : {"s0", "s1"}) {
+    for (const char* metric :
+         {"dfr_router_requests_total", "dfr_router_ok_total",
+          "dfr_router_rejected_total", "dfr_router_retried_total",
+          "dfr_router_io_failures_total", "dfr_router_p2c_primary_total",
+          "dfr_router_p2c_alternate_total", "dfr_router_p2c_stale_total",
+          "dfr_router_health_probes_total",
+          "dfr_router_health_failures_total"}) {
+      const std::string line =
+          std::string(metric) + "{shard=\"" + shard + "\"} ";
+      EXPECT_NE(page.find(line), std::string::npos)
+          << "missing " << line << "\n" << page;
+    }
+  }
+  // Every request went somewhere: the two requests_total lines sum to 4.
+  EXPECT_EQ(router_->counters("s0").requests + router_->counters("s1").requests,
+            4u);
+}
+
+TEST_F(TwoShardTier, BackgroundPollerPopulatesHealthGauges) {
+  // A router with the poller ON (tight period) fills the cached gauges from
+  // real shard health bodies without any traffic.
+  Router poller_router(RouterConfig{
+      .replicas = 2, .load_aware = true, .health_poll_ms = 10});
+  poller_router.add_shard("s0", shard0_->endpoint());
+  poller_router.add_shard("s1", shard1_->endpoint());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (;;) {
+    const ShardCounters c0 = poller_router.counters("s0");
+    const ShardCounters c1 = poller_router.counters("s1");
+    if (c0.health_probes > 0 && c1.health_probes > 0) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "poller never probed both shards";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::ostringstream out;
+  poller_router.export_stats(out);
+  EXPECT_NE(out.str().find("dfr_router_shard_queue_depth{shard=\"s0\"}"),
+            std::string::npos)
+      << out.str();
+  EXPECT_NE(out.str().find("dfr_router_shard_ewma_service_us{shard=\"s1\"}"),
+            std::string::npos)
+      << out.str();
 }
 
 TEST(Failover, AllReplicasDeadIsTypedUnavailable) {

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <functional>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -131,6 +133,51 @@ TEST(Parallel, SeedStreamIsDeterministicAndSpread) {
   for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(parallel_seed(42, i));
   EXPECT_EQ(seen.size(), 1000u);  // no collisions across indices
   EXPECT_NE(parallel_seed(42, 7), parallel_seed(43, 7));  // base matters
+}
+
+TEST(BackgroundQueue, RunsTasksFifoAndDrainIsABarrier) {
+  BackgroundQueue queue;
+  std::vector<int> order;  // written only by the queue thread (FIFO, single)
+  for (int i = 0; i < 16; ++i) {
+    queue.post([&order, i] { order.push_back(i); });
+  }
+  queue.drain();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i) << "FIFO order";
+}
+
+TEST(BackgroundQueue, ThrowingTaskIsSwallowedAndTheQueueKeepsRunning) {
+  BackgroundQueue queue;
+  std::atomic<int> ran{0};
+  queue.post([] { throw std::runtime_error("advisory work gone wrong"); });
+  queue.post([&ran] { ++ran; });
+  queue.drain();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(BackgroundQueue, TasksMayPostFollowOnWorkAndDrainWaitsForIt) {
+  BackgroundQueue queue;
+  std::atomic<int> depth{0};
+  std::function<void()> chain = [&] {
+    if (depth.fetch_add(1) < 4) queue.post(chain);
+  };
+  queue.post(chain);
+  queue.drain();
+  EXPECT_EQ(depth.load(), 5);
+}
+
+TEST(BackgroundQueue, DestructorFinishesPostedWork) {
+  std::atomic<int> ran{0};
+  {
+    BackgroundQueue queue;
+    for (int i = 0; i < 8; ++i) {
+      queue.post([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++ran;
+      });
+    }
+  }  // dtor must run all eight, then join
+  EXPECT_EQ(ran.load(), 8);
 }
 
 TEST(Parallel, HardwareThreadsIsAtLeastOne) {

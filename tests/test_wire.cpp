@@ -171,6 +171,56 @@ TEST(WireRoundTrip, HealthAndDrainFrames) {
   EXPECT_EQ(decode_header(frame).seq, 10u);
 }
 
+TEST(WireRoundTrip, HealthV2LoadFieldsRoundTrip) {
+  HealthInfo sent;
+  sent.accepting = true;
+  sent.draining = false;
+  sent.models = 3;
+  sent.queue_depth = 17;
+  sent.queue_capacity = 256;
+  sent.ewma_service_us = 123.456;
+  std::vector<std::byte> frame;
+  encode_health_response(sent, 11, frame);
+  const HealthInfo got = decode_health_response(frame);
+  EXPECT_EQ(got.queue_depth, 17u);
+  EXPECT_EQ(got.queue_capacity, 256u);
+  EXPECT_DOUBLE_EQ(got.ewma_service_us, 123.456);  // bit-identical double
+
+  // The wire slot for queue depth is the old u16 reserved field; deeper
+  // queues saturate instead of wrapping.
+  sent.queue_depth = 1u << 20;
+  frame.clear();
+  encode_health_response(sent, 12, frame);
+  EXPECT_EQ(decode_health_response(frame).queue_depth, 0xffffu);
+}
+
+TEST(WireRoundTrip, HealthV1BodyStillDecodes) {
+  // A v1 peer sends the 8-byte health body under header version 1. The
+  // decoder must accept both (kWireVersionMin) and default the missing load
+  // fields to zero — the router then treats the sample as load-less rather
+  // than failing the probe.
+  HealthInfo sent;
+  sent.accepting = true;
+  sent.draining = true;
+  sent.models = 9;
+  sent.queue_depth = 5;
+  sent.queue_capacity = 64;
+  sent.ewma_service_us = 77.0;
+  std::vector<std::byte> frame;
+  encode_health_response(sent, 13, frame);
+  // Truncate the body back to the v1 layout and re-stamp header fields.
+  frame.resize(sizeof(FrameHeader) + 8);
+  patch<std::uint16_t>(frame, 4, 1);    // header version: v1
+  patch<std::uint64_t>(frame, 16, 8);   // body_bytes: v1 health body
+  const HealthInfo got = decode_health_response(frame);
+  EXPECT_TRUE(got.accepting);
+  EXPECT_TRUE(got.draining);
+  EXPECT_EQ(got.models, 9u);
+  EXPECT_EQ(got.queue_depth, 5u);  // the u16 was the reserved slot all along
+  EXPECT_EQ(got.queue_capacity, 0u);
+  EXPECT_DOUBLE_EQ(got.ewma_service_us, 0.0);
+}
+
 TEST(WireRoundTrip, StatusMirrorsRequestStatus) {
   EXPECT_EQ(to_wire_status(RequestStatus::kOk), WireStatus::kOk);
   EXPECT_EQ(to_wire_status(RequestStatus::kQueueFull), WireStatus::kQueueFull);
@@ -441,6 +491,33 @@ TEST(WireEndpoint, ParseAndToStringRoundTrip) {
   EXPECT_THROW((void)parse_endpoint("tcp:host:notaport"), dfr::CheckError);
   EXPECT_THROW((void)parse_endpoint("unix:"), dfr::CheckError);
   EXPECT_THROW((void)parse_endpoint(""), dfr::CheckError);
+}
+
+TEST(WireEndpoint, ParseRejectsMalformedSpecsTyped) {
+  // Every rejection is a typed CheckError (config error), never an
+  // IoError (transport) and never an accept-with-garbage.
+  const char* bad[] = {
+      "",                      // empty spec
+      "unix:",                 // empty unix path
+      "tcp:",                  // no host, no port
+      "tcp:host",              // missing port
+      "tcp::8421",             // empty host
+      "tcp:host:",             // empty port
+      "tcp:host:notaport",     // non-numeric port
+      "tcp:host:8421x",        // trailing garbage after the port
+      "tcp:host:84 21",        // embedded whitespace
+      "tcp:host:-1",           // negative port
+      "tcp:host:65536",        // port above u16 range
+      "tcp:host:999999999999", // port overflows parse
+      "http://nope",           // unknown scheme
+      "udp:host:53",           // unknown scheme, well-formed shape
+      "UNIX:/tmp/x.sock",      // schemes are case-sensitive
+  };
+  for (const char* spec : bad) {
+    EXPECT_THROW((void)parse_endpoint(spec), dfr::CheckError) << spec;
+  }
+  // Boundary sanity: the largest valid port still parses.
+  EXPECT_EQ(parse_endpoint("tcp:host:65535").port, 65535);
 }
 
 TEST(WireEndpoint, ConnectToNothingIsIoError) {
