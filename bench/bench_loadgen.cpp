@@ -40,11 +40,20 @@
 // kUnknownModel, counted in errors) — size --resident-models >= the hot set
 // when that matters.
 //
+// Chaos mode (--chaos on, socket only): point the fleet at shards running
+// `dfr_shard --fault ...` — rows gain a -chaos suffix and every point prints
+// a chaos-taxonomy line proving each sent request resolved to a typed
+// outcome (ok / shed / rejected / error, with timeout and breaker-fast-fail
+// fractions split out). The router's robustness knobs are exposed as
+// --attempt-deadline-us / --retry-budget / --breaker-threshold; the CI
+// chaos-smoke job asserts a wedged or kill -9'd shard loses nothing.
+//
 // Usage:
 //   bench_loadgen --qps 200,500,1000,2000 --duration-s 2 --csv loadgen.csv
 //   bench_loadgen --mode socket --shards unix:/tmp/s0.sock,unix:/tmp/s1.sock
 //                 --models 2 --replicas 2 --qps 100,200,400,800
 //   bench_loadgen --mode socket --shards ... --skew zipf:1.2 --policy placement
+//   bench_loadgen --mode socket --shards ... --chaos on --breaker-threshold 3
 //   bench_loadgen --fleet on --models 12 --resident-models 4 --prefetch on
 
 #include <algorithm>
@@ -86,6 +95,10 @@ struct PointResult {
   std::uint64_t shed = 0;      // typed kDeadlineExceeded (submit/queue/dequeue)
   std::uint64_t rejected = 0;  // kQueueFull / kShutdown / kUnavailable
   std::uint64_t errors = 0;    // anything else that is not kOk
+  // Router failure taxonomy (socket mode; both also count in `rejected` so
+  // the sent = completed + shed + rejected + errors ledger still balances):
+  std::uint64_t timeouts = 0;   // kTimeout: retry walk ran out of deadline
+  std::uint64_t fastfails = 0;  // kBreakerOpen: no replica was dialable
   double duration_s = 0.0;     // wall clock, first arrival -> last resolution
   Vector latencies_us;         // completed requests, scheduled-arrival based
 
@@ -282,9 +295,17 @@ PointResult run_point_socket(serve::Router& router,
                          series_pool[job.index % series_pool.size()], options);
         const double latency_us =
             std::max(0.0, us_between(job.scheduled, Clock::now()));
-        // WireStatus 0..6 mirror RequestStatus; kUnavailable counts rejected.
+        // WireStatus 0..6 mirror RequestStatus; the router-local statuses
+        // (kUnavailable / kTimeout / kBreakerOpen) count rejected, with
+        // timeout/fast-fail tallied separately for the chaos taxonomy.
         if (response.status == serve::wire::WireStatus::kUnavailable) {
           ++per_sender[s].rejected;
+        } else if (response.status == serve::wire::WireStatus::kTimeout) {
+          ++per_sender[s].rejected;
+          ++per_sender[s].timeouts;
+        } else if (response.status == serve::wire::WireStatus::kBreakerOpen) {
+          ++per_sender[s].rejected;
+          ++per_sender[s].fastfails;
         } else {
           per_sender[s].count(
               static_cast<serve::RequestStatus>(response.status), latency_us);
@@ -319,6 +340,8 @@ PointResult run_point_socket(serve::Router& router,
     result.shed += part.shed;
     result.rejected += part.rejected;
     result.errors += part.errors;
+    result.timeouts += part.timeouts;
+    result.fastfails += part.fastfails;
     result.latencies_us.insert(result.latencies_us.end(),
                                part.latencies_us.begin(),
                                part.latencies_us.end());
@@ -356,16 +379,24 @@ void report_point(const std::string& row, std::size_t shards,
   if (cold_fault_frac > 0.0) {
     std::cout << " cold_faults=" << fmt(100.0 * cold_fault_frac) << "%";
   }
+  const double timeout_frac = static_cast<double>(point.timeouts) / denom;
+  const double fastfail_frac = static_cast<double>(point.fastfails) / denom;
+  if (point.timeouts > 0 || point.fastfails > 0) {
+    std::cout << " timeouts=" << fmt(100.0 * timeout_frac)
+              << "% breaker_fastfails=" << fmt(100.0 * fastfail_frac) << "%";
+  }
   std::cout << "\n";
-  // cold_fault_frac is APPENDED so the CI awk checks' column indices and
-  // the perf rollup's existing parses stay valid.
+  // cold_fault_frac / timeout_frac / breaker_fastfail_frac are APPENDED so
+  // the CI awk checks' column indices and the perf rollup's existing parses
+  // stay valid.
   csv.add_row({row, "synth", std::to_string(shards), std::to_string(workers),
                fmt(point.offered_qps), fmt(point.duration_s),
                std::to_string(point.sent), std::to_string(point.completed),
                std::to_string(point.shed), std::to_string(point.rejected),
                std::to_string(point.errors), fmt(achieved), fmt(latency.p50),
                fmt(latency.p90), fmt(latency.p99), fmt(shed_frac),
-               fmt(reject_frac), fmt(cold_fault_frac)});
+               fmt(reject_frac), fmt(cold_fault_frac), fmt(timeout_frac),
+               fmt(fastfail_frac)});
 }
 
 std::vector<double> parse_qps_list(const std::string& text) {
@@ -433,6 +464,23 @@ int run(int argc, char** argv) {
                  "socket: router health-probe interval (shorter polls damp "
                  "p2c herding on stale samples)",
                  "50");
+  cli.add_option("chaos",
+                 "socket: off | on — fault-tolerance reporting mode: rows "
+                 "gain a -chaos suffix and the console prints the full "
+                 "error-taxonomy fractions per point (point the fleet at "
+                 "shards running dfr_shard --fault ...)",
+                 "off");
+  cli.add_option("attempt-deadline-us",
+                 "socket: router per-attempt wire deadline for requests "
+                 "without their own --deadline-us (0 = unlimited)",
+                 "2000000");
+  cli.add_option("retry-budget",
+                 "socket: router retries per request after the first attempt",
+                 "3");
+  cli.add_option("breaker-threshold",
+                 "socket: consecutive failures that open a shard's circuit "
+                 "breaker (0 = disabled)",
+                 "5");
   cli.add_option("fleet",
                  "inproc: off | on — serve .dfrm artifacts through an "
                  "LRU ArtifactStore (rows become loadgen-fleet and report "
@@ -483,7 +531,8 @@ int run(int argc, char** argv) {
                             "offered_qps", "duration_s", "sent", "completed",
                             "shed", "rejected", "errors", "achieved_qps",
                             "p50_us", "p90_us", "p99_us", "shed_frac",
-                            "reject_frac", "cold_fault_frac"});
+                            "reject_frac", "cold_fault_frac", "timeout_frac",
+                            "breaker_fastfail_frac"});
 
   const std::string skew = cli.get("skew");
   double zipf_s = 0.0;
@@ -583,10 +632,17 @@ int run(int argc, char** argv) {
     const std::vector<std::string> endpoints = split_list(cli.get("shards"));
     DFR_CHECK_MSG(!endpoints.empty(),
                   "--mode socket requires --shards endpoint list");
+    const bool chaos = cli.get("chaos") == "on";
     serve::RouterConfig router_config;
     router_config.replicas = cli.get_u64("replicas");
     router_config.load_aware = policy == "load-aware";
     router_config.health_poll_ms = cli.get_u64("health-poll-ms");
+    router_config.default_attempt_deadline_us =
+        cli.get_u64("attempt-deadline-us");
+    router_config.retry_budget = cli.get_u64("retry-budget");
+    router_config.breaker_threshold =
+        static_cast<std::uint32_t>(cli.get_u64("breaker-threshold"));
+    router_config.seed = seed;
     serve::Router router(router_config);
     for (std::size_t i = 0; i < endpoints.size(); ++i) {
       router.add_shard("s" + std::to_string(i),
@@ -594,19 +650,48 @@ int run(int argc, char** argv) {
     }
     const std::string row = "router-" + std::to_string(endpoints.size()) +
                             "shard" + suffix +
-                            (policy == "placement" ? "-placement" : "");
+                            (policy == "placement" ? "-placement" : "") +
+                            (chaos ? "-chaos" : "");
     for (std::size_t p = 0; p < qps_points.size(); ++p) {
       const PointResult point = run_point_socket(
           router, model_ids, series_pool, qps_points[p], duration_s,
           deadline_us, cli.get_u64("senders"), seed + 100 + p, zipf_s);
       report_point(row, endpoints.size(), /*workers=*/0, point, csv);
+      if (chaos && point.sent > 0) {
+        // The chaos ledger: every sent request accounted for with a typed
+        // outcome — the "no request is ever silently lost" claim, printed
+        // per point so a CI grep can assert on it.
+        const double denom = static_cast<double>(point.sent);
+        std::cout << "chaos-taxonomy: sent=" << point.sent
+                  << " ok_frac=" << fmt(static_cast<double>(point.completed) /
+                                        denom)
+                  << " shed_frac=" << fmt(static_cast<double>(point.shed) /
+                                          denom)
+                  << " rejected_frac=" << fmt(
+                         static_cast<double>(point.rejected) / denom)
+                  << " error_frac=" << fmt(static_cast<double>(point.errors) /
+                                           denom)
+                  << " timeout_frac=" << fmt(
+                         static_cast<double>(point.timeouts) / denom)
+                  << " breaker_fastfail_frac=" << fmt(
+                         static_cast<double>(point.fastfails) / denom)
+                  << " accounted=" << (point.completed + point.shed +
+                                               point.rejected + point.errors ==
+                                           point.sent
+                                       ? "yes"
+                                       : "NO")
+                  << "\n";
+      }
     }
     for (std::size_t i = 0; i < endpoints.size(); ++i) {
       const serve::ShardCounters counters =
           router.counters("s" + std::to_string(i));
       std::cout << "shard s" << i << ": requests=" << counters.requests
                 << " ok=" << counters.ok << " retried=" << counters.retried
-                << " io_failures=" << counters.io_failures << "\n";
+                << " io_failures=" << counters.io_failures
+                << " timeouts=" << counters.timeouts
+                << " breaker_trips=" << counters.breaker_trips
+                << " breaker_fastfails=" << counters.breaker_fastfails << "\n";
     }
     router.export_stats(std::cout);
   }

@@ -1,0 +1,124 @@
+#include "serve/fault.hpp"
+
+#include <charconv>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dfr::serve {
+namespace {
+
+[[nodiscard]] double parse_probability(std::string_view text,
+                                       const char* what) {
+  double p = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), p);
+  DFR_CHECK_MSG(ec == std::errc{} && ptr == text.data() + text.size() &&
+                    p >= 0.0 && p <= 1.0,
+                what);
+  return p;
+}
+
+[[nodiscard]] std::uint64_t parse_u64(std::string_view text,
+                                      const char* what) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), v);
+  DFR_CHECK_MSG(ec == std::errc{} && ptr == text.data() + text.size(), what);
+  return v;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultSpec::Kind kind) noexcept {
+  switch (kind) {
+    case FaultSpec::Kind::kNone: return "none";
+    case FaultSpec::Kind::kStall: return "stall";
+    case FaultSpec::Kind::kDelay: return "delay";
+    case FaultSpec::Kind::kGarbage: return "garbage";
+    case FaultSpec::Kind::kCloseMidFrame: return "close-mid-frame";
+    case FaultSpec::Kind::kDropAccept: return "drop-accept";
+  }
+  return "unknown";
+}
+
+FaultSpec parse_fault_spec(std::string_view text) {
+  FaultSpec spec;
+  if (text.empty() || text == "none") return spec;
+
+  const std::size_t colon = text.find(':');
+  DFR_CHECK_MSG(colon != std::string_view::npos,
+                "fault: expected kind:p (e.g. stall:0.5)");
+  const std::string_view kind = text.substr(0, colon);
+  std::string_view rest = text.substr(colon + 1);
+
+  if (kind == "stall") {
+    spec.kind = FaultSpec::Kind::kStall;
+  } else if (kind == "delay") {
+    spec.kind = FaultSpec::Kind::kDelay;
+    const std::size_t second = rest.find(':');
+    DFR_CHECK_MSG(second != std::string_view::npos,
+                  "fault: delay spec is delay:ms:p");
+    spec.delay_ms = parse_u64(rest.substr(0, second),
+                              "fault: delay milliseconds must be an integer");
+    rest = rest.substr(second + 1);
+  } else if (kind == "garbage") {
+    spec.kind = FaultSpec::Kind::kGarbage;
+  } else if (kind == "close-mid-frame") {
+    spec.kind = FaultSpec::Kind::kCloseMidFrame;
+  } else if (kind == "drop-accept") {
+    spec.kind = FaultSpec::Kind::kDropAccept;
+  } else {
+    DFR_CHECK_MSG(false,
+                  "fault: unknown kind (stall | delay | garbage | "
+                  "close-mid-frame | drop-accept)");
+  }
+  spec.probability =
+      parse_probability(rest, "fault: probability must be in [0, 1]");
+  return spec;
+}
+
+void FaultInjector::arm(FaultSpec spec, std::uint64_t seed) {
+  DFR_CHECK_MSG(spec.probability >= 0.0 && spec.probability <= 1.0,
+                "fault: probability must be in [0, 1]");
+  std::lock_guard<std::mutex> lock(mutex_);
+  spec_ = spec;
+  seed_ = seed;
+  seq_ = 0;
+  fired_ = 0;
+}
+
+FaultSpec FaultInjector::spec() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spec_;
+}
+
+bool FaultInjector::fire_locked() {
+  if (spec_.kind == FaultSpec::Kind::kNone || spec_.probability <= 0.0) {
+    return false;
+  }
+  if (fired_ >= spec_.limit) return false;  // budget spent: injector is quiet
+  // Counter-based hash -> uniform double in [0, 1): deterministic for a
+  // given (seed, decision index), and p = 1.0 fires unconditionally.
+  const std::uint64_t h = hash_combine(seed_, seq_++);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  if (u >= spec_.probability) return false;
+  ++fired_;
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+FaultSpec FaultInjector::draw_response_fault() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spec_.kind == FaultSpec::Kind::kDropAccept) return FaultSpec{};
+  if (!fire_locked()) return FaultSpec{};
+  return spec_;
+}
+
+bool FaultInjector::draw_accept_drop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spec_.kind != FaultSpec::Kind::kDropAccept) return false;
+  return fire_locked();
+}
+
+}  // namespace dfr::serve

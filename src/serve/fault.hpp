@@ -1,0 +1,101 @@
+#pragma once
+// Deterministic fault injection for the sharded serving tier — the harness
+// that lets tests and the CI chaos-smoke job CREATE the dirty failures the
+// router's deadline/retry/breaker machinery exists to survive: a shard that
+// accepts a request and never replies (stall), replies late (delay), replies
+// with garbage bytes behind a valid frame header, closes the connection with
+// a response frame half-written, or accepts connections only to drop them.
+//
+// The injector is owned by ShardServer (serve/shard.hpp): the dfr_shard
+// binary arms it from `--fault stall:p|delay:ms:p|garbage:p|
+// close-mid-frame:p|drop-accept:p`, and tests arm it in-process through
+// ShardServer::set_fault — including rewriting the spec mid-traffic, which
+// is how scripted schedules (fail N times, then heal) drive the breaker
+// through open -> half-open -> closed deterministically.
+//
+// Determinism: every decision hashes (seed, decision counter) through the
+// repo's counter-based hash (util/rng.hpp hash_combine), so a given seed
+// yields the same fault sequence on every run and probability-1.0 specs
+// fire on every decision regardless of seed. Faults apply ONLY to inference
+// traffic (and drop-accept to the accept loop): health probes always answer,
+// so a wedged shard still looks alive to the router's poller — exactly the
+// flapping-fleet shape the breaker's half-open probes must cope with.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include <atomic>
+#include <mutex>
+
+namespace dfr::serve {
+
+/// One armed fault. `limit` bounds how many times it fires before the
+/// injector goes quiet (kNone behavior) — the deterministic "fail exactly
+/// once, then heal" shape the retry-budget tests script; the CLI leaves it
+/// unlimited.
+struct FaultSpec {
+  enum class Kind : std::uint8_t {
+    kNone = 0,
+    kStall,          // accept the request, never reply
+    kDelay,          // reply after delay_ms
+    kGarbage,        // reply with a valid header over a garbage body
+    kCloseMidFrame,  // write half the response frame, then close
+    kDropAccept,     // accept the connection, then close it immediately
+  };
+
+  Kind kind = Kind::kNone;
+  double probability = 0.0;  // per-decision fire chance in [0, 1]
+  std::uint64_t delay_ms = 0;  // kDelay only
+  std::uint64_t limit = ~std::uint64_t{0};  // max fires before going quiet
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultSpec::Kind kind) noexcept;
+
+/// Parse "none" | "stall:p" | "delay:ms:p" | "garbage:p" |
+/// "close-mid-frame:p" | "drop-accept:p" (p in [0,1]); throws CheckError on
+/// anything else.
+[[nodiscard]] FaultSpec parse_fault_spec(std::string_view text);
+
+/// Thread-safe deterministic fault decider. Each draw consumes one position
+/// of the (seed, counter) hash stream whether or not it fires, so the fire
+/// pattern of a given seed is independent of request interleaving count-wise
+/// (concurrent connections race for counter positions, but the SEQUENCE of
+/// verdicts is fixed — and p = 1.0, the testing workhorse, is
+/// interleaving-proof).
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultSpec spec, std::uint64_t seed = 0) {
+    arm(spec, seed);
+  }
+
+  /// Swap the armed spec (and reset the fire budget); safe mid-traffic.
+  void arm(FaultSpec spec, std::uint64_t seed = 0);
+  [[nodiscard]] FaultSpec spec() const;
+
+  /// Decide the fault (if any) for the next inference response.
+  /// kDropAccept specs never fire here — they belong to the accept loop.
+  [[nodiscard]] FaultSpec draw_response_fault();
+
+  /// Decide whether the accept loop should drop the next connection
+  /// (kDropAccept specs only).
+  [[nodiscard]] bool draw_accept_drop();
+
+  /// Faults actually fired since arm().
+  [[nodiscard]] std::uint64_t injected() const noexcept {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  [[nodiscard]] bool fire_locked();
+
+  mutable std::mutex mutex_;
+  FaultSpec spec_;            // guarded by mutex_
+  std::uint64_t seed_ = 0;    // guarded by mutex_
+  std::uint64_t seq_ = 0;     // decision counter, guarded by mutex_
+  std::uint64_t fired_ = 0;   // fires since arm(), guarded by mutex_
+  std::atomic<std::uint64_t> injected_{0};
+};
+
+}  // namespace dfr::serve

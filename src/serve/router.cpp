@@ -9,6 +9,7 @@
 
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
 
 namespace dfr::serve {
 
@@ -55,6 +56,12 @@ struct Router::Shard {
   std::vector<int> idle_fds;       // pooled connections, LIFO
   ShardCounters counters;          // guarded by pool_mutex
 
+  // Circuit breaker (guarded by pool_mutex). `consecutive_failures` counts
+  // transport failures with no intervening success; crossing the configured
+  // threshold opens the breaker.
+  BreakerState breaker = BreakerState::kClosed;
+  std::uint32_t consecutive_failures = 0;
+
   /// Requests this router currently has outstanding on this shard. Folded
   /// into the p2c score so a burst routed between two health polls is
   /// visible immediately instead of only after the next sample.
@@ -71,8 +78,9 @@ struct Router::Shard {
     for (const int fd : idle_fds) ::close(fd);
   }
 
-  /// Pop a pooled connection or dial a fresh one (throws WireIoError).
-  [[nodiscard]] int acquire() {
+  /// Pop a pooled connection or dial a fresh one within `deadline` (throws
+  /// WireIoError — Kind::kTimeout when the dial ran out of budget).
+  [[nodiscard]] int acquire(wire::Deadline deadline) {
     {
       std::lock_guard<std::mutex> lock(pool_mutex);
       if (!idle_fds.empty()) {
@@ -81,7 +89,7 @@ struct Router::Shard {
         return fd;
       }
     }
-    return wire::connect_endpoint(endpoint);
+    return wire::connect_endpoint(endpoint, deadline);
   }
 
   void release(int fd, std::size_t pool_capacity) {
@@ -252,18 +260,40 @@ std::vector<std::string> Router::placement(std::string_view model_id) const {
 }
 
 bool Router::try_shard(Shard& shard, std::span<const std::byte> frame,
-                       std::uint64_t seq, wire::WireResponse& response) {
+                       std::uint64_t seq, wire::WireResponse& response,
+                       wire::Deadline deadline) {
   {
     std::lock_guard<std::mutex> lock(shard.pool_mutex);
     ++shard.counters.requests;
   }
+  // Breaker advance on one transport failure: call with pool_mutex held.
+  // A half-open trial that fails re-opens immediately (one bad probe must
+  // not readmit a dead shard), a closed breaker opens once the consecutive
+  // run crosses the threshold.
+  const auto breaker_failure_locked = [&](bool timed_out) {
+    ++shard.counters.io_failures;
+    if (timed_out) ++shard.counters.timeouts;
+    if (config_.breaker_threshold == 0) return;
+    ++shard.consecutive_failures;
+    const bool trip =
+        shard.breaker == BreakerState::kHalfOpen ||
+        (shard.breaker == BreakerState::kClosed &&
+         shard.consecutive_failures >= config_.breaker_threshold);
+    if (trip && shard.breaker != BreakerState::kOpen) {
+      shard.breaker = BreakerState::kOpen;
+      ++shard.counters.breaker_trips;
+      log_warn("router: breaker OPEN on ", shard.name, " after ",
+               shard.consecutive_failures, " consecutive failure(s)");
+    }
+  };
   int fd = -1;
   try {
-    fd = shard.acquire();
-    wire::write_frame(fd, frame);
+    fd = shard.acquire(deadline);
+    wire::write_frame(fd, frame, deadline);
     std::vector<std::byte> reply;
-    if (!wire::read_frame(fd, reply)) {
-      throw wire::WireIoError("router: shard closed before responding");
+    if (!wire::read_frame(fd, reply, deadline)) {
+      throw wire::WireIoError("router: shard closed before responding",
+                              wire::WireIoError::Kind::kEof);
     }
     response = wire::decode_response(reply);
     if (response.seq != seq) {
@@ -273,11 +303,16 @@ bool Router::try_shard(Shard& shard, std::span<const std::byte> frame,
       throw wire::WireIoError("router: response seq mismatch");
     }
     shard.release(fd, config_.pool_capacity);
+    // ANY decoded authoritative response — including kShutdown from a
+    // draining shard — proves the transport works: reset the breaker.
+    std::lock_guard<std::mutex> lock(shard.pool_mutex);
+    shard.consecutive_failures = 0;
+    shard.breaker = BreakerState::kClosed;
     return true;
   } catch (const wire::WireIoError& e) {
     if (fd >= 0) ::close(fd);
     std::lock_guard<std::mutex> lock(shard.pool_mutex);
-    ++shard.counters.io_failures;
+    breaker_failure_locked(e.kind() == wire::WireIoError::Kind::kTimeout);
     log_debug("router: ", shard.name, ": ", e.what());
     return false;
   } catch (const CheckError& e) {
@@ -286,10 +321,67 @@ bool Router::try_shard(Shard& shard, std::span<const std::byte> frame,
     // as a seq mismatch (no authoritative response reached us).
     if (fd >= 0) ::close(fd);
     std::lock_guard<std::mutex> lock(shard.pool_mutex);
-    ++shard.counters.io_failures;
+    breaker_failure_locked(/*timed_out=*/false);
     log_warn("router: ", shard.name, " sent a malformed frame: ", e.what());
     return false;
   }
+}
+
+bool Router::breaker_allows(Shard& shard) const {
+  if (config_.breaker_threshold == 0) return true;
+  std::lock_guard<std::mutex> lock(shard.pool_mutex);
+  if (shard.breaker != BreakerState::kOpen) return true;
+  ++shard.counters.breaker_fastfails;
+  return false;
+}
+
+wire::Deadline Router::attempt_deadline(bool has_overall,
+                                        wire::Deadline overall) const {
+  if (has_overall) return overall;
+  return config_.default_attempt_deadline_us > 0
+             ? wire::Deadline::after_us(config_.default_attempt_deadline_us)
+             : wire::Deadline::never();
+}
+
+bool Router::backoff_before_retry(std::size_t retry, wire::Deadline overall) {
+  if (config_.backoff_base_us == 0) return !overall.expired();
+  // min(max, base << (retry-1)), shift clamped so a deep retry walk cannot
+  // overflow past backoff_max_us.
+  const unsigned shift =
+      static_cast<unsigned>(std::min<std::size_t>(retry - 1, 20));
+  std::uint64_t delay =
+      std::min(config_.backoff_max_us, config_.backoff_base_us << shift);
+  // Deterministic jitter into [delay/2, delay): same seed, same draw
+  // sequence, same delays — the chaos runs replay exactly.
+  std::uint64_t h =
+      hash_combine(config_.seed, rng_seq_.fetch_add(1, std::memory_order_relaxed));
+  const double u = static_cast<double>(splitmix64(h) >> 11) * 0x1.0p-53;
+  delay -= static_cast<std::uint64_t>(u * static_cast<double>(delay / 2));
+  const std::uint64_t remaining = overall.remaining_us();
+  if (remaining == 0) return false;
+  if (!overall.unlimited() && delay >= remaining) {
+    // The backoff alone outlives the request budget: sleep out what's left
+    // so the caller answers kTimeout at (not before) the deadline.
+    std::this_thread::sleep_for(std::chrono::microseconds(remaining));
+    return false;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(delay));
+  return true;
+}
+
+std::pair<std::size_t, std::size_t> p2c_pair(std::uint64_t seed,
+                                             std::uint64_t seq,
+                                             std::size_t n) noexcept {
+  // Two splitmix64 draws off one counter hash; the second index is drawn
+  // from [0, n-1) and bumped past the first, so the pair is always
+  // distinct. (Modulo bias is immaterial at replica-group sizes.) For
+  // n == 2 every draw yields {0, 1} — exactly the pre-randomization pair.
+  std::uint64_t state = hash_combine(seed, seq);
+  const std::size_t first =
+      static_cast<std::size_t>(splitmix64(state) % n);
+  std::size_t second = static_cast<std::size_t>(splitmix64(state) % (n - 1));
+  if (second >= first) ++second;
+  return {std::min(first, second), std::max(first, second)};
 }
 
 void Router::order_replicas(
@@ -297,14 +389,23 @@ void Router::order_replicas(
   const auto now = std::chrono::steady_clock::now();
   const auto staleness =
       std::chrono::microseconds(config_.health_staleness_us);
+  // Sample WHICH two replicas to compare (seeded, deterministic per draw):
+  // wide groups get every pair compared over time instead of replicas 2..
+  // only ever seeing retry traffic. pick[0] < pick[1], so on a tie or a
+  // stale fallback the better-placed replica keeps the request.
+  const auto [low, high] = p2c_pair(
+      config_.seed, rng_seq_.fetch_add(1, std::memory_order_relaxed),
+      group.size());
+  const std::size_t pick[2] = {low, high};
   double score[2];
   bool fresh = true;
   for (std::size_t i = 0; i < 2; ++i) {
-    Shard& shard = *group[i];
+    Shard& shard = *group[pick[i]];
     std::uint32_t queue_depth = 0;
     double ewma_us = 0.0;
     {
       std::lock_guard<std::mutex> lock(shard.pool_mutex);
+      ++shard.counters.p2c_considered;
       if (!shard.health_valid || now - shard.health_when > staleness) {
         fresh = false;
         break;
@@ -325,8 +426,9 @@ void Router::order_replicas(
     ++group[0]->counters.p2c_stale;
     return;
   }
-  if (score[1] < score[0]) {
-    std::swap(group[0], group[1]);
+  const std::size_t winner = score[1] < score[0] ? pick[1] : pick[0];
+  if (winner != 0) {
+    std::swap(group[0], group[winner]);
     std::lock_guard<std::mutex> lock(group[0]->pool_mutex);
     ++group[0]->counters.p2c_alternate;
   } else {
@@ -346,51 +448,103 @@ wire::WireResponse Router::infer(std::string_view model_id,
   std::vector<std::byte> frame;
   wire::encode_request(request, series, frame);
 
+  // Deadline discipline: a request's own deadline_us is ONE budget across
+  // the whole retry walk; deadline-free traffic gets a fresh
+  // default_attempt_deadline_us window per attempt.
+  const bool has_overall = options.deadline_us > 0;
+  const wire::Deadline overall =
+      has_overall ? wire::Deadline::after_us(options.deadline_us)
+                  : wire::Deadline::never();
+
   std::vector<std::shared_ptr<Shard>> group = replicas_for(model_id);
   if (config_.load_aware && group.size() >= 2) order_replicas(group);
 
   wire::WireResponse response;
-  for (const auto& shard : group) {
-    shard->inflight.fetch_add(1, std::memory_order_relaxed);
-    const bool delivered = try_shard(*shard, frame, seq, response);
-    shard->inflight.fetch_sub(1, std::memory_order_relaxed);
-    if (!delivered) {
+  const std::size_t max_attempts = 1 + config_.retry_budget;
+  std::size_t attempts = 0;  // dials actually made (breaker skips are free)
+  bool timed_out = false;
+  bool exhausted = false;
+  while (!group.empty() && !timed_out && !exhausted) {
+    bool dialed_this_round = false;
+    for (const auto& shard : group) {
+      if (overall.expired()) {
+        timed_out = true;
+        break;
+      }
+      // Open breaker: skip without dialing (a half-open shard is admitted
+      // as the trial request). Skips don't consume the retry budget —
+      // they cost nothing, and the budget meters real dials.
+      if (!breaker_allows(*shard)) continue;
+      dialed_this_round = true;
+      shard->inflight.fetch_add(1, std::memory_order_relaxed);
+      const bool delivered = try_shard(*shard, frame, seq, response,
+                                       attempt_deadline(has_overall, overall));
+      shard->inflight.fetch_sub(1, std::memory_order_relaxed);
+      ++attempts;
+      if (!delivered) {
+        {
+          std::lock_guard<std::mutex> lock(shard->pool_mutex);
+          ++shard->counters.retried;
+        }
+        if (attempts >= max_attempts) {
+          exhausted = true;
+          break;
+        }
+        // Transport failure: back off (exponential, jittered) before the
+        // next dial so a flapping shard isn't hammered at line rate.
+        if (!backoff_before_retry(attempts, overall)) {
+          timed_out = true;
+          break;
+        }
+        continue;
+      }
+      if (response.status == wire::WireStatus::kShutdown) {
+        // Typed rejection from a draining shard: not executed, safe to move
+        // to the next replica — immediately, since the shard answered fast
+        // and authoritatively (no transport backoff applies).
+        std::lock_guard<std::mutex> lock(shard->pool_mutex);
+        ++shard->counters.retried;
+        if (attempts >= max_attempts) exhausted = true;
+        if (exhausted) break;
+        continue;
+      }
       std::lock_guard<std::mutex> lock(shard->pool_mutex);
-      ++shard->counters.retried;
-      continue;
+      if (response.status == wire::WireStatus::kOk) {
+        ++shard->counters.ok;
+      } else {
+        ++shard->counters.rejected;
+      }
+      return response;
     }
-    if (response.status == wire::WireStatus::kShutdown) {
-      // Typed rejection from a draining shard: not executed, safe to move
-      // to the next replica.
-      std::lock_guard<std::mutex> lock(shard->pool_mutex);
-      ++shard->counters.retried;
-      continue;
-    }
-    std::lock_guard<std::mutex> lock(shard->pool_mutex);
-    if (response.status == wire::WireStatus::kOk) {
-      ++shard->counters.ok;
-    } else {
-      ++shard->counters.rejected;
-    }
-    return response;
+    if (!dialed_this_round && !timed_out) break;  // every breaker open
   }
   response = wire::WireResponse{};
   response.seq = seq;
-  response.status = wire::WireStatus::kUnavailable;
+  if (timed_out) {
+    response.status = wire::WireStatus::kTimeout;
+  } else if (attempts == 0 && !group.empty()) {
+    // Not one replica was dialable: the typed breaker fast-fail.
+    response.status = wire::WireStatus::kBreakerOpen;
+  } else {
+    response.status = wire::WireStatus::kUnavailable;
+  }
   return response;
 }
 
 wire::HealthInfo Router::health(std::string_view name) {
   const std::shared_ptr<Shard> shard = find_shard(name);
   DFR_CHECK_MSG(shard != nullptr, "router: unknown shard name");
-  const int fd = wire::connect_endpoint(shard->endpoint);
+  const wire::Deadline deadline =
+      attempt_deadline(/*has_overall=*/false, wire::Deadline::never());
+  const int fd = wire::connect_endpoint(shard->endpoint, deadline);
   try {
     std::vector<std::byte> frame;
     wire::encode_health_request(next_seq_.fetch_add(1), frame);
-    wire::write_frame(fd, frame);
+    wire::write_frame(fd, frame, deadline);
     std::vector<std::byte> reply;
-    if (!wire::read_frame(fd, reply)) {
-      throw wire::WireIoError("router: shard closed before the health reply");
+    if (!wire::read_frame(fd, reply, deadline)) {
+      throw wire::WireIoError("router: shard closed before the health reply",
+                              wire::WireIoError::Kind::kEof);
     }
     const wire::HealthInfo info = wire::decode_health_response(reply);
     ::close(fd);
@@ -417,6 +571,13 @@ ShardCounters Router::counters(std::string_view name) const {
   return shard->counters;
 }
 
+BreakerState Router::breaker_state(std::string_view name) const {
+  const std::shared_ptr<Shard> shard = find_shard(name);
+  if (!shard) return BreakerState::kClosed;
+  std::lock_guard<std::mutex> lock(shard->pool_mutex);
+  return shard->breaker;
+}
+
 void Router::note_health(std::string_view name, const wire::HealthInfo& info) {
   const std::shared_ptr<Shard> shard = find_shard(name);
   if (!shard) return;
@@ -424,6 +585,11 @@ void Router::note_health(std::string_view name, const wire::HealthInfo& info) {
   shard->last_health = info;
   shard->health_when = std::chrono::steady_clock::now();
   shard->health_valid = true;
+  // A health sample is probe-equivalent evidence the shard talks: an open
+  // breaker moves to half-open so the next request runs the trial.
+  if (shard->breaker == BreakerState::kOpen) {
+    shard->breaker = BreakerState::kHalfOpen;
+  }
 }
 
 void Router::poll_health_once() {
@@ -437,15 +603,23 @@ void Router::poll_health_once() {
     }
   }
   for (const auto& shard : live) {
+    // Probe under the default attempt deadline: a wedged shard that
+    // accepts-and-ignores must not park the poller (which would starve
+    // every OTHER shard of fresh samples too).
+    const wire::Deadline deadline =
+        config_.default_attempt_deadline_us > 0
+            ? wire::Deadline::after_us(config_.default_attempt_deadline_us)
+            : wire::Deadline::never();
     int fd = -1;
     try {
-      fd = wire::connect_endpoint(shard->endpoint);
+      fd = wire::connect_endpoint(shard->endpoint, deadline);
       std::vector<std::byte> frame;
       wire::encode_health_request(next_seq_.fetch_add(1), frame);
-      wire::write_frame(fd, frame);
+      wire::write_frame(fd, frame, deadline);
       std::vector<std::byte> reply;
-      if (!wire::read_frame(fd, reply)) {
-        throw wire::WireIoError("router: shard closed before the health reply");
+      if (!wire::read_frame(fd, reply, deadline)) {
+        throw wire::WireIoError("router: shard closed before the health reply",
+                                wire::WireIoError::Kind::kEof);
       }
       const wire::HealthInfo info = wire::decode_health_response(reply);
       ::close(fd);
@@ -455,12 +629,27 @@ void Router::poll_health_once() {
       shard->health_when = std::chrono::steady_clock::now();
       shard->health_valid = true;
       ++shard->counters.health_probes;
+      // Successful probe: an open breaker earns a half-open trial. (The
+      // trial request — not the probe — is what closes it: shards answer
+      // health even when inference is wedged, so a probe alone is not
+      // proof of service.)
+      if (shard->breaker == BreakerState::kOpen) {
+        shard->breaker = BreakerState::kHalfOpen;
+        log_info("router: breaker HALF-OPEN on ", shard->name,
+                 " (health probe answered)");
+      }
     } catch (const std::exception&) {
       // Unreachable or malformed: keep (and age out) the previous sample
       // rather than inventing one; staleness handles the rest.
       if (fd >= 0) ::close(fd);
       std::lock_guard<std::mutex> lock(shard->pool_mutex);
       ++shard->counters.health_failures;
+      // A failed probe revokes a half-open trial before traffic wastes a
+      // dial on it (counted as a fresh trip).
+      if (shard->breaker == BreakerState::kHalfOpen) {
+        shard->breaker = BreakerState::kOpen;
+        ++shard->counters.breaker_trips;
+      }
     }
   }
 }
@@ -489,10 +678,20 @@ void Router::export_stats(std::ostream& os) const {
     os << "dfr_router_p2c_alternate_total" << label << ' ' << c.p2c_alternate
        << '\n';
     os << "dfr_router_p2c_stale_total" << label << ' ' << c.p2c_stale << '\n';
+    os << "dfr_router_p2c_considered_total" << label << ' ' << c.p2c_considered
+       << '\n';
     os << "dfr_router_health_probes_total" << label << ' ' << c.health_probes
        << '\n';
     os << "dfr_router_health_failures_total" << label << ' '
        << c.health_failures << '\n';
+    os << "dfr_router_timeouts_total" << label << ' ' << c.timeouts << '\n';
+    os << "dfr_router_breaker_trips_total" << label << ' ' << c.breaker_trips
+       << '\n';
+    os << "dfr_router_breaker_fastfails_total" << label << ' '
+       << c.breaker_fastfails << '\n';
+    // 0 = closed, 1 = open, 2 = half-open (BreakerState's numeric values).
+    os << "dfr_router_breaker_state" << label << ' '
+       << static_cast<int>(shard->breaker) << '\n';
     if (shard->health_valid) {
       os << "dfr_router_shard_queue_depth" << label << ' '
          << shard->last_health.queue_depth << '\n';

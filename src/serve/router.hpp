@@ -29,9 +29,9 @@
 //
 // Retry policy (typed, deliberately narrow): a replica is skipped and the
 // next one tried only on
-//   * WireIoError — connect refused / peer reset / died mid-frame: the
-//     request may never have reached a server, and inference is
-//     side-effect-free, so re-sending is safe; and
+//   * WireIoError — connect refused / peer reset / died mid-frame /
+//     attempt deadline expired: the request may never have reached a
+//     server, and inference is side-effect-free, so re-sending is safe; and
 //   * a kShutdown response — the shard is draining; the request was
 //     REJECTED, not executed, and another replica can serve it.
 // Every other response (kOk, kQueueFull, kUnknownModel, kInvalidArgument,
@@ -39,6 +39,31 @@
 // answers, and retrying them would turn backpressure into a retry storm.
 // When every replica fails, infer() returns kUnavailable (typed, never an
 // exception) so callers and the load generator can count it.
+//
+// Retry discipline (PR 10): attempts cycle the replica group until the
+// per-request retry budget (RouterConfig::retry_budget) is spent, with
+// exponential backoff between transport-failure retries — deterministically
+// jittered through the repo Rng hash so two routers with the same seed
+// replay the same delays (kShutdown rejections move on immediately: a
+// draining shard answered fast and authoritatively). Every attempt's IO is
+// bounded by a wire::Deadline: a request carrying
+// RequestOptions::deadline_us spends ONE budget across the whole walk (the
+// remaining budget decrements across retries; exhaustion returns the
+// router-local kTimeout), deadline-free traffic gets
+// RouterConfig::default_attempt_deadline_us per attempt — either way a
+// wedged shard that accepts and never replies can no longer park a router
+// thread forever.
+//
+// Circuit breaker (per shard, RouterConfig::breaker_threshold): that many
+// CONSECUTIVE transport failures open the breaker — subsequent attempts
+// skip the shard without dialing it (counted breaker_fastfails; when every
+// replica is open the request fast-fails with the router-local
+// kBreakerOpen instead of a connect storm). The background health poller
+// doubles as the probe driver: a successful health probe (or an injected
+// note_health) moves an open breaker to half-open, which admits the next
+// request as a trial — success closes the breaker, failure re-opens it
+// (counted as a fresh trip). Disabled breakers (threshold 0) reproduce the
+// pre-PR-10 dial-every-time behavior.
 //
 // Drain/re-add: drain_shard() removes the shard from the ring FIRST (new
 // placements skip it), then sends the wire drain request and waits for the
@@ -57,6 +82,7 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "linalg/matrix.hpp"
@@ -84,6 +110,26 @@ struct RouterConfig {
   /// samples then arrive only via note_health() (how the tests drive p2c
   /// deterministically).
   std::uint64_t health_poll_ms = 50;
+  /// Per-attempt wire IO budget (connect + send + recv) for requests that
+  /// carry no RequestOptions::deadline_us of their own; also bounds health
+  /// probes, so a wedged shard cannot park the poller. 0 = unlimited
+  /// (pre-PR-10 blocking IO).
+  std::uint64_t default_attempt_deadline_us = 2'000'000;
+  /// Retries allowed per request AFTER the first attempt. Attempts cycle
+  /// the replica group, so with one replica the budget means "re-dial the
+  /// same shard up to N more times".
+  std::size_t retry_budget = 3;
+  /// Backoff before the k-th retry: min(backoff_max_us,
+  /// backoff_base_us << (k-1)), deterministically jittered into
+  /// [delay/2, delay). 0 disables backoff (tests retry instantly).
+  std::uint64_t backoff_base_us = 1'000;
+  std::uint64_t backoff_max_us = 50'000;
+  /// Consecutive transport failures that open a shard's circuit breaker.
+  /// 0 disables circuit breaking.
+  std::uint32_t breaker_threshold = 5;
+  /// Seed for the router's deterministic randomness: backoff jitter and
+  /// the p2c pair sample both hash (seed, draw-counter).
+  std::uint64_t seed = 0;
 };
 
 /// Per-shard router-side counters (see Router::counters).
@@ -99,8 +145,20 @@ struct ShardCounters {
   std::uint64_t p2c_primary = 0;    // p2c ran, placement primary won
   std::uint64_t p2c_alternate = 0;  // p2c diverted the request here
   std::uint64_t p2c_stale = 0;      // stale/absent sample: placement fallback
+  std::uint64_t p2c_considered = 0;  // times this shard was in the sampled pair
   std::uint64_t health_probes = 0;    // poller round trips answered
   std::uint64_t health_failures = 0;  // poller round trips that failed
+  std::uint64_t timeouts = 0;       // io_failures whose cause was kTimeout
+  std::uint64_t breaker_trips = 0;  // closed/half-open -> open transitions
+  std::uint64_t breaker_fastfails = 0;  // attempts skipped while open
+};
+
+/// Circuit-breaker state of one shard, as exported on the stats page
+/// (dfr_router_breaker_state gauge uses the enum's numeric values).
+enum class BreakerState : std::uint8_t {
+  kClosed = 0,    // normal: requests dial the shard
+  kOpen = 1,      // tripped: requests fast-fail without dialing
+  kHalfOpen = 2,  // probe succeeded: the next request is a trial
 };
 
 class Router {
@@ -157,6 +215,10 @@ class Router {
   [[nodiscard]] std::vector<std::string> shard_names() const;
   [[nodiscard]] ShardCounters counters(std::string_view name) const;
 
+  /// Current breaker state of `name` (kClosed for unknown names, and always
+  /// kClosed while breaker_threshold == 0).
+  [[nodiscard]] BreakerState breaker_state(std::string_view name) const;
+
  private:
   struct Shard;
   struct RingPoint {
@@ -171,19 +233,38 @@ class Router {
   void rebuild_ring_locked();
   [[nodiscard]] std::shared_ptr<Shard> find_shard(std::string_view name) const;
 
-  /// One request/response round trip on a pooled connection. Returns false
-  /// (after recording the failure) when this replica should be skipped.
+  /// One request/response round trip on a pooled connection, every blocking
+  /// IO bounded by `deadline`. Returns false (after recording the failure
+  /// and advancing the breaker) when this replica should be skipped.
   [[nodiscard]] bool try_shard(Shard& shard, std::span<const std::byte> frame,
-                               std::uint64_t seq, wire::WireResponse& response);
+                               std::uint64_t seq, wire::WireResponse& response,
+                               wire::Deadline deadline);
 
-  /// Power-of-two-choices over the first two entries of `group` (the retry
-  /// tail is untouched): swap them when the alternate's
-  /// (queue_depth + in-flight) x EWMA score beats the primary's, fall back
-  /// to placement order when either sample is stale.
+  /// Power-of-two-choices over a seeded-random pair of `group` entries (the
+  /// retry order past slot 0 is untouched): the lower
+  /// (queue_depth + in-flight) x EWMA score moves to the front, placement
+  /// order survives ties, stale samples fall back to placement order.
   void order_replicas(std::vector<std::shared_ptr<Shard>>& group) const;
 
+  /// Breaker admission: true when `shard` may be dialed (closed, half-open
+  /// trial, or breakers disabled); false counts a fast-fail.
+  [[nodiscard]] bool breaker_allows(Shard& shard) const;
+
+  /// Sleep the jittered exponential backoff before retry number `retry`
+  /// (1-based), capped by what's left of `overall`. Returns false when the
+  /// overall budget is exhausted (the caller answers kTimeout).
+  [[nodiscard]] bool backoff_before_retry(std::size_t retry,
+                                          wire::Deadline overall);
+
+  /// The wire deadline for one attempt: the request's own overall budget
+  /// when it has one, else a fresh default_attempt_deadline_us window.
+  [[nodiscard]] wire::Deadline attempt_deadline(bool has_overall,
+                                                wire::Deadline overall) const;
+
   /// One poller pass: health-probe every live shard on a fresh connection,
-  /// cache the sample, swallow (but count) failures.
+  /// cache the sample, swallow (but count) failures. A successful probe
+  /// moves an open breaker to half-open; a failed one re-opens a half-open
+  /// breaker.
   void poll_health_once();
 
   RouterConfig config_;
@@ -191,6 +272,9 @@ class Router {
   std::vector<std::shared_ptr<Shard>> shards_;
   std::vector<RingPoint> ring_;  // sorted by hash
   std::atomic<std::uint64_t> next_seq_{1};
+  /// Draw counter behind every seeded-random decision (p2c pair, backoff
+  /// jitter): hash_combine(config_.seed, rng_seq_++) is the stream.
+  mutable std::atomic<std::uint64_t> rng_seq_{0};
 
   // Health poller (started in the ctor when health_poll_ms > 0).
   std::thread poll_thread_;
@@ -203,5 +287,15 @@ class Router {
 /// applied on top before any ring use, since raw FNV leaves common-prefix
 /// names clustered). Exposed for the placement tests' known vectors.
 [[nodiscard]] std::uint64_t fnv1a64(std::string_view text) noexcept;
+
+/// The deterministic power-of-two-choices pair for draw number `seq` over a
+/// group of `n >= 2` replicas: two DISTINCT indices in [0, n), returned
+/// (low, high). Hardcoding the pair to {0, 1} (the pre-PR-10 behavior)
+/// starves replicas 2.. of first attempts in wide groups; sampling the pair
+/// through the seeded hash keeps replica choice deterministic per (seed,
+/// seq) while every pair gets compared eventually — the property the
+/// placement tests pin. Exposed for those tests.
+[[nodiscard]] std::pair<std::size_t, std::size_t> p2c_pair(
+    std::uint64_t seed, std::uint64_t seq, std::size_t n) noexcept;
 
 }  // namespace dfr::serve

@@ -67,6 +67,14 @@ struct InferenceServer::Slot {
   InferResult result;  // logits storage reused across requests
   State state = State::kQueued;
   bool abandoned = false;  // future dropped while still queued: cancel
+  /// The artifact as resolved at ADMISSION. Workers still re-resolve the id
+  /// at dequeue so a hot-swap serves the newest artifact, but when the
+  /// dequeue lookup comes back empty this pin closes the evict window: a
+  /// store eviction between submit and dequeue must not turn an ACCEPTED
+  /// request into kUnknownModel (ids never registered pin null and still
+  /// answer kUnknownModel). Reset at resolution so a recycled slot can't
+  /// keep a dead artifact's mapping alive.
+  ModelArtifactPtr pinned;
 };
 
 /// Per-model counters plus a fixed-size recent-latency ring.
@@ -249,6 +257,7 @@ InferFuture InferenceServer::submit(std::string_view model_id,
       slot.options = options;
       slot.state = Slot::State::kQueued;
       slot.abandoned = false;
+      slot.pinned = registry_->get(model_id);  // admission-time pin
       slot.timer.restart();
       pending_[(pending_head_ + pending_count_) % pending_.size()] = slot_index;
       ++pending_count_;
@@ -313,6 +322,7 @@ void InferenceServer::worker_loop(std::size_t worker) {
         Slot& s = *slots_[index];
         if (s.abandoned) {
           s.abandoned = false;
+          s.pinned.reset();
           free_.push_back(index);
           continue;
         }
@@ -330,7 +340,8 @@ void InferenceServer::worker_loop(std::size_t worker) {
         lock.unlock();
         for (const std::size_t index : doomed) {
           shed_slot(index,
-                    registry_->get(slots_[index]->model_id) != nullptr);
+                    registry_->get(slots_[index]->model_id) != nullptr ||
+                        slots_[index]->pinned != nullptr);
         }
         continue;
       }
@@ -366,6 +377,7 @@ void InferenceServer::worker_loop(std::size_t worker) {
       Slot& slot = *slots_[slot_index];
       if (slot.abandoned) {  // cancelled while queued: never touch the series
         slot.abandoned = false;
+        slot.pinned.reset();
         free_.push_back(slot_index);
         continue;
       }
@@ -377,7 +389,8 @@ void InferenceServer::worker_loop(std::size_t worker) {
       if (pending_count_ > 0) work_cv_.notify_one();
     }
     for (const std::size_t index : doomed) {
-      shed_slot(index, registry_->get(slots_[index]->model_id) != nullptr);
+      shed_slot(index, registry_->get(slots_[index]->model_id) != nullptr ||
+                           slots_[index]->pinned != nullptr);
     }
     if (batch.size() == 1) {
       process(worker, batch[0]);  // singleton fast path: unbatched datapath
@@ -403,6 +416,7 @@ void InferenceServer::claim_batchmates(std::vector<std::size_t>& batch) {
     Slot& slot = *slots_[index];
     if (slot.abandoned) {
       slot.abandoned = false;
+      slot.pinned.reset();
       free_.push_back(index);
       continue;
     }
@@ -484,6 +498,7 @@ void InferenceServer::shed_slot(std::size_t slot_index, bool registered) {
   result.logits.clear();  // keeps capacity: no allocation
   result.latency_us = static_cast<double>(slot.timer.elapsed_ns()) * 1e-3;
   record_outcome(slot.model_id, result, registered);
+  slot.pinned.reset();  // a parked slot must not extend the artifact's life
   {
     std::lock_guard<std::mutex> lock(mutex_);
     slot.state = Slot::State::kReady;
@@ -502,7 +517,8 @@ void InferenceServer::process_batch(std::size_t worker,
   for (const std::size_t index : batch) {
     Slot& slot = *slots_[index];
     if (past_deadline(slot.options.deadline_us, slot.timer)) {
-      shed_slot(index, registry_->get(slot.model_id) != nullptr);
+      shed_slot(index, registry_->get(slot.model_id) != nullptr ||
+                           slot.pinned != nullptr);
     } else {
       live[lanes++] = index;
     }
@@ -525,8 +541,11 @@ void InferenceServer::process_batch(std::size_t worker,
   // coalescing key guarantees every lane asked for the same model id and
   // engine variant, so all lanes serve the artifact this lookup returns —
   // bit-identical routing to the unbatched path, where each of these
-  // requests would have resolved the same registry state.
-  const ModelArtifactPtr artifact = registry_->get(head.model_id);
+  // requests would have resolved the same registry state. The head's
+  // admission-time pin covers the evicted-while-queued window, like the
+  // unbatched path.
+  ModelArtifactPtr artifact = registry_->get(head.model_id);
+  if (artifact == nullptr) artifact = head.pinned;
   if (artifact == nullptr) {
     for (std::size_t l = 0; l < lanes; ++l) {
       slots_[live[l]]->result.status = RequestStatus::kUnknownModel;
@@ -568,6 +587,7 @@ void InferenceServer::process_batch(std::size_t worker,
     slot.result.latency_us = static_cast<double>(slot.timer.elapsed_ns()) * 1e-3;
     record_outcome(slot.model_id, slot.result,
                    /*id_is_registered=*/artifact != nullptr);
+    slot.pinned.reset();
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -587,7 +607,10 @@ void InferenceServer::process(std::size_t worker, std::size_t slot_index) {
   // Per-request routing: resolve the id against the registry NOW, so a
   // hot-swap between submit and execution serves the newest artifact, and
   // the shared_ptr keeps whichever artifact we got alive through inference.
-  const ModelArtifactPtr artifact = registry_->get(slot.model_id);
+  // An empty lookup falls back to the admission-time pin: eviction while
+  // the request sat queued must not unregister an accepted request.
+  ModelArtifactPtr artifact = registry_->get(slot.model_id);
+  if (artifact == nullptr) artifact = slot.pinned;
   // Deadline shedding before any engine work: a request that is already
   // late resolves typed instead of burning engine time serving an answer
   // nobody is waiting for.
@@ -627,6 +650,7 @@ void InferenceServer::process(std::size_t worker, std::size_t slot_index) {
   }
   result.latency_us = static_cast<double>(slot.timer.elapsed_ns()) * 1e-3;
   record_outcome(slot.model_id, result, /*id_is_registered=*/artifact != nullptr);
+  slot.pinned.reset();
 
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -4,7 +4,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <span>
 #include <utility>
 
 #include "util/check.hpp"
@@ -68,6 +72,13 @@ void ShardServer::accept_loop() {
     if (ready <= 0) continue;  // timeout, EINTR, or transient error: re-check
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    if (fault_.draw_accept_drop()) {
+      // drop-accept fault: the TCP/unix handshake succeeded, then the shard
+      // hangs up before a single frame — the router sees a clean EOF on its
+      // first read and must treat the attempt as an I/O failure.
+      ::close(fd);
+      continue;
+    }
     std::lock_guard<std::mutex> lock(conn_mutex_);
     if (stop_.load(std::memory_order_acquire)) {
       ::close(fd);
@@ -91,15 +102,71 @@ void ShardServer::reap_finished_locked() {
   });
 }
 
+void ShardServer::stall_until_closed(int fd) {
+  // A wedged shard holds the connection open and says nothing. Anything the
+  // peer still sends is drained and discarded (so poll never spins hot);
+  // the park ends when the peer gives up — its read deadline fired and it
+  // closed — or the shard itself stops.
+  std::byte sink[256];
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout / EINTR: re-check stop_
+    const ssize_t r = ::recv(fd, sink, sizeof(sink), MSG_DONTWAIT);
+    if (r == 0) return;  // peer closed
+    if (r < 0 && errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
+      return;  // connection error: nothing left to wedge
+    }
+  }
+}
+
+void ShardServer::sleep_interruptible(std::uint64_t ms) {
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  while (!stop_.load(std::memory_order_acquire) &&
+         std::chrono::steady_clock::now() < until) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        std::min<std::uint64_t>(ms, 50)));
+  }
+}
+
 void ShardServer::serve_connection(Connection& conn) {
   std::vector<std::byte> in;
   std::vector<std::byte> out;
+  bool alive = true;
   try {
-    while (wire::read_frame(conn.fd, in)) {
+    while (alive && wire::read_frame(conn.fd, in)) {
       const wire::FrameHeader header = wire::decode_header(in);
       switch (static_cast<wire::MessageType>(header.type)) {
         case wire::MessageType::kInferRequest: {
           const wire::WireRequest request = wire::decode_request(in);
+          const FaultSpec fault = fault_.draw_response_fault();
+          if (fault.kind == FaultSpec::Kind::kStall) {
+            // The request is accepted and never answered (and never
+            // executed — a wedged shard does no work). The client's read
+            // deadline is what gets it unstuck.
+            stall_until_closed(conn.fd);
+            alive = false;
+            break;
+          }
+          if (fault.kind == FaultSpec::Kind::kGarbage) {
+            // A syntactically valid header over a garbage body: the client
+            // must reject the frame typed (CheckError) without over-reading.
+            wire::FrameHeader bad{};
+            std::memcpy(bad.magic, wire::kMagic, sizeof(wire::kMagic));
+            bad.version = wire::kWireVersion;
+            bad.type =
+                static_cast<std::uint16_t>(wire::MessageType::kInferResponse);
+            bad.seq = request.seq;
+            bad.body_bytes = 32;
+            out.assign(sizeof(bad) + 32, std::byte{0xA5});
+            std::memcpy(out.data(), &bad, sizeof(bad));
+            wire::write_frame(conn.fd, out);
+            break;
+          }
+          if (fault.kind == FaultSpec::Kind::kDelay) {
+            sleep_interruptible(fault.delay_ms);
+          }
           // Synchronous resolve: the decoded request owns the series, and
           // the future is collected before the next frame is read, so the
           // zero-copy submit contract holds trivially.
@@ -113,6 +180,14 @@ void ShardServer::serve_connection(Connection& conn) {
           response.latency_us = result.latency_us;
           response.logits = result.logits;
           wire::encode_response(response, out);
+          if (fault.kind == FaultSpec::Kind::kCloseMidFrame) {
+            // The work was done, the response was lost: write half the
+            // frame, then hang up — the client sees a mid-frame EOF.
+            wire::write_frame(
+                conn.fd, std::span<const std::byte>(out).first(out.size() / 2));
+            alive = false;
+            break;
+          }
           wire::write_frame(conn.fd, out);
           break;
         }

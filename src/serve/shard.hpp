@@ -23,6 +23,13 @@
 // Health/readiness: kHealthRequest answers accepting/draining flags plus the
 // registered-model count at any time, including mid-drain — `dfr_shard
 // --probe` and the CI distributed-smoke job's readiness loop are clients.
+//
+// Fault injection (set_fault / dfr_shard --fault): an armed FaultInjector
+// (serve/fault.hpp) corrupts INFERENCE traffic deterministically — stall
+// (accept, never reply), delay, garbage body behind a valid header, close
+// mid-frame, drop-accept. Health and drain frames always answer, so a
+// wedged shard still looks alive to the router's poller; that asymmetry is
+// what exercises the breaker's half-open probe loop.
 
 #include <atomic>
 #include <cstdint>
@@ -30,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "serve/fault.hpp"
 #include "serve/server.hpp"
 #include "serve/wire.hpp"
 
@@ -71,6 +79,18 @@ class ShardServer {
   /// The wrapped per-process server (stats, export_stats, direct submits).
   [[nodiscard]] InferenceServer& server() noexcept { return server_; }
 
+  /// Arm (or rewrite, mid-traffic) the fault injector — the in-process hook
+  /// the dirty-wire tests script breaker schedules through; dfr_shard's
+  /// --fault flag lands here too. FaultSpec{} disarms.
+  void set_fault(const FaultSpec& spec, std::uint64_t seed = 0) {
+    fault_.arm(spec, seed);
+  }
+
+  /// Faults fired since the last set_fault.
+  [[nodiscard]] std::uint64_t faults_injected() const noexcept {
+    return fault_.injected();
+  }
+
  private:
   struct Connection {
     int fd = -1;
@@ -80,6 +100,11 @@ class ShardServer {
 
   void accept_loop();
   void serve_connection(Connection& conn);
+  /// Wedged-connection park: never reply, drain+discard anything the peer
+  /// sends, return when the peer closes or the shard stops.
+  void stall_until_closed(int fd);
+  /// Sleep `ms`, waking early when the shard stops.
+  void sleep_interruptible(std::uint64_t ms);
   /// Under conn_mutex_: join + erase connections whose threads finished.
   void reap_finished_locked();
 
@@ -87,6 +112,8 @@ class ShardServer {
   InferenceServer server_;
   wire::Endpoint endpoint_;
   int listen_fd_ = -1;
+
+  FaultInjector fault_;
 
   std::atomic<bool> draining_{false};
   std::atomic<bool> stop_{false};

@@ -126,6 +126,12 @@ int run(int argc, char** argv) {
   cli.add_option("classes", "synthetic model class count", "4");
   cli.add_option("nodes", "synthetic model virtual nodes (Nx)", "30");
   cli.add_option("seed", "synthetic model base seed", "42");
+  cli.add_option("fault",
+                 "inject faults into inference traffic: none | stall:p | "
+                 "delay:ms:p | garbage:p | close-mid-frame:p | drop-accept:p "
+                 "(deterministic; health/drain frames always answer)",
+                 "none");
+  cli.add_option("fault-seed", "fault-decision seed", "0");
   cli.add_option("probe", "readiness-probe an endpoint and exit", "");
   cli.add_option("drain", "drain an endpoint gracefully and exit", "");
   cli.parse(argc, argv);
@@ -174,6 +180,12 @@ int run(int argc, char** argv) {
   const serve::wire::Endpoint endpoint =
       serve::wire::parse_endpoint(cli.get("endpoint"));
   serve::ShardServer shard(registry, endpoint, config);
+  const serve::FaultSpec fault = serve::parse_fault_spec(cli.get("fault"));
+  if (fault.kind != serve::FaultSpec::Kind::kNone) {
+    shard.set_fault(fault, cli.get_u64("fault-seed"));
+    log_warn("dfr_shard FAULT INJECTION armed: ",
+             serve::fault_kind_name(fault.kind), " p=", fault.probability);
+  }
   log_info("dfr_shard serving ", registry.size(), " model(s) on ",
            shard.endpoint().to_string(), " with ", config.workers,
            " worker(s)");
@@ -184,6 +196,11 @@ int run(int argc, char** argv) {
   log_info("dfr_shard draining (",
            g_shutdown_requested.load() ? "signal" : "wire drain", ")");
   shard.stop();
+  if (fault.kind != serve::FaultSpec::Kind::kNone) {
+    std::cout << "dfr_shard_faults_injected{kind=\""
+              << serve::fault_kind_name(fault.kind) << "\"} "
+              << shard.faults_injected() << "\n";
+  }
   shard.server().export_stats(std::cout);
   return 0;
 }

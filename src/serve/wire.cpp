@@ -1,9 +1,11 @@
 #include "serve/wire.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -12,6 +14,7 @@
 #include <cerrno>
 #include <charconv>
 #include <cstring>
+#include <limits>
 
 #include "util/check.hpp"
 
@@ -156,25 +159,68 @@ struct EncodedEngine {
   return std::string(what) + ": " + std::strerror(errno);
 }
 
-/// Read exactly `n` bytes. Returns the bytes actually read before EOF (so
-/// the caller can tell a clean frame-boundary EOF from a mid-frame one);
-/// throws WireIoError on a hard error.
-[[nodiscard]] std::size_t read_exact(int fd, std::byte* out, std::size_t n) {
+/// Classify an errno for the WireIoError taxonomy: a peer that died with
+/// the frame in flight (reset) is distinguishable from everything else.
+[[nodiscard]] WireIoError::Kind errno_kind(int err) noexcept {
+  return (err == ECONNRESET || err == EPIPE) ? WireIoError::Kind::kReset
+                                             : WireIoError::Kind::kOther;
+}
+
+/// Block until `fd` is ready for `events` or the deadline expires. The poll
+/// timeout is recomputed after every EINTR, so a signal storm cannot extend
+/// the budget; expiry throws the typed timeout. A POLLERR/POLLHUP wake
+/// counts as ready — the following recv/send surfaces the real errno.
+void wait_io(int fd, short events, Deadline deadline, const char* what) {
+  for (;;) {
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, deadline.poll_timeout_ms());
+    if (rc > 0) return;
+    if (rc == 0 || deadline.expired()) {
+      throw WireIoError(std::string(what) + ": deadline expired",
+                        WireIoError::Kind::kTimeout);
+    }
+    if (errno == EINTR) continue;
+    throw WireIoError(errno_message(what), errno_kind(errno));
+  }
+}
+
+/// Read exactly `n` bytes, honoring the deadline. Returns the bytes
+/// actually read before EOF (so the caller can tell a clean frame-boundary
+/// EOF from a mid-frame one); throws WireIoError on a hard error and the
+/// typed kTimeout when the peer stalls — at ANY byte offset — past the
+/// deadline. Every recv is MSG_DONTWAIT + poll, so the fd's blocking mode
+/// never matters.
+[[nodiscard]] std::size_t read_exact(int fd, std::byte* out, std::size_t n,
+                                     Deadline deadline) {
   std::size_t got = 0;
   while (got < n) {
-    const ssize_t r = ::recv(fd, out + got, n - got, 0);
+    const ssize_t r = ::recv(fd, out + got, n - got, MSG_DONTWAIT);
     if (r > 0) {
       got += static_cast<std::size_t>(r);
       continue;
     }
     if (r == 0) return got;  // EOF
     if (errno == EINTR) continue;
-    throw WireIoError(errno_message("wire: recv failed"));
+    if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      throw WireIoError(errno_message("wire: recv failed"),
+                        errno_kind(errno));
+    }
+    wait_io(fd, POLLIN, deadline, "wire: recv");
   }
   return got;
 }
 
 }  // namespace
+
+int Deadline::poll_timeout_ms() const noexcept {
+  if (unlimited()) return -1;
+  const std::uint64_t us = remaining_us();
+  if (us == 0) return 0;
+  const std::uint64_t ms = (us + 999) / 1000;  // round up: never spin at 0
+  constexpr std::uint64_t kMax =
+      static_cast<std::uint64_t>(std::numeric_limits<int>::max());
+  return static_cast<int>(std::min(ms, kMax));
+}
 
 const char* wire_status_name(WireStatus status) noexcept {
   switch (status) {
@@ -186,6 +232,8 @@ const char* wire_status_name(WireStatus status) noexcept {
     case WireStatus::kShutdown: return "shutdown";
     case WireStatus::kDeadlineExceeded: return "deadline_exceeded";
     case WireStatus::kUnavailable: return "unavailable";
+    case WireStatus::kTimeout: return "timeout";
+    case WireStatus::kBreakerOpen: return "breaker_open";
   }
   return "unknown";
 }
@@ -327,6 +375,8 @@ WireResponse decode_response(std::span<const std::byte> frame) {
   WireResponse response;
   response.seq = header.seq;
   const auto status = cursor.read<std::int32_t>();
+  // kTimeout / kBreakerOpen are router-local verdicts, never legitimate wire
+  // bytes — a peer claiming one is lying and the frame is rejected.
   DFR_CHECK_MSG(status >= 0 &&
                     status <= static_cast<std::int32_t>(WireStatus::kUnavailable),
                 "wire: unknown response status");
@@ -459,7 +509,60 @@ std::uint16_t bound_port(int listen_fd) {
   return ntohs(addr.sin_port);
 }
 
-int connect_endpoint(const Endpoint& endpoint) {
+namespace {
+
+/// Nonblocking connect bounded by `deadline`: connect, poll POLLOUT until
+/// the handshake resolves, read the verdict from SO_ERROR, and hand the fd
+/// back in blocking mode (the frame IO above is poll-gated anyway, but
+/// pooled fds should not surprise legacy callers). Closes `fd` on failure.
+void finish_connect(int fd, const sockaddr* addr, socklen_t len,
+                    const std::string& where, Deadline deadline) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    const std::string msg = errno_message((where + ": fcntl").c_str());
+    ::close(fd);
+    throw WireIoError(msg);
+  }
+  int rc = ::connect(fd, addr, len);
+  if (rc != 0 && errno == EINTR) {
+    // An interrupted connect completes asynchronously: poll like EINPROGRESS.
+    rc = -1;
+    errno = EINPROGRESS;
+  }
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      const std::string msg = errno_message(where.c_str());
+      const WireIoError::Kind kind = errno_kind(errno);
+      ::close(fd);
+      throw WireIoError(msg, kind);
+    }
+    try {
+      wait_io(fd, POLLOUT, deadline, where.c_str());
+    } catch (...) {
+      ::close(fd);
+      throw;
+    }
+    int so_error = 0;
+    socklen_t so_len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &so_len) != 0 ||
+        so_error != 0) {
+      if (so_error != 0) errno = so_error;
+      const std::string msg = errno_message(where.c_str());
+      const WireIoError::Kind kind = errno_kind(errno);
+      ::close(fd);
+      throw WireIoError(msg, kind);
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0) {
+    const std::string msg = errno_message((where + ": fcntl").c_str());
+    ::close(fd);
+    throw WireIoError(msg);
+  }
+}
+
+}  // namespace
+
+int connect_endpoint(const Endpoint& endpoint, Deadline deadline) {
   if (endpoint.kind == Endpoint::Kind::kUnix) {
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0) throw WireIoError(errno_message("wire: socket(AF_UNIX)"));
@@ -467,13 +570,8 @@ int connect_endpoint(const Endpoint& endpoint) {
     addr.sun_family = AF_UNIX;
     std::strncpy(addr.sun_path, endpoint.host_or_path.c_str(),
                  sizeof(addr.sun_path) - 1);
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) != 0) {
-      const std::string msg =
-          errno_message(("wire: connect " + endpoint.to_string()).c_str());
-      ::close(fd);
-      throw WireIoError(msg);
-    }
+    finish_connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr),
+                   "wire: connect " + endpoint.to_string(), deadline);
     return fd;
   }
 
@@ -490,48 +588,63 @@ int connect_endpoint(const Endpoint& endpoint) {
   }
   int fd = -1;
   std::string last_error = "no addresses";
+  WireIoError::Kind last_kind = WireIoError::Kind::kOther;
   for (const addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
     fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
     if (fd < 0) {
       last_error = errno_message("socket");
       continue;
     }
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
-    last_error = errno_message("connect");
-    ::close(fd);
-    fd = -1;
+    try {
+      finish_connect(fd, ai->ai_addr, ai->ai_addrlen,
+                     "wire: connect " + endpoint.to_string(), deadline);
+      break;  // connected (finish_connect closed fd on failure)
+    } catch (const WireIoError& e) {
+      last_error = e.what();
+      last_kind = e.kind();
+      fd = -1;
+      if (last_kind == WireIoError::Kind::kTimeout) break;  // budget is gone
+    }
   }
   ::freeaddrinfo(results);
   if (fd < 0) {
     throw WireIoError("wire: connect " + endpoint.to_string() + ": " +
-                      last_error);
+                      last_error, last_kind);
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return fd;
 }
 
-void write_frame(int fd, std::span<const std::byte> frame) {
+void write_frame(int fd, std::span<const std::byte> frame, Deadline deadline) {
   std::size_t sent = 0;
   while (sent < frame.size()) {
     // MSG_NOSIGNAL: a dead peer raises EPIPE here instead of SIGPIPE.
     const ssize_t w = ::send(fd, frame.data() + sent, frame.size() - sent,
-                             MSG_NOSIGNAL);
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
     if (w > 0) {
       sent += static_cast<std::size_t>(w);
       continue;
     }
     if (w < 0 && errno == EINTR) continue;
-    throw WireIoError(errno_message("wire: send failed"));
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Socket buffer full (a stalled reader): wait writability out against
+      // the deadline instead of parking in a blocking send forever.
+      wait_io(fd, POLLOUT, deadline, "wire: send");
+      continue;
+    }
+    throw WireIoError(errno_message("wire: send failed"), errno_kind(errno));
   }
 }
 
-bool read_frame(int fd, std::vector<std::byte>& frame) {
+bool read_frame(int fd, std::vector<std::byte>& frame, Deadline deadline) {
   alignas(FrameHeader) std::byte header_bytes[sizeof(FrameHeader)];
-  const std::size_t got = read_exact(fd, header_bytes, sizeof(header_bytes));
+  const std::size_t got =
+      read_exact(fd, header_bytes, sizeof(header_bytes), deadline);
   if (got == 0) return false;  // clean EOF at a frame boundary
   if (got < sizeof(header_bytes)) {
-    throw WireIoError("wire: peer closed mid-header");
+    throw WireIoError("wire: peer closed mid-header",
+                      WireIoError::Kind::kEof);
   }
 
   // Validate the header BEFORE sizing the body buffer: a hostile body_bytes
@@ -550,9 +663,9 @@ bool read_frame(int fd, std::vector<std::byte>& frame) {
   frame.resize(sizeof(FrameHeader) + header.body_bytes);
   std::memcpy(frame.data(), header_bytes, sizeof(header_bytes));
   const std::size_t body = read_exact(
-      fd, frame.data() + sizeof(FrameHeader), header.body_bytes);
+      fd, frame.data() + sizeof(FrameHeader), header.body_bytes, deadline);
   if (body < header.body_bytes) {
-    throw WireIoError("wire: peer closed mid-body");
+    throw WireIoError("wire: peer closed mid-body", WireIoError::Kind::kEof);
   }
   return true;
 }

@@ -51,6 +51,7 @@
 // router retry a replica on an I/O failure while never retrying a request
 // the shard actually rejected.
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -97,8 +98,12 @@ static_assert(alignof(FrameHeader) == 8,
               "FrameHeader must be plain 8-byte-aligned POD");
 
 /// Typed response status: values 0..6 mirror RequestStatus one-to-one (the
-/// shard maps its server's status straight through); kUnavailable is
-/// router-generated — no replica could be reached at all.
+/// shard maps its server's status straight through). Values from
+/// kUnavailable up are ROUTER-generated and never encoded by a shard;
+/// kTimeout and kBreakerOpen additionally never cross the wire at all
+/// (decode_response rejects them — they exist so callers can tell "the
+/// deadline budget ran out" and "every breaker was open, nothing was even
+/// dialed" apart from "every replica was dialed and failed").
 enum class WireStatus : std::int32_t {
   kOk = 0,
   kQueueFull,
@@ -107,7 +112,9 @@ enum class WireStatus : std::int32_t {
   kInternalError,
   kShutdown,
   kDeadlineExceeded,
-  kUnavailable,
+  kUnavailable,   // router: every replica attempt failed
+  kTimeout,       // router: per-request deadline budget exhausted
+  kBreakerOpen,   // router: all replicas' circuit breakers open — no dial
 };
 
 static_assert(static_cast<int>(WireStatus::kDeadlineExceeded) ==
@@ -184,12 +191,64 @@ void encode_drain_response(std::uint64_t seq, std::vector<std::byte>& frame);
 
 // ---- transport -------------------------------------------------------------
 
-/// Transport-layer failure: connect refused, peer reset, EOF mid-frame.
-/// Distinct from CheckError (malformed data) so callers can retry replicas
-/// on I/O failures without ever retrying a request a shard rejected.
+/// Absolute completion budget for one transport operation. All deadline IO
+/// below is poll-gated: every recv/send/connect waits readiness only up to
+/// the deadline and throws a typed WireIoError{kTimeout} on expiry, so a
+/// peer that accepts and then stalls mid-frame can never park a caller
+/// forever. Default-constructed = no deadline (block indefinitely).
+struct Deadline {
+  std::chrono::steady_clock::time_point at =
+      std::chrono::steady_clock::time_point::max();
+
+  [[nodiscard]] static Deadline never() noexcept { return {}; }
+  [[nodiscard]] static Deadline after_us(std::uint64_t us) noexcept {
+    return Deadline{std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(us)};
+  }
+
+  [[nodiscard]] bool unlimited() const noexcept {
+    return at == std::chrono::steady_clock::time_point::max();
+  }
+  [[nodiscard]] bool expired() const noexcept {
+    return !unlimited() && std::chrono::steady_clock::now() >= at;
+  }
+  /// Budget left, µs (0 when expired; huge when unlimited).
+  [[nodiscard]] std::uint64_t remaining_us() const noexcept {
+    if (unlimited()) return ~std::uint64_t{0};
+    const auto left = at - std::chrono::steady_clock::now();
+    if (left <= std::chrono::steady_clock::duration::zero()) return 0;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(left).count());
+  }
+  /// poll() timeout for the remaining budget: -1 when unlimited, otherwise
+  /// clamped to [1, INT_MAX] ms — rounding UP so a sub-millisecond budget
+  /// still polls once instead of spinning at timeout 0.
+  [[nodiscard]] int poll_timeout_ms() const noexcept;
+};
+
+/// Transport-layer failure: connect refused, peer reset, EOF mid-frame, or
+/// a deadline expiring mid-operation. Distinct from CheckError (malformed
+/// data) so callers can retry replicas on I/O failures without ever
+/// retrying a request a shard rejected. The Kind tells a wedged peer
+/// (kTimeout — the shard is up but silent) apart from a vanished one
+/// (kEof/kReset) for error-taxonomy accounting; the retry decision treats
+/// them identically (nothing authoritative came back).
 class WireIoError : public std::runtime_error {
  public:
-  explicit WireIoError(const std::string& what) : std::runtime_error(what) {}
+  enum class Kind {
+    kOther,    // connect/resolve failure, unclassified errno
+    kEof,      // peer closed mid-frame
+    kReset,    // ECONNRESET / EPIPE: peer died with the frame in flight
+    kTimeout,  // deadline expired before the operation completed
+  };
+
+  explicit WireIoError(const std::string& what, Kind kind = Kind::kOther)
+      : std::runtime_error(what), kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
 };
 
 /// A shard address: "unix:/path/to.sock" or "tcp:host:port".
@@ -211,19 +270,36 @@ struct Endpoint {
 /// The port a tcp listening fd actually bound (resolves port 0).
 [[nodiscard]] std::uint16_t bound_port(int listen_fd);
 
-/// Connect to a shard. Throws WireIoError on failure (a dead shard is a
-/// retryable transport condition, not a protocol error).
-[[nodiscard]] int connect_endpoint(const Endpoint& endpoint);
+/// Connect to a shard, completing within `deadline` (nonblocking connect +
+/// poll + SO_ERROR; the fd is returned in blocking mode). Throws
+/// WireIoError on failure (a dead shard is a retryable transport
+/// condition, not a protocol error) — WireIoError{kTimeout} when the
+/// deadline expires first.
+[[nodiscard]] int connect_endpoint(const Endpoint& endpoint,
+                                   Deadline deadline);
+[[nodiscard]] inline int connect_endpoint(const Endpoint& endpoint) {
+  return connect_endpoint(endpoint, Deadline::never());
+}
 
-/// Write one complete frame, handling partial writes and EINTR. Throws
-/// WireIoError when the peer is gone (SIGPIPE suppressed via MSG_NOSIGNAL).
-void write_frame(int fd, std::span<const std::byte> frame);
+/// Write one complete frame within `deadline`, handling partial writes and
+/// EINTR (every send is poll-gated MSG_DONTWAIT, so the fd's blocking mode
+/// is irrelevant). Throws WireIoError when the peer is gone (SIGPIPE
+/// suppressed via MSG_NOSIGNAL) or WireIoError{kTimeout} on expiry.
+void write_frame(int fd, std::span<const std::byte> frame, Deadline deadline);
+inline void write_frame(int fd, std::span<const std::byte> frame) {
+  write_frame(fd, frame, Deadline::never());
+}
 
-/// Read one complete frame into `frame` (header validated before the body
-/// is sized or read, so a hostile length never over-allocates and the body
-/// is never over-read). Returns false on clean EOF at a frame boundary;
-/// throws WireIoError on EOF/error mid-frame and CheckError on a malformed
-/// header.
-[[nodiscard]] bool read_frame(int fd, std::vector<std::byte>& frame);
+/// Read one complete frame into `frame` within `deadline` (header validated
+/// before the body is sized or read, so a hostile length never
+/// over-allocates and the body is never over-read). Returns false on clean
+/// EOF at a frame boundary; throws WireIoError on EOF/error mid-frame,
+/// WireIoError{kTimeout} when the peer stalls at ANY byte offset past the
+/// deadline, and CheckError on a malformed header.
+[[nodiscard]] bool read_frame(int fd, std::vector<std::byte>& frame,
+                              Deadline deadline);
+[[nodiscard]] inline bool read_frame(int fd, std::vector<std::byte>& frame) {
+  return read_frame(fd, frame, Deadline::never());
+}
 
 }  // namespace dfr::serve::wire

@@ -473,6 +473,53 @@ TEST_F(ArtifactStoreTest, EvictionUnderTrafficRefaultsTransparently) {
   std::remove(path_b.c_str());
 }
 
+TEST_F(ArtifactStoreTest, QueuedRequestsSurviveEvictionOfTheirModel) {
+  // Regression (PR 10, evict-under-queued-request window): a request
+  // admitted while its model was resident must complete kOk even when the
+  // model is evicted before a worker dequeues it. submit() pins the
+  // artifact at admission; without the pin, the dequeue-time registry
+  // lookup comes back empty and the burst resolves kUnknownModel.
+  const std::string path_b = temp_path("dfr_store_evictpin_b");
+  save_as(make_model(kNodes, 2, 3, 33), path_b, 2);
+  const std::size_t file_bytes =
+      static_cast<std::size_t>(std::filesystem::file_size(path_v2_));
+
+  ModelRegistry registry;
+  ArtifactStore store(
+      registry,
+      ArtifactStoreConfig{.max_resident_bytes = file_bytes + file_bytes / 2});
+  store.add("a", path_v2_);
+  store.add("b", path_b);
+  // One worker, deep queue: the burst below queues up behind the first
+  // request, leaving a wide window for the eviction to land mid-queue.
+  InferenceServer server(registry, {.workers = 1, .queue_capacity = 128});
+
+  Rng rng(34);
+  Matrix series(20, 2);
+  for (std::size_t k = 0; k < series.rows(); ++k) {
+    for (std::size_t v = 0; v < series.cols(); ++v) {
+      series(k, v) = rng.uniform(-1.0, 1.0);
+    }
+  }
+
+  ASSERT_NE(store.get("a"), nullptr);  // fault "a" in
+  std::vector<serve::InferFuture> pending;
+  pending.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    pending.push_back(server.submit("a", series));
+  }
+  // Evict "a" while (most of) the burst is still queued. The store only
+  // fits one artifact, so faulting "b" in reclaims "a" immediately.
+  ASSERT_NE(store.get("b"), nullptr);
+
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const InferResult& result = pending[i].get();
+    ASSERT_EQ(result.status, RequestStatus::kOk) << "request " << i;
+    ASSERT_FALSE(result.logits.empty());
+  }
+  std::remove(path_b.c_str());
+}
+
 // ---- madvise hints ---------------------------------------------------------
 
 TEST_F(ArtifactStoreTest, MadviseHintsKeepMappingReadable) {

@@ -1,0 +1,559 @@
+// Robustness suite (PR 10): dirty-wire survival, deadlines, retry budgets,
+// and circuit breaking. The claims pinned here:
+//   * a frame stalled at ANY byte offset times out typed (WireIoError
+//     Kind::kTimeout) instead of hanging the reader — same for a writer
+//     wedged against a full socket buffer;
+//   * parse_fault_spec round-trips every fault kind and rejects nonsense;
+//   * each injected shard fault (garbage body, close-mid-frame, drop-accept)
+//     costs exactly the expected retries and then resolves kOk;
+//   * a wedged (stall-fault) shard never hangs the router: every request
+//     resolves within its deadline budget with a typed outcome, and a
+//     request-scoped deadline yields the router-local kTimeout;
+//   * the circuit breaker opens after the consecutive-failure threshold,
+//     fast-fails without dialing (kBreakerOpen when nothing is dialable),
+//     half-opens via a health signal, closes on a successful trial, and
+//     re-opens (a fresh trip) when the trial fails;
+//   * p2c_pair eventually compares every replica pair of a wide group while
+//     staying deterministic per (seed, seq).
+// Shards run in-process on Unix sockets under a private temp dir; fault
+// schedules are scripted through ShardServer::set_fault, so nothing here
+// depends on timing beyond generous deadline bounds.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/fault.hpp"
+#include "serve/registry.hpp"
+#include "serve/router.hpp"
+#include "serve/server.hpp"
+#include "serve/shard.hpp"
+#include "serve/synth.hpp"
+#include "serve/wire.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace dfr;
+using namespace dfr::serve;
+
+std::filesystem::path unique_socket_dir() {
+  static std::atomic<int> counter{0};
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("dfr_faults_" + std::to_string(::getpid()) + "_" +
+       std::to_string(counter.fetch_add(1)));
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+wire::Endpoint unix_endpoint(const std::filesystem::path& dir,
+                             const std::string& name) {
+  return wire::parse_endpoint("unix:" + (dir / name).string());
+}
+
+void register_synth_fleet(ModelRegistry& registry) {
+  SynthModelSpec spec;
+  for (std::size_t i = 0; i < 2; ++i) {
+    spec.seed = 42 + i;
+    registry.register_model(make_synth_artifact("m" + std::to_string(i), spec));
+  }
+}
+
+/// Router config tuned for scripted fault tests: no background poller (the
+/// tests drive breaker probes via note_health), no backoff sleeps, placement
+/// order (deterministic first attempt), short attempt deadlines.
+RouterConfig fault_router_config() {
+  RouterConfig config;
+  config.replicas = 2;
+  config.load_aware = false;
+  config.health_poll_ms = 0;
+  config.default_attempt_deadline_us = 250'000;
+  config.retry_budget = 3;
+  config.backoff_base_us = 0;
+  config.breaker_threshold = 0;  // tests opt in explicitly
+  return config;
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+// ---- fault-spec parsing ----------------------------------------------------
+
+TEST(FaultSpecParse, RoundTripsEveryKind) {
+  EXPECT_EQ(parse_fault_spec("none").kind, FaultSpec::Kind::kNone);
+  EXPECT_EQ(parse_fault_spec("").kind, FaultSpec::Kind::kNone);
+
+  const FaultSpec stall = parse_fault_spec("stall:0.5");
+  EXPECT_EQ(stall.kind, FaultSpec::Kind::kStall);
+  EXPECT_DOUBLE_EQ(stall.probability, 0.5);
+
+  const FaultSpec delay = parse_fault_spec("delay:25:1.0");
+  EXPECT_EQ(delay.kind, FaultSpec::Kind::kDelay);
+  EXPECT_EQ(delay.delay_ms, 25u);
+  EXPECT_DOUBLE_EQ(delay.probability, 1.0);
+
+  EXPECT_EQ(parse_fault_spec("garbage:0.1").kind, FaultSpec::Kind::kGarbage);
+  EXPECT_EQ(parse_fault_spec("close-mid-frame:1").kind,
+            FaultSpec::Kind::kCloseMidFrame);
+  EXPECT_EQ(parse_fault_spec("drop-accept:0.25").kind,
+            FaultSpec::Kind::kDropAccept);
+}
+
+TEST(FaultSpecParse, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)parse_fault_spec("stall"), CheckError);
+  EXPECT_THROW((void)parse_fault_spec("stall:2.0"), CheckError);
+  EXPECT_THROW((void)parse_fault_spec("stall:-0.1"), CheckError);
+  EXPECT_THROW((void)parse_fault_spec("delay:1.0"), CheckError);
+  EXPECT_THROW((void)parse_fault_spec("explode:0.5"), CheckError);
+  EXPECT_THROW((void)parse_fault_spec("stall:abc"), CheckError);
+}
+
+TEST(FaultInjector, DeterministicPerSeedAndHonorsLimit) {
+  FaultSpec spec;
+  spec.kind = FaultSpec::Kind::kGarbage;
+  spec.probability = 0.5;
+  const auto draw_pattern = [&](std::uint64_t seed) {
+    FaultInjector injector;
+    injector.arm(spec, seed);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(injector.draw_response_fault().kind !=
+                      FaultSpec::Kind::kNone);
+    }
+    return fired;
+  };
+  EXPECT_EQ(draw_pattern(1), draw_pattern(1));  // same seed, same schedule
+  EXPECT_NE(draw_pattern(1), draw_pattern(2));  // seeds decorrelate
+
+  FaultSpec once = spec;
+  once.probability = 1.0;
+  once.limit = 1;  // "fail exactly once, then heal"
+  FaultInjector injector;
+  injector.arm(once, 7);
+  EXPECT_EQ(injector.draw_response_fault().kind, FaultSpec::Kind::kGarbage);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(injector.draw_response_fault().kind, FaultSpec::Kind::kNone);
+  }
+  EXPECT_EQ(injector.injected(), 1u);
+}
+
+// ---- wire deadlines --------------------------------------------------------
+
+TEST(WireDeadline, BasicsAndPollRounding) {
+  EXPECT_TRUE(wire::Deadline::never().unlimited());
+  EXPECT_FALSE(wire::Deadline::never().expired());
+  EXPECT_EQ(wire::Deadline::never().poll_timeout_ms(), -1);
+
+  const wire::Deadline soon = wire::Deadline::after_us(1);
+  // Sub-millisecond budgets round UP to 1ms: poll(0) would spin.
+  EXPECT_GE(soon.poll_timeout_ms(), 0);
+  const wire::Deadline gone = wire::Deadline::after_us(0);
+  EXPECT_TRUE(gone.expired());
+  EXPECT_EQ(gone.remaining_us(), 0u);
+}
+
+/// A reader stalled at EVERY byte offset of a frame times out typed — the
+/// "per-byte stall" sweep. A peer that sends k bytes of a valid frame and
+/// then goes silent must never hang read_frame, whether the stall lands
+/// mid-header or mid-body.
+TEST(WireDeadline, ReadFrameTimesOutTypedAtEveryByteOffset) {
+  wire::WireResponse response;
+  response.seq = 9;
+  response.status = wire::WireStatus::kOk;
+  response.label = 1;
+  response.latency_us = 12.5;
+  response.logits = {0.25, 0.5, 0.25};
+  std::vector<std::byte> frame;
+  wire::encode_response(response, frame);
+  ASSERT_GT(frame.size(), sizeof(wire::FrameHeader));
+
+  for (std::size_t k = 0; k < frame.size(); ++k) {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    if (k > 0) {
+      ASSERT_EQ(::send(fds[1], frame.data(), k, 0),
+                static_cast<ssize_t>(k));
+    }
+    std::vector<std::byte> out;
+    try {
+      (void)wire::read_frame(fds[0], out, wire::Deadline::after_us(5'000));
+      FAIL() << "offset " << k << ": read_frame returned instead of timing out";
+    } catch (const wire::WireIoError& e) {
+      EXPECT_EQ(e.kind(), wire::WireIoError::Kind::kTimeout)
+          << "offset " << k << ": " << e.what();
+    }
+    ::close(fds[0]);
+    ::close(fds[1]);
+  }
+}
+
+TEST(WireDeadline, ReadFrameCompletesWhenAllBytesPresent) {
+  wire::WireResponse response;
+  response.seq = 11;
+  response.status = wire::WireStatus::kOk;
+  std::vector<std::byte> frame;
+  wire::encode_response(response, frame);
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_EQ(::send(fds[1], frame.data(), frame.size(), 0),
+            static_cast<ssize_t>(frame.size()));
+  std::vector<std::byte> out;
+  ASSERT_TRUE(wire::read_frame(fds[0], out, wire::Deadline::after_us(250'000)));
+  EXPECT_EQ(wire::decode_response(out).seq, 11u);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(WireDeadline, MidFrameEofIsTypedEof) {
+  wire::WireResponse response;
+  response.seq = 5;
+  std::vector<std::byte> frame;
+  wire::encode_response(response, frame);
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_EQ(::send(fds[1], frame.data(), frame.size() / 2, 0),
+            static_cast<ssize_t>(frame.size() / 2));
+  ::close(fds[1]);  // peer dies mid-frame
+  std::vector<std::byte> out;
+  try {
+    (void)wire::read_frame(fds[0], out, wire::Deadline::after_us(250'000));
+    FAIL() << "mid-frame EOF must throw";
+  } catch (const wire::WireIoError& e) {
+    EXPECT_EQ(e.kind(), wire::WireIoError::Kind::kEof);
+  }
+  ::close(fds[0]);
+}
+
+TEST(WireDeadline, WriteFrameTimesOutAgainstAFullBuffer) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const int small = 4096;  // kernel clamps to its minimum; still finite
+  ASSERT_EQ(::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &small, sizeof(small)),
+            0);
+  // Nobody reads fds[1]: a large enough frame must wedge the writer.
+  std::vector<std::byte> frame(4 << 20, std::byte{0x5A});
+  try {
+    wire::write_frame(fds[0], frame, wire::Deadline::after_us(30'000));
+    FAIL() << "write_frame against a full buffer must time out";
+  } catch (const wire::WireIoError& e) {
+    EXPECT_EQ(e.kind(), wire::WireIoError::Kind::kTimeout);
+  }
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// ---- p2c pair sampling -----------------------------------------------------
+
+TEST(P2cPair, TwoReplicasAlwaysComparePlacementPair) {
+  for (std::uint64_t seq = 0; seq < 64; ++seq) {
+    EXPECT_EQ(p2c_pair(/*seed=*/1, seq, 2), (std::pair<std::size_t,
+                                             std::size_t>{0, 1}));
+  }
+}
+
+TEST(P2cPair, EveryPairOfAWideGroupIsEventuallyCompared) {
+  for (std::size_t n = 3; n <= 5; ++n) {
+    std::set<std::pair<std::size_t, std::size_t>> seen;
+    for (std::uint64_t seq = 0; seq < 512; ++seq) {
+      const auto pair = p2c_pair(/*seed=*/42, seq, n);
+      ASSERT_LT(pair.first, pair.second);
+      ASSERT_LT(pair.second, n);
+      seen.insert(pair);
+      EXPECT_EQ(pair, p2c_pair(42, seq, n));  // deterministic per (seed, seq)
+    }
+    EXPECT_EQ(seen.size(), n * (n - 1) / 2) << "group size " << n;
+  }
+}
+
+// ---- scripted shard faults behind the router -------------------------------
+
+class FaultTier : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = unique_socket_dir();
+    register_synth_fleet(registry0_);
+    register_synth_fleet(registry1_);
+    shard0_ = std::make_unique<ShardServer>(registry0_,
+                                            unix_endpoint(dir_, "s0.sock"));
+    shard1_ = std::make_unique<ShardServer>(registry1_,
+                                            unix_endpoint(dir_, "s1.sock"));
+  }
+
+  void TearDown() override {
+    router_.reset();
+    shard0_.reset();
+    shard1_.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  void make_router(const RouterConfig& config) {
+    router_ = std::make_unique<Router>(config);
+    router_->add_shard("s0", shard0_->endpoint());
+    router_->add_shard("s1", shard1_->endpoint());
+  }
+
+  /// The shard a given model's placement tries FIRST (load_aware off).
+  ShardServer& primary_for(const std::string& model_id) {
+    return router_->placement(model_id)[0] == "s0" ? *shard0_ : *shard1_;
+  }
+
+  std::filesystem::path dir_;
+  ModelRegistry registry0_;
+  ModelRegistry registry1_;
+  std::unique_ptr<ShardServer> shard0_;
+  std::unique_ptr<ShardServer> shard1_;
+  std::unique_ptr<Router> router_;
+};
+
+FaultSpec certain_fault(FaultSpec::Kind kind, std::uint64_t limit = ~0ull) {
+  FaultSpec spec;
+  spec.kind = kind;
+  spec.probability = 1.0;
+  spec.limit = limit;
+  return spec;
+}
+
+TEST_F(FaultTier, CloseMidFrameCostsExactlyOneRetry) {
+  make_router(fault_router_config());
+  ShardServer& faulty = primary_for("m0");
+  const std::string faulty_name = router_->placement("m0")[0];
+  faulty.set_fault(certain_fault(FaultSpec::Kind::kCloseMidFrame, /*limit=*/1));
+
+  const Matrix series = make_synth_series(32, 2, 7);
+  const wire::WireResponse response = router_->infer("m0", series);
+  EXPECT_EQ(response.status, wire::WireStatus::kOk);
+  EXPECT_EQ(faulty.faults_injected(), 1u);
+
+  // Exactly one mid-frame EOF, exactly one retry, and the retry (placement
+  // walk: next replica) succeeded.
+  const ShardCounters faulted = router_->counters(faulty_name);
+  EXPECT_EQ(faulted.io_failures, 1u);
+  EXPECT_EQ(faulted.retried, 1u);
+  std::uint64_t total_requests = 0;
+  std::uint64_t total_ok = 0;
+  for (const std::string& name : router_->shard_names()) {
+    total_requests += router_->counters(name).requests;
+    total_ok += router_->counters(name).ok;
+  }
+  EXPECT_EQ(total_requests, 2u);
+  EXPECT_EQ(total_ok, 1u);
+}
+
+TEST_F(FaultTier, GarbageBodyBehindValidHeaderIsRejectedTypedAndRetried) {
+  make_router(fault_router_config());
+  ShardServer& faulty = primary_for("m0");
+  const std::string faulty_name = router_->placement("m0")[0];
+  faulty.set_fault(certain_fault(FaultSpec::Kind::kGarbage, /*limit=*/1));
+
+  const Matrix series = make_synth_series(32, 2, 8);
+  const wire::WireResponse response = router_->infer("m0", series);
+  EXPECT_EQ(response.status, wire::WireStatus::kOk);
+  // The garbage frame was rejected at decode (CheckError -> io_failure),
+  // never surfaced to the caller, and cost one retry.
+  const ShardCounters faulted = router_->counters(faulty_name);
+  EXPECT_EQ(faulted.io_failures, 1u);
+  EXPECT_EQ(faulted.retried, 1u);
+}
+
+TEST_F(FaultTier, DropAcceptLooksLikeCleanEofAndRetries) {
+  make_router(fault_router_config());
+  ShardServer& faulty = primary_for("m0");
+  faulty.set_fault(certain_fault(FaultSpec::Kind::kDropAccept, /*limit=*/1));
+
+  const Matrix series = make_synth_series(32, 2, 9);
+  const wire::WireResponse response = router_->infer("m0", series);
+  EXPECT_EQ(response.status, wire::WireStatus::kOk);
+  EXPECT_EQ(faulty.faults_injected(), 1u);
+}
+
+TEST_F(FaultTier, DelayFaultSlowsButCompletes) {
+  make_router(fault_router_config());
+  ShardServer& faulty = primary_for("m0");
+  FaultSpec delay = certain_fault(FaultSpec::Kind::kDelay, /*limit=*/1);
+  delay.delay_ms = 30;
+  faulty.set_fault(delay);
+
+  const auto start = std::chrono::steady_clock::now();
+  const Matrix series = make_synth_series(32, 2, 10);
+  const wire::WireResponse response = router_->infer("m0", series);
+  EXPECT_EQ(response.status, wire::WireStatus::kOk);
+  EXPECT_GE(elapsed_ms(start), 25.0);  // the delay really happened
+}
+
+/// The headline robustness claim: a wedged shard (accepts, never replies)
+/// never hangs the router. Every request resolves kOk within the attempt-
+/// deadline + retry budget, served by the healthy replica.
+TEST_F(FaultTier, WedgedShardNeverHangsRouter) {
+  RouterConfig config = fault_router_config();
+  config.default_attempt_deadline_us = 60'000;
+  make_router(config);
+  ShardServer& wedged = primary_for("m0");
+  const std::string wedged_name = router_->placement("m0")[0];
+  wedged.set_fault(certain_fault(FaultSpec::Kind::kStall));
+
+  const Matrix series = make_synth_series(32, 2, 11);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 4; ++i) {
+    const wire::WireResponse response = router_->infer("m0", series);
+    ASSERT_EQ(response.status, wire::WireStatus::kOk) << "request " << i;
+  }
+  // 4 requests x (one 60ms timeout + a healthy-replica round trip) plus
+  // slack: an order of magnitude under a hang.
+  EXPECT_LT(elapsed_ms(start), 4'000.0);
+  EXPECT_GE(router_->counters(wedged_name).timeouts, 1u);
+}
+
+TEST_F(FaultTier, RequestDeadlineBudgetYieldsTypedTimeout) {
+  RouterConfig config = fault_router_config();
+  make_router(config);
+  // Wedge BOTH shards: no replica can answer, so the request's own budget
+  // is what ends the walk — typed kTimeout, bounded wall clock.
+  shard0_->set_fault(certain_fault(FaultSpec::Kind::kStall));
+  shard1_->set_fault(certain_fault(FaultSpec::Kind::kStall));
+
+  RequestOptions options;
+  options.deadline_us = 80'000;
+  const Matrix series = make_synth_series(32, 2, 12);
+  const auto start = std::chrono::steady_clock::now();
+  const wire::WireResponse response = router_->infer("m0", series, options);
+  EXPECT_EQ(response.status, wire::WireStatus::kTimeout);
+  EXPECT_LT(elapsed_ms(start), 2'000.0);
+}
+
+// ---- circuit breaker -------------------------------------------------------
+
+class BreakerTier : public FaultTier {
+ protected:
+  /// Single-shard router (s0 only): the breaker schedule is scripted
+  /// without a healthy replica absorbing the traffic.
+  void make_single_shard_router() {
+    RouterConfig config = fault_router_config();
+    config.replicas = 1;
+    config.default_attempt_deadline_us = 40'000;
+    config.retry_budget = 1;       // 2 dials per request
+    config.breaker_threshold = 2;  // ... so one request trips it
+    router_ = std::make_unique<Router>(config);
+    router_->add_shard("s0", shard0_->endpoint());
+  }
+};
+
+TEST_F(BreakerTier, OpensFastFailsHalfOpensAndCloses) {
+  make_single_shard_router();
+  shard0_->set_fault(certain_fault(FaultSpec::Kind::kStall));
+  const Matrix series = make_synth_series(32, 2, 13);
+
+  // Request 1: both dials time out -> threshold crossed -> breaker opens.
+  wire::WireResponse response = router_->infer("m0", series);
+  EXPECT_EQ(response.status, wire::WireStatus::kUnavailable);
+  EXPECT_EQ(router_->breaker_state("s0"), BreakerState::kOpen);
+  EXPECT_EQ(router_->counters("s0").breaker_trips, 1u);
+  const std::uint64_t dials_when_tripped = router_->counters("s0").requests;
+
+  // Request 2: breaker open, nothing dialable -> typed fast-fail with ZERO
+  // dials (the wedged shard is not contacted at all).
+  const auto start = std::chrono::steady_clock::now();
+  response = router_->infer("m0", series);
+  EXPECT_EQ(response.status, wire::WireStatus::kBreakerOpen);
+  EXPECT_LT(elapsed_ms(start), 1'000.0);  // no 40ms dial, let alone two
+  EXPECT_EQ(router_->counters("s0").requests, dials_when_tripped);
+  EXPECT_GE(router_->counters("s0").breaker_fastfails, 1u);
+
+  // Heal the shard, then deliver the probe signal the poller would have:
+  // the breaker half-opens.
+  shard0_->set_fault(FaultSpec{});
+  router_->note_health("s0", router_->health("s0"));
+  EXPECT_EQ(router_->breaker_state("s0"), BreakerState::kHalfOpen);
+
+  // Request 3: the half-open trial is admitted and succeeds -> closed.
+  response = router_->infer("m0", series);
+  EXPECT_EQ(response.status, wire::WireStatus::kOk);
+  EXPECT_EQ(router_->breaker_state("s0"), BreakerState::kClosed);
+}
+
+TEST_F(BreakerTier, FailedHalfOpenTrialReopensWithAFreshTrip) {
+  make_single_shard_router();
+  shard0_->set_fault(certain_fault(FaultSpec::Kind::kStall));
+  const Matrix series = make_synth_series(32, 2, 14);
+
+  (void)router_->infer("m0", series);  // trips the breaker
+  ASSERT_EQ(router_->breaker_state("s0"), BreakerState::kOpen);
+  ASSERT_EQ(router_->counters("s0").breaker_trips, 1u);
+
+  // Health still answers on a stall-faulted shard (the injector only wedges
+  // inference), so the probe signal half-opens the breaker even though the
+  // shard is NOT actually healed.
+  router_->note_health("s0", router_->health("s0"));
+  ASSERT_EQ(router_->breaker_state("s0"), BreakerState::kHalfOpen);
+
+  // The trial dial times out: the breaker re-opens immediately (one
+  // half-open failure suffices — no fresh threshold run), counted as a
+  // fresh trip.
+  const wire::WireResponse response = router_->infer("m0", series);
+  EXPECT_NE(response.status, wire::WireStatus::kOk);
+  EXPECT_EQ(router_->breaker_state("s0"), BreakerState::kOpen);
+  EXPECT_EQ(router_->counters("s0").breaker_trips, 2u);
+}
+
+TEST_F(BreakerTier, DisabledBreakerNeverOpens) {
+  RouterConfig config = fault_router_config();
+  config.replicas = 1;
+  config.default_attempt_deadline_us = 40'000;
+  config.retry_budget = 2;
+  config.breaker_threshold = 0;  // disabled
+  router_ = std::make_unique<Router>(config);
+  router_->add_shard("s0", shard0_->endpoint());
+  shard0_->set_fault(certain_fault(FaultSpec::Kind::kStall));
+
+  const Matrix series = make_synth_series(32, 2, 15);
+  EXPECT_EQ(router_->infer("m0", series).status,
+            wire::WireStatus::kUnavailable);
+  EXPECT_EQ(router_->breaker_state("s0"), BreakerState::kClosed);
+  EXPECT_EQ(router_->counters("s0").breaker_trips, 0u);
+  EXPECT_EQ(router_->counters("s0").requests, 3u);  // every dial really dialed
+}
+
+TEST_F(FaultTier, BreakerStatsAppearOnTheStatsPage) {
+  RouterConfig config = fault_router_config();
+  config.replicas = 1;
+  config.default_attempt_deadline_us = 40'000;
+  config.retry_budget = 1;
+  config.breaker_threshold = 2;
+  router_ = std::make_unique<Router>(config);
+  router_->add_shard("s0", shard0_->endpoint());
+  shard0_->set_fault(certain_fault(FaultSpec::Kind::kStall));
+  const Matrix series = make_synth_series(32, 2, 16);
+  (void)router_->infer("m0", series);  // trips
+  (void)router_->infer("m0", series);  // fast-fails
+
+  std::ostringstream os;
+  router_->export_stats(os);
+  const std::string stats = os.str();
+  EXPECT_NE(stats.find("dfr_router_breaker_trips_total{shard=\"s0\"} 1"),
+            std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find("dfr_router_breaker_fastfails_total{shard=\"s0\"} 1"),
+            std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find("dfr_router_breaker_state{shard=\"s0\"} 1"),
+            std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find("dfr_router_timeouts_total{shard=\"s0\"} 2"),
+            std::string::npos)
+      << stats;
+}
+
+}  // namespace
